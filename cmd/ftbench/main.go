@@ -1,0 +1,68 @@
+// Command ftbench runs the evaluation experiments (E1–E8, T1) and prints
+// their tables. See DESIGN.md for the experiment index and EXPERIMENTS.md
+// for recorded results.
+//
+// Usage:
+//
+//	ftbench               # run everything at full scale
+//	ftbench -quick        # smaller run sizes
+//	ftbench -e e3,e7      # selected experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "use reduced run sizes")
+	exps := flag.String("e", "all", "comma-separated experiment ids (e1..e8,t1) or 'all'")
+	flag.Parse()
+
+	scale := bench.FullScale
+	if *quick {
+		scale = bench.QuickScale
+	}
+
+	var runs []struct {
+		id string
+		fn func(bench.Scale) (*bench.Table, error)
+	}
+	if *exps == "all" {
+		for _, id := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "t1"} {
+			runs = append(runs, struct {
+				id string
+				fn func(bench.Scale) (*bench.Table, error)
+			}{id, bench.ByID[id]})
+		}
+	} else {
+		for _, id := range strings.Split(*exps, ",") {
+			id = strings.TrimSpace(strings.ToLower(id))
+			fn, ok := bench.ByID[id]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "ftbench: unknown experiment %q (have e1..e8, t1)\n", id)
+				os.Exit(2)
+			}
+			runs = append(runs, struct {
+				id string
+				fn func(bench.Scale) (*bench.Table, error)
+			}{id, fn})
+		}
+	}
+
+	for _, r := range runs {
+		start := time.Now()
+		table, err := r.fn(scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ftbench: %s failed: %v\n", r.id, err)
+			os.Exit(1)
+		}
+		table.Fprint(os.Stdout)
+		fmt.Printf("  (%s completed in %v)\n", r.id, time.Since(start).Round(time.Millisecond))
+	}
+}

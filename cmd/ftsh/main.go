@@ -1,0 +1,36 @@
+// Command ftsh is an interactive console for a fault-tolerance domain:
+// create replicated key/value objects, invoke them, crash nodes, partition
+// the network, and watch the infrastructure recover.
+//
+// Usage:
+//
+//	ftsh [-nodes n1,n2,n3,n4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/shell"
+)
+
+func main() {
+	nodeList := flag.String("nodes", "n1,n2,n3,n4", "comma-separated node names")
+	flag.Parse()
+	var nodes []string
+	for _, n := range strings.Split(*nodeList, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			nodes = append(nodes, n)
+		}
+	}
+	sh, err := shell.New(nodes, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ftsh:", err)
+		os.Exit(1)
+	}
+	defer sh.Close()
+	fmt.Printf("FT domain up with nodes %v — type help\n", nodes)
+	sh.Run(os.Stdin)
+}

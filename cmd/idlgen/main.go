@@ -1,0 +1,49 @@
+// Command idlgen compiles a CORBA IDL file (the subset documented in
+// internal/idl) into Go stubs and skeletons for this repository's ORB and
+// replication engine.
+//
+// Usage:
+//
+//	idlgen -pkg bankgen -o bank_gen.go bank.idl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/idl"
+)
+
+func main() {
+	pkg := flag.String("pkg", "", "Go package name for the generated file (required)")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+	if *pkg == "" || flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: idlgen -pkg <package> [-o out.go] <file.idl>")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "idlgen:", err)
+		os.Exit(1)
+	}
+	mod, err := idl.Parse(string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "idlgen:", err)
+		os.Exit(1)
+	}
+	code, err := idl.Generate(mod, *pkg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "idlgen:", err)
+		os.Exit(1)
+	}
+	if *out == "" {
+		os.Stdout.Write(code)
+		return
+	}
+	if err := os.WriteFile(*out, code, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "idlgen:", err)
+		os.Exit(1)
+	}
+}

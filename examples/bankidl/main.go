@@ -1,0 +1,198 @@
+// Bank (IDL edition): the same replicated-bank scenario, but with the
+// stubs and skeletons *generated from CORBA IDL* by cmd/idlgen — the
+// development workflow of a real CORBA shop.
+//
+// bank.idl declares the Bank::Account interface; bankgen/bank_gen.go is
+// its compiled form (regenerate with
+// `go run ./cmd/idlgen -pkg bankgen -o examples/bankidl/bankgen/bank_gen.go examples/bankidl/bank.idl`).
+//
+// Run with:
+//
+//	go run ./examples/bankidl
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"repro"
+	"repro/examples/bankidl/bankgen"
+	"repro/internal/cdr"
+)
+
+// accountImpl implements the *generated* bankgen.Account interface with
+// plain typed Go — no manual marshaling anywhere.
+type accountImpl struct {
+	mu      sync.Mutex
+	balance int64
+	history []string
+}
+
+func (a *accountImpl) Balance(inv *repro.Invocation) (int64, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.balance, nil
+}
+
+func (a *accountImpl) Deposit(inv *repro.Invocation, amount int64) (int64, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.balance += amount
+	// inv.Det.Now() is replica-consistent logical time: every replica logs
+	// the identical history line.
+	a.history = append(a.history, fmt.Sprintf("%d deposit %d", inv.Det.Now().UnixMicro(), amount))
+	return a.balance, nil
+}
+
+func (a *accountImpl) Withdraw(inv *repro.Invocation, amount int64) (int64, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if amount > a.balance {
+		return 0, &bankgen.InsufficientFunds{Balance: a.balance}
+	}
+	a.balance -= amount
+	a.history = append(a.history, fmt.Sprintf("%d withdraw %d", inv.Det.Now().UnixMicro(), amount))
+	return a.balance, nil
+}
+
+func (a *accountImpl) History(inv *repro.Invocation, limit uint32) ([]string, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	h := a.history
+	if int(limit) < len(h) {
+		h = h[len(h)-int(limit):]
+	}
+	return append([]string(nil), h...), nil
+}
+
+func (a *accountImpl) Annotate(inv *repro.Invocation, note string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.history = append(a.history, "note: "+note)
+	return nil
+}
+
+// Checkpointable: lets the infrastructure transfer state to new/recovering
+// replicas.
+func (a *accountImpl) GetState() ([]byte, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	e := cdr.NewEncoder(cdr.BigEndian)
+	e.WriteLongLong(a.balance)
+	e.WriteULong(uint32(len(a.history)))
+	for _, h := range a.history {
+		e.WriteString(h)
+	}
+	out := make([]byte, e.Len())
+	copy(out, e.Bytes())
+	return out, nil
+}
+
+func (a *accountImpl) SetState(b []byte) error {
+	d := cdr.NewDecoder(b, cdr.BigEndian)
+	bal, err := d.ReadLongLong()
+	if err != nil {
+		return err
+	}
+	n, err := d.ReadULong()
+	if err != nil {
+		return err
+	}
+	hist := make([]string, 0, n)
+	for i := uint32(0); i < n; i++ {
+		h, err := d.ReadString()
+		if err != nil {
+			return err
+		}
+		hist = append(hist, h)
+	}
+	a.mu.Lock()
+	a.balance, a.history = bal, hist
+	a.mu.Unlock()
+	return nil
+}
+
+func main() {
+	domain, err := repro.NewDomain(repro.Options{
+		Nodes: []string{"b1", "b2", "b3", "teller"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer domain.Stop()
+	if err := domain.WaitReady(10 * time.Second); err != nil {
+		log.Fatal(err)
+	}
+
+	// The generated skeleton adapts accountImpl to the servant model.
+	err = domain.RegisterFactory(bankgen.AccountTypeID, func() repro.Servant {
+		return bankgen.NewAccountServant(&accountImpl{})
+	}, "b1", "b2", "b3")
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, gid, err := domain.Create("account", bankgen.AccountTypeID, &repro.Properties{
+		ReplicationStyle:      repro.Active,
+		InitialNumberReplicas: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := domain.WaitGroupReady(gid, 3, 10*time.Second); err != nil {
+		log.Fatal(err)
+	}
+
+	// The generated stub runs over the replicated group proxy — fully
+	// typed calls, typed exceptions.
+	proxy, err := domain.Proxy("teller", gid)
+	if err != nil {
+		log.Fatal(err)
+	}
+	account := bankgen.NewAccountStub(proxy)
+
+	bal, err := account.Deposit(500)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("deposit 500  -> balance", bal)
+
+	bal, err = account.Withdraw(120)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("withdraw 120 -> balance", bal)
+
+	// Typed exception across the wire.
+	_, err = account.Withdraw(10_000)
+	var insufficient *bankgen.InsufficientFunds
+	if !errors.As(err, &insufficient) {
+		log.Fatalf("expected InsufficientFunds, got %v", err)
+	}
+	fmt.Printf("withdraw 10000 -> Bank::InsufficientFunds{Balance: %d}\n", insufficient.Balance)
+
+	// Readonly attribute.
+	bal, err = account.Balance()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("balance attribute ->", bal)
+
+	// Crash a replica; the typed stub keeps working.
+	members, _ := domain.RM.Members(gid)
+	fmt.Println("crashing", members[0], "...")
+	domain.CrashNode(members[0])
+	if _, err := account.Deposit(1); err != nil {
+		log.Fatal(err)
+	}
+	hist, err := account.History(10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("history after failover:")
+	for _, h := range hist {
+		fmt.Println("  ", h)
+	}
+}

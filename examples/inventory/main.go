@@ -1,0 +1,190 @@
+// Inventory: the automobile sales scenario from the Eternal papers.
+//
+// A factory and two showrooms share a replicated inventory object. When
+// one showroom's network link fails, *both* sides keep selling cars; when
+// the link is restored, the infrastructure transfers the primary
+// component's state and re-applies the disconnected showroom's sales as
+// fulfillment operations — generating back orders when the same car was
+// sold twice.
+//
+// Run with:
+//
+//	go run ./examples/inventory
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"repro"
+	"repro/internal/cdr"
+)
+
+const inventoryType = "IDL:example/Inventory:1.0"
+
+// inventory tracks cars in stock, sold, and on back order.
+type inventory struct {
+	mu         sync.Mutex
+	stock      int64
+	sold       int64
+	backOrders int64
+}
+
+func (s *inventory) RepoID() string { return inventoryType }
+
+func (s *inventory) Dispatch(inv *repro.Invocation) ([]repro.Value, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch inv.Operation {
+	case "manufacture":
+		s.stock += int64(inv.Args[0].AsLong())
+		return []repro.Value{repro.LongLong(s.stock)}, nil
+	case "sell":
+		if s.stock <= 0 {
+			return nil, &repro.UserException{Name: "IDL:example/OutOfStock:1.0"}
+		}
+		s.stock--
+		s.sold++
+		return []repro.Value{repro.LongLong(s.stock)}, nil
+	case "sellOrBackOrder":
+		// The fulfillment form of sell: applied to the merged state after
+		// a partition heals; a missing car becomes a rush back order.
+		s.sold++
+		if s.stock > 0 {
+			s.stock--
+		} else {
+			s.backOrders++
+		}
+		return []repro.Value{repro.LongLong(s.stock)}, nil
+	case "report":
+		return []repro.Value{
+			repro.LongLong(s.stock),
+			repro.LongLong(s.sold),
+			repro.LongLong(s.backOrders),
+		}, nil
+	}
+	return nil, &repro.UserException{Name: "IDL:example/UnknownOperation:1.0"}
+}
+
+// MapFulfillment translates operations performed while disconnected into
+// their reconciliation form (the paper's "fulfillment operations are just
+// operations").
+func (s *inventory) MapFulfillment(op string, args []repro.Value) (string, []repro.Value, bool) {
+	switch op {
+	case "sell":
+		return "sellOrBackOrder", args, true
+	case "report":
+		return "", nil, false // reads need no fulfillment
+	default:
+		return op, args, true
+	}
+}
+
+func (s *inventory) GetState() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := cdr.NewEncoder(cdr.BigEndian)
+	e.WriteLongLong(s.stock)
+	e.WriteLongLong(s.sold)
+	e.WriteLongLong(s.backOrders)
+	out := make([]byte, e.Len())
+	copy(out, e.Bytes())
+	return out, nil
+}
+
+func (s *inventory) SetState(b []byte) error {
+	d := cdr.NewDecoder(b, cdr.BigEndian)
+	stock, err := d.ReadLongLong()
+	if err != nil {
+		return err
+	}
+	sold, err := d.ReadLongLong()
+	if err != nil {
+		return err
+	}
+	back, err := d.ReadLongLong()
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.stock, s.sold, s.backOrders = stock, sold, back
+	s.mu.Unlock()
+	return nil
+}
+
+func main() {
+	domain, err := repro.NewDomain(repro.Options{
+		Nodes: []string{"factory", "showroom-east", "showroom-west"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer domain.Stop()
+	if err := domain.WaitReady(10 * time.Second); err != nil {
+		log.Fatal(err)
+	}
+
+	if err := domain.RegisterFactory(inventoryType,
+		func() repro.Servant { return &inventory{} }); err != nil {
+		log.Fatal(err)
+	}
+	_, gid, err := domain.Create("inventory", inventoryType, &repro.Properties{
+		ReplicationStyle:      repro.Active,
+		InitialNumberReplicas: 3,
+		MembershipStyle:       repro.MembershipApplication,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := domain.WaitGroupReady(gid, 3, 10*time.Second); err != nil {
+		log.Fatal(err)
+	}
+
+	factory, _ := domain.Proxy("factory", gid)
+	east, _ := domain.Proxy("showroom-east", gid)
+	west, _ := domain.Proxy("showroom-west", gid)
+
+	fmt.Println("factory manufactures 5 cars")
+	if _, err := factory.Invoke("manufacture", repro.Long(5)); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\n--- network failure: showroom-west loses its link ---")
+	domain.Partition(
+		[]string{"factory", "showroom-east"},
+		[]string{"showroom-west"},
+	)
+	time.Sleep(300 * time.Millisecond)
+
+	fmt.Println("east sells 4 cars (primary component)")
+	for i := 0; i < 4; i++ {
+		if _, err := east.Invoke("sell"); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("west sells 2 cars while disconnected (secondary component)")
+	for i := 0; i < 2; i++ {
+		if _, err := west.Invoke("sell"); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Println("\n--- link restored: state transfer + fulfillment operations ---")
+	domain.Heal()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		out, err := factory.Invoke("report")
+		if err == nil && out[1].AsLongLong() == 6 {
+			fmt.Printf("reconciled: stock=%d sold=%d backOrders=%d\n",
+				out[0].AsLongLong(), out[1].AsLongLong(), out[2].AsLongLong())
+			fmt.Println("west's 2 disconnected sales were honored: 1 from stock, 1 as a rush back order")
+			return
+		}
+		if time.Now().After(deadline) {
+			log.Fatalf("never reconciled: %v %v", out, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

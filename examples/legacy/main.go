@@ -1,0 +1,190 @@
+// Legacy: the three integration approaches for retrofitting fault
+// tolerance onto CORBA applications, side by side — the architectural
+// spectrum the lessons-learned literature contrasts.
+//
+//   - interception: an *unmodified* client ORB talks plain IIOP to what it
+//     believes is an ordinary object; the interceptor below it redirects
+//     each request through the replicated group (the Eternal approach);
+//   - service: the client explicitly invokes a GroupService object through
+//     the ORB, which forwards to the group (the OGS approach);
+//   - integrated: the client links against the replication engine directly
+//     (the FT-CORBA-style integrated ORB).
+//
+// Run with:
+//
+//	go run ./examples/legacy
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"repro"
+	"repro/internal/cdr"
+	"repro/internal/interception"
+	"repro/internal/service"
+)
+
+const storeType = "IDL:example/KVStore:1.0"
+
+// kvStore is a replicated string store.
+type kvStore struct {
+	mu   sync.Mutex
+	data map[string]string
+}
+
+func newKVStore() *kvStore { return &kvStore{data: make(map[string]string)} }
+
+func (s *kvStore) RepoID() string { return storeType }
+
+func (s *kvStore) Dispatch(inv *repro.Invocation) ([]repro.Value, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch inv.Operation {
+	case "put":
+		s.data[inv.Args[0].AsString()] = inv.Args[1].AsString()
+		return nil, nil
+	case "get":
+		v, ok := s.data[inv.Args[0].AsString()]
+		if !ok {
+			return nil, &repro.UserException{Name: "IDL:example/NotFound:1.0"}
+		}
+		return []repro.Value{repro.Str(v)}, nil
+	}
+	return nil, &repro.UserException{Name: "IDL:example/UnknownOperation:1.0"}
+}
+
+func (s *kvStore) GetState() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := cdr.NewEncoder(cdr.BigEndian)
+	e.WriteULong(uint32(len(s.data)))
+	for k, v := range s.data {
+		e.WriteString(k)
+		e.WriteString(v)
+	}
+	out := make([]byte, e.Len())
+	copy(out, e.Bytes())
+	return out, nil
+}
+
+func (s *kvStore) SetState(b []byte) error {
+	d := cdr.NewDecoder(b, cdr.BigEndian)
+	n, err := d.ReadULong()
+	if err != nil {
+		return err
+	}
+	data := make(map[string]string, n)
+	for i := uint32(0); i < n; i++ {
+		k, err := d.ReadString()
+		if err != nil {
+			return err
+		}
+		v, err := d.ReadString()
+		if err != nil {
+			return err
+		}
+		data[k] = v
+	}
+	s.mu.Lock()
+	s.data = data
+	s.mu.Unlock()
+	return nil
+}
+
+func main() {
+	domain, err := repro.NewDomain(repro.Options{
+		Nodes:   []string{"srv-1", "srv-2", "gateway", "legacy-client"},
+		ORBPort: 9000, // every node also runs a plain ORB
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer domain.Stop()
+	if err := domain.WaitReady(10 * time.Second); err != nil {
+		log.Fatal(err)
+	}
+
+	if err := domain.RegisterFactory(storeType,
+		func() repro.Servant { return newKVStore() }, "srv-1", "srv-2"); err != nil {
+		log.Fatal(err)
+	}
+	_, gid, err := domain.Create("store", storeType, &repro.Properties{
+		ReplicationStyle:      repro.Active,
+		InitialNumberReplicas: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := domain.WaitGroupReady(gid, 2, 10*time.Second); err != nil {
+		log.Fatal(err)
+	}
+
+	// --- Approach 1: interception --------------------------------------
+	// The legacy client is a plain ORB; it receives an ordinary-looking
+	// IOR whose profile secretly addresses the interception bridge.
+	bridge, err := interception.Attach(domain.Fabric, "legacy-client", 9100,
+		domain.Node("legacy-client").Engine)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer bridge.Close()
+	legacyRef := bridge.RefFor(storeType, gid)
+	legacyProxy := domain.Node("legacy-client").ORB.Proxy(legacyRef)
+
+	if _, err := legacyProxy.Invoke("put", repro.Str("pi"), repro.Str("3.14159")); err != nil {
+		log.Fatal(err)
+	}
+	out, err := legacyProxy.Invoke("get", repro.Str("pi"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("interception: unmodified ORB client read", out[0].AsString(),
+		"from the replicated store")
+
+	// --- Approach 2: service --------------------------------------------
+	// The gateway publishes a GroupService; the client calls it with an
+	// ordinary ORB invocation naming the target group explicitly.
+	svcRef := service.Publish(domain.Node("gateway").ORB, domain.Node("gateway").Engine)
+	svcClient := service.NewClient(domain.Node("legacy-client").ORB, svcRef)
+
+	if _, err := svcClient.Invoke(gid, "put", repro.Str("e"), repro.Str("2.71828")); err != nil {
+		log.Fatal(err)
+	}
+	out2, err := svcClient.Invoke(gid, "get", repro.Str("e"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("service:      explicit GroupService call read", out2[0].AsString())
+
+	// --- Approach 3: integrated -----------------------------------------
+	proxy, err := domain.Proxy("legacy-client", gid)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out3, err := proxy.Invoke("get", repro.Str("pi"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("integrated:   direct engine proxy read", out3[0].AsString())
+
+	// All three approaches hit the same replicas: crash one and repeat.
+	members, _ := domain.RM.Members(gid)
+	fmt.Printf("\ncrashing %s; every approach keeps working:\n", members[0])
+	domain.CrashNode(members[0])
+
+	if out, err = legacyProxy.Invoke("get", repro.Str("e")); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("  interception ->", out[0].AsString())
+	if out, err = svcClient.Invoke(gid, "get", repro.Str("pi")); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("  service      ->", out[0].AsString())
+	if out, err = proxy.Invoke("get", repro.Str("e")); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("  integrated   ->", out[0].AsString())
+}

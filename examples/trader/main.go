@@ -1,0 +1,184 @@
+// Trader: nested invocations across object groups with *different*
+// replication styles — the paper's central interaction scenario.
+//
+// An actively replicated order desk (every replica executes) books trades
+// by invoking a warm-passive settlement ledger (only the primary executes,
+// pushing state updates to its backups). Each order-desk replica
+// independently issues the nested invocation; the infrastructure's
+// operation identifiers let the ledger execute it exactly once and let the
+// desk replicas suppress each other's duplicate responses.
+//
+// Run with:
+//
+//	go run ./examples/trader
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"repro"
+	"repro/internal/cdr"
+)
+
+const (
+	deskType   = "IDL:example/OrderDesk:1.0"
+	ledgerType = "IDL:example/Ledger:1.0"
+)
+
+// ledger is the warm-passive settlement book.
+type ledger struct {
+	mu     sync.Mutex
+	trades int64
+	volume int64
+}
+
+func (l *ledger) RepoID() string { return ledgerType }
+
+func (l *ledger) Dispatch(inv *repro.Invocation) ([]repro.Value, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	switch inv.Operation {
+	case "settle":
+		qty := int64(inv.Args[0].AsLong())
+		l.trades++
+		l.volume += qty
+		// inv.Det supplies replica-consistent logical time: every replica
+		// of an active caller sees the same timestamp for the same trade.
+		stamp := inv.Det.Now().UnixMicro()
+		return []repro.Value{repro.LongLong(l.trades), repro.LongLong(stamp)}, nil
+	case "stats":
+		return []repro.Value{repro.LongLong(l.trades), repro.LongLong(l.volume)}, nil
+	}
+	return nil, &repro.UserException{Name: "IDL:example/UnknownOperation:1.0"}
+}
+
+func (l *ledger) GetState() ([]byte, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e := cdr.NewEncoder(cdr.BigEndian)
+	e.WriteLongLong(l.trades)
+	e.WriteLongLong(l.volume)
+	out := make([]byte, e.Len())
+	copy(out, e.Bytes())
+	return out, nil
+}
+
+func (l *ledger) SetState(b []byte) error {
+	d := cdr.NewDecoder(b, cdr.BigEndian)
+	trades, err := d.ReadLongLong()
+	if err != nil {
+		return err
+	}
+	volume, err := d.ReadLongLong()
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	l.trades, l.volume = trades, volume
+	l.mu.Unlock()
+	return nil
+}
+
+// newDesk builds the actively replicated order desk: its "buy" operation
+// performs the nested invocation on the ledger group.
+func newDesk(ledgerGID uint64) repro.Servant {
+	return repro.NewMethodServant(deskType).
+		Define("buy", func(inv *repro.Invocation) ([]repro.Value, error) {
+			qty := inv.Args[0]
+			// repro.Nested derives a deterministic operation identifier
+			// from the ordered parent invocation, so every desk replica's
+			// copy of this call is recognized as the same operation.
+			ledgerProxy := repro.Nested(inv, repro.GroupRef{ID: ledgerGID})
+			out, err := ledgerProxy.Invoke("settle", qty)
+			if err != nil {
+				return nil, err
+			}
+			return []repro.Value{out[0], out[1]}, nil
+		})
+}
+
+func main() {
+	domain, err := repro.NewDomain(repro.Options{
+		Nodes: []string{"d1", "d2", "l1", "l2", "l3", "client"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer domain.Stop()
+	if err := domain.WaitReady(10 * time.Second); err != nil {
+		log.Fatal(err)
+	}
+
+	// The warm-passive ledger lives on l1..l3.
+	if err := domain.RegisterFactory(ledgerType,
+		func() repro.Servant { return &ledger{} }, "l1", "l2", "l3"); err != nil {
+		log.Fatal(err)
+	}
+	_, ledgerGID, err := domain.Create("ledger", ledgerType, &repro.Properties{
+		ReplicationStyle:      repro.WarmPassive,
+		InitialNumberReplicas: 3,
+		MembershipStyle:       repro.MembershipApplication,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := domain.WaitGroupReady(ledgerGID, 3, 10*time.Second); err != nil {
+		log.Fatal(err)
+	}
+
+	// The active order desk lives on d1, d2.
+	if err := domain.RegisterFactory(deskType,
+		func() repro.Servant { return newDesk(ledgerGID) }, "d1", "d2"); err != nil {
+		log.Fatal(err)
+	}
+	_, deskGID, err := domain.Create("desk", deskType, &repro.Properties{
+		ReplicationStyle:      repro.Active,
+		InitialNumberReplicas: 2,
+		MembershipStyle:       repro.MembershipApplication,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := domain.WaitGroupReady(deskGID, 2, 10*time.Second); err != nil {
+		log.Fatal(err)
+	}
+
+	client, err := domain.Proxy("client", deskGID)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("placing 10 orders through the active desk -> warm-passive ledger chain")
+	for i := 1; i <= 10; i++ {
+		out, err := client.Invoke("buy", repro.Long(int32(i*100)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  order %2d: trade #%d at logical time %d\n",
+			i, out[0].AsLongLong(), out[1].AsLongLong())
+	}
+
+	// The ledger executed each trade exactly once even though both desk
+	// replicas invoked it.
+	ledgerClient, _ := domain.Proxy("client", ledgerGID)
+	out, err := ledgerClient.Invoke("stats")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nledger: %d trades, total volume %d (duplicates from the 2 desk replicas suppressed)\n",
+		out[0].AsLongLong(), out[1].AsLongLong())
+
+	// Crash the ledger primary; the chain keeps working.
+	members, _ := domain.RM.Members(ledgerGID)
+	fmt.Printf("\ncrashing ledger primary %s ...\n", members[0])
+	domain.CrashNode(members[0])
+	out, err = client.Invoke("buy", repro.Long(9999))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("order after failover: trade #%d — warm-passive backup took over with full state\n",
+		out[0].AsLongLong())
+}

@@ -1,0 +1,336 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cdr"
+	"repro/internal/core"
+	"repro/internal/orb"
+	"repro/internal/replication"
+)
+
+// E1LatencyByStyle measures invocation latency for an echo workload across
+// payload sizes and replication styles, against an unreplicated plain-ORB
+// baseline. Expected shape (paper/literature): replicated invocation costs
+// a small multiple of unreplicated (total ordering dominates); warm passive
+// grows fastest with payload because the primary pushes the postimage to
+// backups on every operation.
+func E1LatencyByStyle(scale Scale) (*Table, error) {
+	t := &Table{
+		ID:      "E1",
+		Title:   "Invocation latency by replication style vs payload size (3 replicas)",
+		Columns: []string{"style", "payload(B)", "mean(us)", "p50(us)", "p99(us)"},
+		Notes: []string{
+			"unreplicated = plain ORB point-to-point IIOP on the same fabric",
+		},
+	}
+	payloads := []int{16, 256, 4096, 65536}
+
+	// Unreplicated baseline.
+	d, err := buildDomain(3, 7000)
+	if err != nil {
+		return nil, err
+	}
+	defer d.Stop()
+	ref := d.Node("n1").ORB.ActivateObject("echo-plain", NewEchoServant())
+	plain := d.Node("client").ORB.Proxy(ref)
+	for _, size := range payloads {
+		arg := cdr.OctetSeq(payloadOf(size))
+		s, err := measure(scale, func() error {
+			_, err := plain.Invoke("echo", arg)
+			return err
+		})
+		if err != nil {
+			return nil, fmt.Errorf("E1 unreplicated %dB: %w", size, err)
+		}
+		t.Rows = append(t.Rows, []string{"unreplicated", fmt.Sprint(size), usStr(s.mean), usStr(s.p50), usStr(s.p99)})
+	}
+
+	for _, style := range []replication.Style{replication.Active, replication.WarmPassive, replication.ColdPassive} {
+		gid, err := createEcho(d, style, 3)
+		if err != nil {
+			return nil, fmt.Errorf("E1 create %v: %w", style, err)
+		}
+		proxy, err := d.Proxy("client", gid)
+		if err != nil {
+			return nil, err
+		}
+		for _, size := range payloads {
+			arg := cdr.OctetSeq(payloadOf(size))
+			s, err := measure(scale, func() error {
+				_, err := proxy.Invoke("echo", arg)
+				return err
+			})
+			if err != nil {
+				return nil, fmt.Errorf("E1 %v %dB: %w", style, size, err)
+			}
+			t.Rows = append(t.Rows, []string{style.String(), fmt.Sprint(size), usStr(s.mean), usStr(s.p50), usStr(s.p99)})
+		}
+	}
+	return t, nil
+}
+
+// E2ReplicationDegree sweeps group size for active and warm passive
+// styles, reporting serial latency and pipelined throughput. Expected
+// shape: latency grows mildly with degree (token circulates a longer
+// ring); active throughput drops faster than warm passive's because every
+// replica executes.
+func E2ReplicationDegree(scale Scale) (*Table, error) {
+	t := &Table{
+		ID:      "E2",
+		Title:   "Latency/throughput vs replication degree (256B echo)",
+		Columns: []string{"style", "replicas", "mean(us)", "p99(us)", "ops/s(8 clients)"},
+	}
+	arg := cdr.OctetSeq(payloadOf(256))
+	for _, style := range []replication.Style{replication.Active, replication.WarmPassive} {
+		for _, replicas := range []int{1, 2, 3, 4} {
+			d, err := buildDomain(4, 0)
+			if err != nil {
+				return nil, err
+			}
+			gid, err := createEcho(d, style, replicas)
+			if err != nil {
+				d.Stop()
+				return nil, err
+			}
+			proxy, err := d.Proxy("client", gid)
+			if err != nil {
+				d.Stop()
+				return nil, err
+			}
+			s, err := measure(scale, func() error {
+				_, err := proxy.Invoke("echo", arg)
+				return err
+			})
+			if err != nil {
+				d.Stop()
+				return nil, fmt.Errorf("E2 %v/%d: %w", style, replicas, err)
+			}
+			thr, err := throughput(d, gid, 8, scale.Invocations)
+			if err != nil {
+				d.Stop()
+				return nil, err
+			}
+			t.Rows = append(t.Rows, []string{
+				style.String(), fmt.Sprint(replicas),
+				usStr(s.mean), usStr(s.p99), fmt.Sprintf("%.0f", thr),
+			})
+			d.Stop()
+		}
+	}
+	return t, nil
+}
+
+// throughput drives the group with `clients` concurrent invokers and
+// returns completed operations per second.
+func throughput(d *core.Domain, gid uint64, clients, perClient int) (float64, error) {
+	arg := cdr.OctetSeq(payloadOf(256))
+	errCh := make(chan error, clients)
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		go func() {
+			proxy, err := d.Proxy("client", gid)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			for i := 0; i < perClient; i++ {
+				if _, err := proxy.Invoke("echo", arg); err != nil {
+					errCh <- err
+					return
+				}
+			}
+			errCh <- nil
+		}()
+	}
+	for c := 0; c < clients; c++ {
+		if err := <-errCh; err != nil {
+			return 0, err
+		}
+	}
+	elapsed := time.Since(start)
+	return float64(clients*perClient) / elapsed.Seconds(), nil
+}
+
+// E3Failover measures the client-observed blackout when a replica (the
+// primary, for passive styles) crashes mid-stream, across fault-detection
+// timescales. Expected shape: active ≈ no blackout (surviving replicas
+// answer immediately); warm passive blackout ≈ detection + view change;
+// cold passive adds log replay on top; everything scales with the
+// heartbeat interval.
+func E3Failover(scale Scale) (*Table, error) {
+	t := &Table{
+		ID:      "E3",
+		Title:   "Failover blackout after primary crash (3 replicas, 16B echo)",
+		Columns: []string{"style", "heartbeat(ms)", "blackout(ms)", "replays"},
+		Notes: []string{
+			"blackout = time from crash until the next successful invocation",
+			"detection and reconfiguration are driven by the group-communication membership protocol",
+		},
+	}
+	for _, style := range []replication.Style{replication.Active, replication.WarmPassive, replication.ColdPassive} {
+		for _, hb := range []time.Duration{2 * time.Millisecond, 5 * time.Millisecond, 10 * time.Millisecond} {
+			blackout, replays, err := failoverTrial(style, hb)
+			if err != nil {
+				return nil, fmt.Errorf("E3 %v hb=%v: %w", style, hb, err)
+			}
+			t.Rows = append(t.Rows, []string{
+				style.String(),
+				fmt.Sprintf("%.0f", float64(hb.Microseconds())/1000),
+				fmt.Sprintf("%.2f", float64(blackout.Microseconds())/1000),
+				fmt.Sprint(replays),
+			})
+		}
+	}
+	return t, nil
+}
+
+func failoverTrial(style replication.Style, hb time.Duration) (time.Duration, uint64, error) {
+	names := []string{"n1", "n2", "n3", "client"}
+	d, err := core.NewDomain(core.Options{
+		Nodes:         names,
+		Net:           netConfig(),
+		Heartbeat:     hb,
+		CallTimeout:   30 * time.Second,
+		RetryInterval: 8 * hb,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	defer d.Stop()
+	if err := d.WaitReady(10 * time.Second); err != nil {
+		return 0, 0, err
+	}
+	if err := d.RegisterFactory(EchoType, func() orb.Servant { return NewEchoServant() }, "n1", "n2", "n3"); err != nil {
+		return 0, 0, err
+	}
+	gid, err := createEcho(d, style, 3)
+	if err != nil {
+		return 0, 0, err
+	}
+	proxy, err := d.Proxy("client", gid)
+	if err != nil {
+		return 0, 0, err
+	}
+	arg := cdr.OctetSeq(payloadOf(16))
+	for i := 0; i < 20; i++ {
+		if _, err := proxy.Invoke("echo", arg); err != nil {
+			return 0, 0, err
+		}
+	}
+
+	members, err := d.RM.Members(gid)
+	if err != nil {
+		return 0, 0, err
+	}
+	victim := members[0] // the primary under passive styles
+	crashAt := time.Now()
+	d.CrashNode(victim)
+
+	// Invoke until the group answers again.
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, err := proxy.Invoke("echo", arg); err == nil {
+			blackout := time.Since(crashAt)
+			var replays uint64
+			for _, n := range names {
+				if node := d.Node(n); node != nil {
+					replays += node.Engine.Stats().Replays
+				}
+			}
+			return blackout, replays, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("group never recovered")
+}
+
+// E4StateTransfer measures how long bringing a new replica up to date
+// takes as a function of state size. Expected shape: linear in state size
+// above a fixed floor (membership change + snapshot ordering).
+func E4StateTransfer(scale Scale) (*Table, error) {
+	t := &Table{
+		ID:      "E4",
+		Title:   "State transfer time to a joining replica vs state size (warm passive)",
+		Columns: []string{"state(KiB)", "transfer(ms)"},
+		Notes: []string{
+			"measured from add_member to the joiner reporting a synchronized view",
+		},
+	}
+	sizes := []int{1 << 10, 16 << 10, 256 << 10, 1 << 20, 4 << 20}
+	for _, size := range sizes {
+		// Fault-detection timescales must dominate the largest single
+		// transfer (as on a real LAN, where a multi-MiB snapshot takes
+		// hundreds of milliseconds): use a 10ms heartbeat here (widened
+		// further under the race detector's ~10x slowdown).
+		hb := 10 * time.Millisecond
+		if raceEnabled {
+			hb = 40 * time.Millisecond
+		}
+		d, err := core.NewDomain(core.Options{
+			Nodes:         []string{"n1", "n2", "n3", "client"},
+			Net:           netConfig(),
+			Heartbeat:     hb,
+			CallTimeout:   30 * time.Second,
+			RetryInterval: 5 * time.Second,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := d.WaitReady(10 * time.Second); err != nil {
+			d.Stop()
+			return nil, err
+		}
+		if err := d.RegisterFactory(EchoType, func() orb.Servant { return NewEchoServant() }, "n1", "n2", "n3"); err != nil {
+			d.Stop()
+			return nil, err
+		}
+		gid, err := createEcho(d, replication.WarmPassive, 2)
+		if err != nil {
+			d.Stop()
+			return nil, err
+		}
+		proxy, err := d.Proxy("client", gid)
+		if err != nil {
+			d.Stop()
+			return nil, err
+		}
+		if _, err := proxy.Invoke("fill", cdr.ULong(uint32(size))); err != nil {
+			d.Stop()
+			return nil, err
+		}
+		// The spare is whichever worker hosts no member yet.
+		members, _ := d.RM.Members(gid)
+		spare := ""
+		for _, n := range []string{"n1", "n2", "n3"} {
+			if !containsName(members, n) {
+				spare = n
+			}
+		}
+		start := time.Now()
+		if _, err := d.RM.AddMember(gid, spare); err != nil {
+			d.Stop()
+			return nil, err
+		}
+		if err := d.WaitGroupReady(gid, 3, 60*time.Second); err != nil {
+			d.Stop()
+			return nil, err
+		}
+		elapsed := time.Since(start)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(size >> 10),
+			fmt.Sprintf("%.2f", float64(elapsed.Microseconds())/1000),
+		})
+		d.Stop()
+	}
+	return t, nil
+}
+
+func containsName(set []string, s string) bool {
+	for _, x := range set {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package bench
+
+// raceEnabled reports whether the race detector is compiled in; timing-
+// sensitive experiments widen their detection timescales under it.
+const raceEnabled = false

@@ -1,0 +1,293 @@
+package cdr
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncoderAlignment(t *testing.T) {
+	tests := []struct {
+		name  string
+		build func(e *Encoder)
+		want  []byte
+	}{
+		{
+			name:  "ushort after octet pads one",
+			build: func(e *Encoder) { e.WriteOctet(0xAA); e.WriteUShort(0x0102) },
+			want:  []byte{0xAA, 0x00, 0x01, 0x02},
+		},
+		{
+			name:  "ulong after octet pads three",
+			build: func(e *Encoder) { e.WriteOctet(0xAA); e.WriteULong(0x01020304) },
+			want:  []byte{0xAA, 0x00, 0x00, 0x00, 0x01, 0x02, 0x03, 0x04},
+		},
+		{
+			name: "ulonglong after ulong pads four",
+			build: func(e *Encoder) {
+				e.WriteULong(1)
+				e.WriteULongLong(2)
+			},
+			want: []byte{0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 2},
+		},
+		{
+			name:  "aligned write adds no padding",
+			build: func(e *Encoder) { e.WriteULong(7); e.WriteULong(8) },
+			want:  []byte{0, 0, 0, 7, 0, 0, 0, 8},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			e := NewEncoder(BigEndian)
+			tt.build(e)
+			if !bytes.Equal(e.Bytes(), tt.want) {
+				t.Errorf("got % x, want % x", e.Bytes(), tt.want)
+			}
+		})
+	}
+}
+
+func TestLittleEndianEncoding(t *testing.T) {
+	e := NewEncoder(LittleEndian)
+	e.WriteULong(0x01020304)
+	want := []byte{0x04, 0x03, 0x02, 0x01}
+	if !bytes.Equal(e.Bytes(), want) {
+		t.Fatalf("got % x, want % x", e.Bytes(), want)
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	for _, s := range []string{"", "a", "hello, world", "héllo ✓", string(make([]byte, 1000))} {
+		for _, order := range []byte{BigEndian, LittleEndian} {
+			e := NewEncoder(order)
+			e.WriteString(s)
+			d := NewDecoder(e.Bytes(), order)
+			got, err := d.ReadString()
+			if err != nil {
+				t.Fatalf("order %d ReadString(%q): %v", order, s, err)
+			}
+			if got != s {
+				t.Errorf("order %d: got %q, want %q", order, got, s)
+			}
+			if d.Remaining() != 0 {
+				t.Errorf("order %d: %d bytes left over", order, d.Remaining())
+			}
+		}
+	}
+}
+
+func TestStringMissingNUL(t *testing.T) {
+	e := NewEncoder(BigEndian)
+	e.WriteULong(3)
+	e.WriteRaw([]byte{'a', 'b', 'c'}) // no NUL
+	d := NewDecoder(e.Bytes(), BigEndian)
+	if _, err := d.ReadString(); err != ErrBadString {
+		t.Fatalf("got err %v, want ErrBadString", err)
+	}
+}
+
+func TestTruncatedReads(t *testing.T) {
+	tests := []struct {
+		name string
+		buf  []byte
+		read func(d *Decoder) error
+	}{
+		{"octet", nil, func(d *Decoder) error { _, err := d.ReadOctet(); return err }},
+		{"ushort", []byte{1}, func(d *Decoder) error { _, err := d.ReadUShort(); return err }},
+		{"ulong", []byte{1, 2, 3}, func(d *Decoder) error { _, err := d.ReadULong(); return err }},
+		{"ulonglong", []byte{1, 2, 3, 4, 5}, func(d *Decoder) error { _, err := d.ReadULongLong(); return err }},
+		{"string length", []byte{0, 0}, func(d *Decoder) error { _, err := d.ReadString(); return err }},
+		{"string body", []byte{0, 0, 0, 9, 'x'}, func(d *Decoder) error { _, err := d.ReadString(); return err }},
+		{"octetseq body", []byte{0, 0, 0, 5, 1, 2}, func(d *Decoder) error { _, err := d.ReadOctetSeq(); return err }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			d := NewDecoder(tt.buf, BigEndian)
+			if err := tt.read(d); err != ErrTruncated {
+				t.Errorf("got err %v, want ErrTruncated", err)
+			}
+		})
+	}
+}
+
+func TestBoolValidation(t *testing.T) {
+	d := NewDecoder([]byte{2}, BigEndian)
+	if _, err := d.ReadBool(); err != ErrBadBool {
+		t.Fatalf("got err %v, want ErrBadBool", err)
+	}
+}
+
+func TestSeqTooLong(t *testing.T) {
+	e := NewEncoder(BigEndian)
+	e.WriteULong(MaxSeqLen + 1)
+	d := NewDecoder(e.Bytes(), BigEndian)
+	if _, err := d.ReadOctetSeq(); err != ErrSeqTooLong {
+		t.Fatalf("got err %v, want ErrSeqTooLong", err)
+	}
+}
+
+// TestPrimitiveRoundTripQuick property-tests that every primitive survives
+// an encode/decode cycle in both byte orders, preceded by a random amount
+// of misalignment.
+func TestPrimitiveRoundTripQuick(t *testing.T) {
+	type sample struct {
+		Pad  uint8 // 0-255 leading octets to perturb alignment
+		B    bool
+		O    byte
+		S    int16
+		US   uint16
+		L    int32
+		UL   uint32
+		LL   int64
+		ULL  uint64
+		F    float32
+		D    float64
+		Str  string
+		Blob []byte
+	}
+	for _, order := range []byte{BigEndian, LittleEndian} {
+		order := order
+		f := func(s sample) bool {
+			e := NewEncoder(order)
+			for i := 0; i < int(s.Pad%8); i++ {
+				e.WriteOctet(0xFF)
+			}
+			e.WriteBool(s.B)
+			e.WriteOctet(s.O)
+			e.WriteShort(s.S)
+			e.WriteUShort(s.US)
+			e.WriteLong(s.L)
+			e.WriteULong(s.UL)
+			e.WriteLongLong(s.LL)
+			e.WriteULongLong(s.ULL)
+			e.WriteFloat(s.F)
+			e.WriteDouble(s.D)
+			e.WriteString(s.Str)
+			e.WriteOctetSeq(s.Blob)
+
+			d := NewDecoder(e.Bytes(), order)
+			for i := 0; i < int(s.Pad%8); i++ {
+				if _, err := d.ReadOctet(); err != nil {
+					return false
+				}
+			}
+			b, err := d.ReadBool()
+			if err != nil || b != s.B {
+				return false
+			}
+			o, err := d.ReadOctet()
+			if err != nil || o != s.O {
+				return false
+			}
+			sh, err := d.ReadShort()
+			if err != nil || sh != s.S {
+				return false
+			}
+			ush, err := d.ReadUShort()
+			if err != nil || ush != s.US {
+				return false
+			}
+			l, err := d.ReadLong()
+			if err != nil || l != s.L {
+				return false
+			}
+			ul, err := d.ReadULong()
+			if err != nil || ul != s.UL {
+				return false
+			}
+			ll, err := d.ReadLongLong()
+			if err != nil || ll != s.LL {
+				return false
+			}
+			ull, err := d.ReadULongLong()
+			if err != nil || ull != s.ULL {
+				return false
+			}
+			fl, err := d.ReadFloat()
+			if err != nil {
+				return false
+			}
+			if fl != s.F && !(math.IsNaN(float64(fl)) && math.IsNaN(float64(s.F))) {
+				return false
+			}
+			db, err := d.ReadDouble()
+			if err != nil {
+				return false
+			}
+			if db != s.D && !(math.IsNaN(db) && math.IsNaN(s.D)) {
+				return false
+			}
+			str, err := d.ReadString()
+			if err != nil || str != s.Str {
+				return false
+			}
+			blob, err := d.ReadOctetSeq()
+			if err != nil || !bytes.Equal(blob, s.Blob) {
+				return false
+			}
+			return d.Remaining() == 0
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("order %d: %v", order, err)
+		}
+	}
+}
+
+func TestEncapsulationRoundTrip(t *testing.T) {
+	for _, order := range []byte{BigEndian, LittleEndian} {
+		enc := EncodeEncapsulation(order, func(e *Encoder) {
+			e.WriteULong(42)
+			e.WriteString("profile")
+		})
+		d, err := DecodeEncapsulation(enc)
+		if err != nil {
+			t.Fatalf("DecodeEncapsulation: %v", err)
+		}
+		n, err := d.ReadULong()
+		if err != nil || n != 42 {
+			t.Fatalf("ReadULong = %d, %v; want 42", n, err)
+		}
+		s, err := d.ReadString()
+		if err != nil || s != "profile" {
+			t.Fatalf("ReadString = %q, %v; want \"profile\"", s, err)
+		}
+	}
+}
+
+func TestEncapsulationErrors(t *testing.T) {
+	if _, err := DecodeEncapsulation(nil); err != ErrTruncated {
+		t.Errorf("empty: got %v, want ErrTruncated", err)
+	}
+	if _, err := DecodeEncapsulation([]byte{9}); err != ErrBadOrder {
+		t.Errorf("bad order: got %v, want ErrBadOrder", err)
+	}
+}
+
+func TestDecoderAlignSkipsPadding(t *testing.T) {
+	// One octet then an aligned ulong: decoder must skip the 3 pad bytes.
+	e := NewEncoder(BigEndian)
+	e.WriteOctet(1)
+	e.WriteULong(0xDEADBEEF)
+	d := NewDecoder(e.Bytes(), BigEndian)
+	if _, err := d.ReadOctet(); err != nil {
+		t.Fatal(err)
+	}
+	v, err := d.ReadULong()
+	if err != nil || v != 0xDEADBEEF {
+		t.Fatalf("got %x, %v", v, err)
+	}
+}
+
+func TestResetReusesBuffer(t *testing.T) {
+	e := NewEncoder(BigEndian)
+	e.WriteULong(1)
+	e.Reset()
+	if e.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", e.Len())
+	}
+	e.WriteOctet(9)
+	if !bytes.Equal(e.Bytes(), []byte{9}) {
+		t.Fatalf("got % x", e.Bytes())
+	}
+}

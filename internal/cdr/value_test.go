@@ -1,0 +1,238 @@
+package cdr
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func allScalarValues() []Value {
+	return []Value{
+		Void(),
+		Bool(true), Bool(false),
+		Octet(0), Octet(255),
+		Short(-32768), Short(32767),
+		UShort(0), UShort(65535),
+		Long(-2147483648), Long(2147483647),
+		ULong(0), ULong(4294967295),
+		LongLong(-9223372036854775808), LongLong(9223372036854775807),
+		ULongLong(0), ULongLong(18446744073709551615),
+		Float(3.5), Float(-0.25),
+		Double(2.718281828), Double(-1e300),
+		Str(""), Str("invocation"),
+		OctetSeq(nil), OctetSeq([]byte{1, 2, 3}),
+	}
+}
+
+func TestValueRoundTrip(t *testing.T) {
+	vals := allScalarValues()
+	vals = append(vals, Seq(Long(1), Str("nested"), Seq(Bool(true))))
+	for _, order := range []byte{BigEndian, LittleEndian} {
+		for _, v := range vals {
+			e := NewEncoder(order)
+			EncodeValue(e, v)
+			d := NewDecoder(e.Bytes(), order)
+			got, err := DecodeValue(d)
+			if err != nil {
+				t.Fatalf("DecodeValue(%v): %v", v, err)
+			}
+			if !got.Equal(v) {
+				t.Errorf("round trip of %v gave %v", v, got)
+			}
+		}
+	}
+}
+
+func TestValuesRoundTrip(t *testing.T) {
+	body := []Value{Str("deposit"), Double(12.5), Long(-3), OctetSeq([]byte{0xCA, 0xFE})}
+	e := NewEncoder(BigEndian)
+	EncodeValues(e, body)
+	d := NewDecoder(e.Bytes(), BigEndian)
+	got, err := DecodeValues(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(body) {
+		t.Fatalf("got %d values, want %d", len(got), len(body))
+	}
+	for i := range body {
+		if !got[i].Equal(body[i]) {
+			t.Errorf("value %d: got %v, want %v", i, got[i], body[i])
+		}
+	}
+}
+
+func TestDecodeValueUnknownKind(t *testing.T) {
+	d := NewDecoder([]byte{0xEE}, BigEndian)
+	if _, err := DecodeValue(d); err == nil {
+		t.Fatal("want error for unknown kind")
+	}
+}
+
+func TestValueAccessors(t *testing.T) {
+	if Short(-7).AsShort() != -7 {
+		t.Error("AsShort")
+	}
+	if Long(-70000).AsLong() != -70000 {
+		t.Error("AsLong")
+	}
+	if LongLong(-1<<40).AsLongLong() != -1<<40 {
+		t.Error("AsLongLong")
+	}
+	if ULong(4000000000).AsULong() != 4000000000 {
+		t.Error("AsULong")
+	}
+	if Float(1.5).AsFloat() != 1.5 {
+		t.Error("AsFloat")
+	}
+	if Str("x").AsString() != "x" {
+		t.Error("AsString")
+	}
+	if Octet(9).AsOctet() != 9 {
+		t.Error("AsOctet")
+	}
+	if UShort(99).AsUShort() != 99 {
+		t.Error("AsUShort")
+	}
+	if Double(0.5).AsDouble() != 0.5 {
+		t.Error("AsDouble")
+	}
+	if ULongLong(12).AsULongLong() != 12 {
+		t.Error("AsULongLong")
+	}
+	if !Bool(true).AsBool() {
+		t.Error("AsBool")
+	}
+	if len(OctetSeq([]byte{1}).AsOctetSeq()) != 1 {
+		t.Error("AsOctetSeq")
+	}
+	if len(Seq(Void()).AsSeq()) != 1 {
+		t.Error("AsSeq")
+	}
+}
+
+func TestValueEqualDifferentKinds(t *testing.T) {
+	if Long(1).Equal(ULong(1)) {
+		t.Error("different kinds must not be equal")
+	}
+	if Seq(Long(1)).Equal(Seq(Long(2))) {
+		t.Error("different nested payloads must not be equal")
+	}
+	if Seq(Long(1)).Equal(Seq(Long(1), Long(2))) {
+		t.Error("different lengths must not be equal")
+	}
+	if OctetSeq([]byte{1}).Equal(OctetSeq([]byte{2})) {
+		t.Error("different bytes must not be equal")
+	}
+	if OctetSeq([]byte{1}).Equal(OctetSeq([]byte{1, 2})) {
+		t.Error("different byte lengths must not be equal")
+	}
+}
+
+func TestValueStringNonEmpty(t *testing.T) {
+	vals := allScalarValues()
+	vals = append(vals, Seq(Long(1)))
+	for _, v := range vals {
+		if v.String() == "" {
+			t.Errorf("empty String() for kind %v", v.Kind)
+		}
+	}
+	if Kind(200).String() == "" {
+		t.Error("unknown kind String() empty")
+	}
+}
+
+// randomValue builds a random Value of bounded depth for property tests.
+func randomValue(r *rand.Rand, depth int) Value {
+	k := r.Intn(14)
+	if depth <= 0 && k == 13 {
+		k = 5
+	}
+	switch k {
+	case 0:
+		return Void()
+	case 1:
+		return Bool(r.Intn(2) == 0)
+	case 2:
+		return Octet(byte(r.Uint32()))
+	case 3:
+		return Short(int16(r.Uint32()))
+	case 4:
+		return UShort(uint16(r.Uint32()))
+	case 5:
+		return Long(int32(r.Uint32()))
+	case 6:
+		return ULong(r.Uint32())
+	case 7:
+		return LongLong(int64(r.Uint64()))
+	case 8:
+		return ULongLong(r.Uint64())
+	case 9:
+		return Float(r.Float32())
+	case 10:
+		return Double(r.Float64())
+	case 11:
+		b := make([]byte, r.Intn(32))
+		r.Read(b)
+		return Str(string(b))
+	case 12:
+		b := make([]byte, r.Intn(64))
+		r.Read(b)
+		return OctetSeq(b)
+	default:
+		n := r.Intn(4)
+		seq := make([]Value, n)
+		for i := range seq {
+			seq[i] = randomValue(r, depth-1)
+		}
+		return Value{Kind: KindSeq, Seq: seq}
+	}
+}
+
+// TestValueRoundTripQuick property-tests EncodeValue/DecodeValue over
+// randomly generated (possibly nested) values.
+func TestValueRoundTripQuick(t *testing.T) {
+	f := func(seed int64, littleOrder bool) bool {
+		r := rand.New(rand.NewSource(seed))
+		order := byte(BigEndian)
+		if littleOrder {
+			order = LittleEndian
+		}
+		v := randomValue(r, 3)
+		e := NewEncoder(order)
+		EncodeValue(e, v)
+		d := NewDecoder(e.Bytes(), order)
+		got, err := DecodeValue(d)
+		return err == nil && got.Equal(v) && d.Remaining() == 0
+	}
+	cfg := &quick.Config{MaxCount: 400}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestValueEqualReflexiveQuick checks Equal is reflexive and agrees with
+// reflect.DeepEqual on freshly decoded copies.
+func TestValueEqualReflexiveQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		v := randomValue(r, 2)
+		if !v.Equal(v) {
+			return false
+		}
+		e := NewEncoder(BigEndian)
+		EncodeValue(e, v)
+		d := NewDecoder(e.Bytes(), BigEndian)
+		got, err := DecodeValue(d)
+		if err != nil {
+			return false
+		}
+		// Decoded copy must be structurally identical apart from nil/empty
+		// slice normalization.
+		return got.Equal(v) && v.Equal(got) || reflect.DeepEqual(got, v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

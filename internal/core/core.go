@@ -1,0 +1,285 @@
+// Package core assembles the full fault-tolerant CORBA stack into an FT
+// domain: a simulated network fabric, one Totem ring endpoint + replication
+// engine (+ optionally an ORB) per node, a fault notifier, and a
+// Replication Manager administering object groups.
+//
+// It is the one-call construction path used by the examples, the demo
+// binaries, and the experiment harness; the root package re-exports its
+// API.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/ftcorba"
+	"repro/internal/ior"
+	"repro/internal/netsim"
+	"repro/internal/orb"
+	"repro/internal/replication"
+	"repro/internal/totem"
+)
+
+// Options configures a Domain.
+type Options struct {
+	// Domain is the FT domain name (default "ft-domain").
+	Domain string
+	// Nodes are the host names to create (default n1..n3).
+	Nodes []string
+	// Net configures the simulated network.
+	Net netsim.Config
+	// Heartbeat is the Totem gossip interval; all protocol timeouts derive
+	// from it (default 5ms — laptop-scale; raise for slow machines).
+	Heartbeat time.Duration
+	// ORBPort, when nonzero, additionally starts a plain ORB per node on
+	// this port (used by the interception and service approaches).
+	ORBPort uint16
+	// CallTimeout bounds replicated invocations (default 10s).
+	CallTimeout time.Duration
+	// RetryInterval is the invocation retransmission period (default 1s).
+	RetryInterval time.Duration
+}
+
+func (o *Options) fill() {
+	if o.Domain == "" {
+		o.Domain = "ft-domain"
+	}
+	if len(o.Nodes) == 0 {
+		o.Nodes = []string{"n1", "n2", "n3"}
+	}
+	if o.Heartbeat <= 0 {
+		o.Heartbeat = 5 * time.Millisecond
+	}
+	if o.CallTimeout <= 0 {
+		o.CallTimeout = 10 * time.Second
+	}
+	if o.RetryInterval <= 0 {
+		o.RetryInterval = time.Second
+	}
+}
+
+// Node bundles one host's protocol endpoints.
+type Node struct {
+	Name   string
+	Ring   *totem.Ring
+	Engine *replication.Engine
+	ORB    *orb.ORB // nil unless Options.ORBPort was set
+}
+
+// Domain is a running FT domain.
+type Domain struct {
+	opts     Options
+	Fabric   *netsim.Fabric
+	Notifier *fault.Notifier
+	RM       *ftcorba.ReplicationManager
+	nodes    map[string]*Node
+	order    []string
+	stopped  bool
+}
+
+// NewDomain builds and starts a domain.
+func NewDomain(opts Options) (*Domain, error) {
+	opts.fill()
+	d := &Domain{
+		opts:     opts,
+		Fabric:   netsim.NewFabric(opts.Net),
+		Notifier: &fault.Notifier{},
+		RM:       ftcorba.NewReplicationManager(opts.Domain),
+		nodes:    make(map[string]*Node),
+		order:    append([]string(nil), opts.Nodes...),
+	}
+	for _, n := range opts.Nodes {
+		d.Fabric.AddNode(n)
+	}
+	for _, name := range opts.Nodes {
+		node, err := d.startNode(name)
+		if err != nil {
+			d.Stop()
+			return nil, err
+		}
+		d.nodes[name] = node
+	}
+	d.RM.ConsumeFaults(d.Notifier)
+	return d, nil
+}
+
+func (d *Domain) startNode(name string) (*Node, error) {
+	ring, err := totem.NewRing(d.Fabric, totem.Config{
+		Node:              name,
+		Universe:          d.opts.Nodes,
+		Port:              4000,
+		HeartbeatInterval: d.opts.Heartbeat,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: ring on %s: %w", name, err)
+	}
+	ring.Start()
+	engine, err := replication.NewEngine(replication.Config{
+		Node:          name,
+		Ring:          ring,
+		Notifier:      d.Notifier,
+		CallTimeout:   d.opts.CallTimeout,
+		RetryInterval: d.opts.RetryInterval,
+	})
+	if err != nil {
+		ring.Stop()
+		return nil, fmt.Errorf("core: engine on %s: %w", name, err)
+	}
+	engine.Start()
+	node := &Node{Name: name, Ring: ring, Engine: engine}
+	if d.opts.ORBPort != 0 {
+		node.ORB, err = orb.New(orb.Config{
+			Node:     name,
+			Fabric:   d.Fabric,
+			Port:     d.opts.ORBPort,
+			FTDomain: d.opts.Domain,
+		})
+		if err != nil {
+			engine.Stop()
+			ring.Stop()
+			return nil, fmt.Errorf("core: orb on %s: %w", name, err)
+		}
+	}
+	d.RM.RegisterNode(name, engine, d.opts.ORBPort)
+	return node, nil
+}
+
+// Node returns the named node (nil if unknown or crashed-and-removed).
+func (d *Domain) Node(name string) *Node { return d.nodes[name] }
+
+// Nodes lists node names in creation order.
+func (d *Domain) Nodes() []string { return append([]string(nil), d.order...) }
+
+// Stop shuts the whole domain down.
+func (d *Domain) Stop() {
+	if d.stopped {
+		return
+	}
+	d.stopped = true
+	d.RM.Stop()
+	for _, n := range d.nodes {
+		if n.ORB != nil {
+			n.ORB.Shutdown()
+		}
+		n.Engine.Stop()
+		n.Ring.Stop()
+	}
+}
+
+// CrashNode fail-stops a node: network isolation plus local stack
+// shutdown. The node cannot be restarted (create a fresh domain member via
+// the Replication Manager's recovery instead).
+func (d *Domain) CrashNode(name string) {
+	n, ok := d.nodes[name]
+	if !ok {
+		return
+	}
+	d.Fabric.CrashNode(name)
+	if n.ORB != nil {
+		n.ORB.Shutdown()
+	}
+	n.Engine.Stop()
+	n.Ring.Stop()
+	delete(d.nodes, name)
+}
+
+// Partition splits the network (see netsim.Fabric.Partition).
+func (d *Domain) Partition(groups ...[]string) { d.Fabric.Partition(groups...) }
+
+// Heal removes all partitions.
+func (d *Domain) Heal() { d.Fabric.Heal() }
+
+// RegisterFactory installs a servant factory for a type on the given nodes
+// (all nodes when none specified).
+func (d *Domain) RegisterFactory(typeID string, f ftcorba.Factory, on ...string) error {
+	if len(on) == 0 {
+		on = d.order
+	}
+	for _, node := range on {
+		if err := d.RM.RegisterFactory(node, typeID, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Create creates a replicated object group via the Replication Manager.
+func (d *Domain) Create(name, typeID string, props *ftcorba.Properties) (*ior.Ref, uint64, error) {
+	return d.RM.CreateObjectGroup(name, typeID, props)
+}
+
+// ErrUnknownClientNode is returned by Proxy for an unregistered node.
+var ErrUnknownClientNode = errors.New("core: unknown client node")
+
+// Proxy builds a group proxy issuing invocations from the given node.
+func (d *Domain) Proxy(fromNode string, gid uint64, opts ...replication.ProxyOption) (*replication.Proxy, error) {
+	n, ok := d.nodes[fromNode]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownClientNode, fromNode)
+	}
+	return n.Engine.Proxy(replication.GroupRef{ID: gid}, opts...), nil
+}
+
+// WaitReady blocks until every node agrees on one ring containing all live
+// nodes, or the timeout elapses.
+func (d *Domain) WaitReady(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if d.ringsAgree() {
+			return nil
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return errors.New("core: domain did not stabilize")
+}
+
+func (d *Domain) ringsAgree() bool {
+	var ref totem.RingID
+	first := true
+	for _, n := range d.nodes {
+		id, members := n.Ring.CurrentRing()
+		if id.IsZero() || len(members) != len(d.nodes) {
+			return false
+		}
+		if first {
+			ref = id
+			first = false
+		} else if id != ref {
+			return false
+		}
+	}
+	return true
+}
+
+// WaitGroupReady blocks until every hosting member of the group reports a
+// synchronized view with the expected member count.
+func (d *Domain) WaitGroupReady(gid uint64, replicas int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if d.groupReady(gid, replicas) {
+			return nil
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return fmt.Errorf("core: group %d did not reach %d ready replicas", gid, replicas)
+}
+
+func (d *Domain) groupReady(gid uint64, replicas int) bool {
+	members, err := d.RM.Members(gid)
+	if err != nil || len(members) != replicas {
+		return false
+	}
+	for _, m := range members {
+		n, ok := d.nodes[m]
+		if !ok {
+			return false
+		}
+		st, hosted := n.Engine.GroupStatus(gid)
+		if !hosted || st.Syncing || len(st.Members) != replicas {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,322 @@
+// Package fault implements FT-CORBA-style fault management: fault
+// detectors that monitor targets, and a fault notifier that fans fault
+// reports out to interested consumers (chiefly the replication manager).
+//
+// The standard defines two monitoring styles, both provided here:
+//
+//   - PULL: the detector periodically invokes an is_alive probe on the
+//     target and declares a fault after Retries consecutive misses, so the
+//     detection time is roughly Interval*Retries + Timeout — the quantity
+//     experiment E3 sweeps;
+//   - PUSH: the target sends heartbeats and the detector declares a fault
+//     when none arrives within the window.
+//
+// Detectors are arranged per-host with the notifier global, mirroring the
+// hierarchical detector deployment of the FT-CORBA standard.
+package fault
+
+import (
+	"sync"
+	"time"
+)
+
+// Kind classifies a fault report.
+type Kind uint8
+
+// Fault kinds.
+const (
+	ObjectCrash Kind = iota + 1
+	ProcessCrash
+	NodeCrash
+)
+
+var kindNames = map[Kind]string{
+	ObjectCrash:  "object-crash",
+	ProcessCrash: "process-crash",
+	NodeCrash:    "node-crash",
+}
+
+// String names the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return "unknown"
+}
+
+// Report is one fault notification, identifying the failed entity in the
+// object→process→node hierarchy.
+type Report struct {
+	Kind Kind
+	// Node is the host of the failed entity.
+	Node string
+	// GroupID identifies the object group of a failed member (object
+	// faults only).
+	GroupID uint64
+	// Member identifies the failed member/target within its scope.
+	Member string
+	// Detected is when the detector declared the fault.
+	Detected time.Time
+}
+
+// Notifier fans fault reports out to subscribers. The zero value is ready
+// to use.
+type Notifier struct {
+	mu   sync.Mutex
+	subs map[int]*subscription
+	next int
+}
+
+type subscription struct {
+	filter func(Report) bool
+	ch     chan Report
+}
+
+// Subscribe registers a consumer. Reports matching filter (nil = all) are
+// delivered on the returned channel; cancel unsubscribes and closes it.
+// Delivery never blocks the notifier: a subscriber that falls more than
+// 1024 reports behind loses the oldest ones.
+func (n *Notifier) Subscribe(filter func(Report) bool) (<-chan Report, func()) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.subs == nil {
+		n.subs = make(map[int]*subscription)
+	}
+	id := n.next
+	n.next++
+	sub := &subscription{filter: filter, ch: make(chan Report, 1024)}
+	n.subs[id] = sub
+	cancel := func() {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		if s, ok := n.subs[id]; ok {
+			delete(n.subs, id)
+			close(s.ch)
+		}
+	}
+	return sub.ch, cancel
+}
+
+// Push publishes a fault report to all matching subscribers.
+func (n *Notifier) Push(r Report) {
+	if r.Detected.IsZero() {
+		r.Detected = time.Now()
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, s := range n.subs {
+		if s.filter != nil && !s.filter(r) {
+			continue
+		}
+		select {
+		case s.ch <- r:
+		default:
+			// Drop the oldest to make room; a fault consumer that is this
+			// far behind is itself suspect.
+			select {
+			case <-s.ch:
+			default:
+			}
+			select {
+			case s.ch <- r:
+			default:
+			}
+		}
+	}
+}
+
+// Config parameterizes a detector.
+type Config struct {
+	// Interval between probes (PULL) or expected heartbeats (PUSH).
+	Interval time.Duration
+	// Timeout for one probe to answer.
+	Timeout time.Duration
+	// Retries is how many consecutive failed probes (or missed heartbeat
+	// windows) are tolerated before a fault is declared.
+	Retries int
+}
+
+func (c *Config) fill() {
+	if c.Interval <= 0 {
+		c.Interval = 10 * time.Millisecond
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = c.Interval
+	}
+	if c.Retries <= 0 {
+		c.Retries = 2
+	}
+}
+
+// Target is one monitored entity.
+type Target struct {
+	// Report template: Kind/Node/GroupID/Member copied into fault reports.
+	Report Report
+	// Probe implements PULL monitoring: return nil if alive. A nil Probe
+	// makes the target PUSH-monitored (liveness asserted via Heartbeat).
+	Probe func() error
+}
+
+// Detector monitors a set of targets and pushes faults to a Notifier.
+type Detector struct {
+	cfg      Config
+	notifier *Notifier
+
+	mu      sync.Mutex
+	targets map[string]*targetState
+	stopped bool
+	wg      sync.WaitGroup
+	stopCh  chan struct{}
+}
+
+type targetState struct {
+	target    Target
+	misses    int
+	lastBeat  time.Time
+	announced bool
+	stop      chan struct{}
+}
+
+// NewDetector creates a detector pushing reports into notifier.
+func NewDetector(cfg Config, notifier *Notifier) *Detector {
+	cfg.fill()
+	return &Detector{
+		cfg:      cfg,
+		notifier: notifier,
+		targets:  make(map[string]*targetState),
+		stopCh:   make(chan struct{}),
+	}
+}
+
+// Watch starts monitoring a target under the given id; watching an existing
+// id replaces the previous target.
+func (d *Detector) Watch(id string, t Target) {
+	d.mu.Lock()
+	if d.stopped {
+		d.mu.Unlock()
+		return
+	}
+	if old, ok := d.targets[id]; ok {
+		close(old.stop)
+	}
+	st := &targetState{target: t, lastBeat: time.Now(), stop: make(chan struct{})}
+	d.targets[id] = st
+	d.mu.Unlock()
+
+	d.wg.Add(1)
+	go d.monitor(id, st)
+}
+
+// Unwatch stops monitoring the id.
+func (d *Detector) Unwatch(id string) {
+	d.mu.Lock()
+	if st, ok := d.targets[id]; ok {
+		close(st.stop)
+		delete(d.targets, id)
+	}
+	d.mu.Unlock()
+}
+
+// Heartbeat records a PUSH-style liveness assertion for the id.
+func (d *Detector) Heartbeat(id string) {
+	d.mu.Lock()
+	if st, ok := d.targets[id]; ok {
+		st.lastBeat = time.Now()
+		st.misses = 0
+		st.announced = false
+	}
+	d.mu.Unlock()
+}
+
+// Stop terminates all monitoring.
+func (d *Detector) Stop() {
+	d.mu.Lock()
+	if d.stopped {
+		d.mu.Unlock()
+		return
+	}
+	d.stopped = true
+	for id, st := range d.targets {
+		close(st.stop)
+		delete(d.targets, id)
+	}
+	d.mu.Unlock()
+	close(d.stopCh)
+	d.wg.Wait()
+}
+
+func (d *Detector) monitor(id string, st *targetState) {
+	defer d.wg.Done()
+	ticker := time.NewTicker(d.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-st.stop:
+			return
+		case <-d.stopCh:
+			return
+		case <-ticker.C:
+		}
+		if st.target.Probe != nil {
+			d.pullProbe(id, st)
+		} else {
+			d.pushCheck(id, st)
+		}
+	}
+}
+
+// pullProbe runs one is_alive probe with a timeout.
+func (d *Detector) pullProbe(id string, st *targetState) {
+	done := make(chan error, 1)
+	go func() { done <- st.target.Probe() }()
+	var err error
+	timer := time.NewTimer(d.cfg.Timeout)
+	defer timer.Stop()
+	select {
+	case err = <-done:
+	case <-timer.C:
+		err = errProbeTimeout
+	case <-st.stop:
+		return
+	case <-d.stopCh:
+		return
+	}
+
+	d.mu.Lock()
+	if err == nil {
+		st.misses = 0
+		st.announced = false
+		d.mu.Unlock()
+		return
+	}
+	st.misses++
+	declare := st.misses >= d.cfg.Retries && !st.announced
+	if declare {
+		st.announced = true
+	}
+	d.mu.Unlock()
+	if declare {
+		d.notifier.Push(st.target.Report)
+	}
+}
+
+// pushCheck verifies a heartbeat arrived within the window.
+func (d *Detector) pushCheck(id string, st *targetState) {
+	d.mu.Lock()
+	window := time.Duration(d.cfg.Retries) * d.cfg.Interval
+	late := time.Since(st.lastBeat) > window
+	declare := late && !st.announced
+	if declare {
+		st.announced = true
+	}
+	d.mu.Unlock()
+	if declare {
+		d.notifier.Push(st.target.Report)
+	}
+}
+
+type probeTimeoutError struct{}
+
+func (probeTimeoutError) Error() string { return "fault: probe timeout" }
+
+var errProbeTimeout = probeTimeoutError{}

@@ -1,0 +1,301 @@
+package ftcorba_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cdr"
+	"repro/internal/core"
+	"repro/internal/ftcorba"
+	"repro/internal/orb"
+	"repro/internal/replication"
+)
+
+// tally is a minimal checkpointable servant counting invocations.
+type tally struct {
+	mu sync.Mutex
+	n  int64
+}
+
+func (t *tally) RepoID() string { return "IDL:repro/Tally:1.0" }
+
+func (t *tally) Dispatch(inv *orb.Invocation) ([]cdr.Value, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	switch inv.Operation {
+	case "bump":
+		t.n++
+		return []cdr.Value{cdr.LongLong(t.n)}, nil
+	case "get":
+		return []cdr.Value{cdr.LongLong(t.n)}, nil
+	}
+	return nil, &orb.UserException{Name: "IDL:repro/BadOp:1.0"}
+}
+
+func (t *tally) GetState() ([]byte, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e := cdr.NewEncoder(cdr.BigEndian)
+	e.WriteLongLong(t.n)
+	out := make([]byte, e.Len())
+	copy(out, e.Bytes())
+	return out, nil
+}
+
+func (t *tally) SetState(b []byte) error {
+	d := cdr.NewDecoder(b, cdr.BigEndian)
+	n, err := d.ReadLongLong()
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	t.n = n
+	t.mu.Unlock()
+	return nil
+}
+
+const tallyType = "IDL:repro/Tally:1.0"
+
+func newDomain(t *testing.T, nodes ...string) *core.Domain {
+	t.Helper()
+	d, err := core.NewDomain(core.Options{
+		Nodes:     nodes,
+		Heartbeat: 4 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Stop)
+	if err := d.WaitReady(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RegisterFactory(tallyType, func() orb.Servant { return &tally{} }); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestCreateObjectGroup(t *testing.T) {
+	d := newDomain(t, "n1", "n2", "n3", "n4")
+	ref, gid, err := d.Create("tally", tallyType, &ftcorba.Properties{
+		ReplicationStyle:      replication.Active,
+		InitialNumberReplicas: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WaitGroupReady(gid, 3, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !ref.IsGroup() || len(ref.Profiles) != 3 {
+		t.Fatalf("IOGR = %+v", ref)
+	}
+	g, err := ref.FTGroup()
+	if err != nil || g.GroupID != gid || g.Version != 1 || g.FTDomainID != "ft-domain" {
+		t.Fatalf("FTGroup = %+v, %v", g, err)
+	}
+
+	proxy, err := d.Proxy("n4", gid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := proxy.Invoke("bump")
+	if err != nil || out[0].AsLongLong() != 1 {
+		t.Fatalf("bump via RM-created group: %v %v", out, err)
+	}
+}
+
+func TestPropertiesDefaultsAndTypeOverrides(t *testing.T) {
+	d := newDomain(t, "n1", "n2", "n3")
+	d.RM.SetTypeProperties(tallyType, ftcorba.Properties{
+		ReplicationStyle:      replication.WarmPassive,
+		InitialNumberReplicas: 2,
+	})
+	_, gid, err := d.Create("typed", tallyType, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := d.RM.PropertiesOf(gid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ReplicationStyle != replication.WarmPassive || p.InitialNumberReplicas != 2 {
+		t.Errorf("props = %+v", p)
+	}
+	if p.MinimumNumberReplicas != 2 || p.CheckpointInterval != 16 {
+		t.Errorf("defaults not filled: %+v", p)
+	}
+	if _, err := d.RM.PropertiesOf(999); !errors.Is(err, ftcorba.ErrUnknownGroup) {
+		t.Errorf("unknown group: %v", err)
+	}
+}
+
+func TestAddRemoveMember(t *testing.T) {
+	d := newDomain(t, "n1", "n2", "n3")
+	_, gid, err := d.Create("grow", tallyType, &ftcorba.Properties{InitialNumberReplicas: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WaitGroupReady(gid, 2, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	proxy, _ := d.Proxy("n3", gid)
+	for i := 0; i < 3; i++ {
+		if _, err := proxy.Invoke("bump"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	members, _ := d.RM.Members(gid)
+	spare := ""
+	for _, n := range []string{"n1", "n2", "n3"} {
+		found := false
+		for _, m := range members {
+			if m == n {
+				found = true
+			}
+		}
+		if !found {
+			spare = n
+		}
+	}
+	ref, err := d.RM.AddMember(gid, spare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.Profiles) != 3 {
+		t.Fatalf("IOGR after add has %d profiles", len(ref.Profiles))
+	}
+	if v, _ := d.RM.Version(gid); v != 2 {
+		t.Errorf("version = %d, want 2", v)
+	}
+	if err := d.WaitGroupReady(gid, 3, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// New member must answer with transferred state.
+	out, err := proxy.Invoke("get")
+	if err != nil || out[0].AsLongLong() != 3 {
+		t.Fatalf("get after add: %v %v", out, err)
+	}
+
+	if _, err := d.RM.AddMember(gid, spare); !errors.Is(err, ftcorba.ErrMemberExists) {
+		t.Errorf("duplicate add: %v", err)
+	}
+	if _, err := d.RM.RemoveMember(gid, spare); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := d.RM.Version(gid); v != 3 {
+		t.Errorf("version after remove = %d", v)
+	}
+	if _, err := d.RM.RemoveMember(gid, spare); !errors.Is(err, ftcorba.ErrNoSuchMember) {
+		t.Errorf("double remove: %v", err)
+	}
+}
+
+func TestAutomaticRecovery(t *testing.T) {
+	d := newDomain(t, "n1", "n2", "n3", "n4")
+	_, gid, err := d.Create("heal", tallyType, &ftcorba.Properties{
+		ReplicationStyle:      replication.Active,
+		InitialNumberReplicas: 2,
+		MinimumNumberReplicas: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WaitGroupReady(gid, 2, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	members, _ := d.RM.Members(gid)
+	clientNode := ""
+	for _, n := range []string{"n1", "n2", "n3", "n4"} {
+		hosted := false
+		for _, m := range members {
+			if m == n {
+				hosted = true
+			}
+		}
+		if !hosted {
+			clientNode = n
+			break
+		}
+	}
+	proxy, _ := d.Proxy(clientNode, gid)
+	if _, err := proxy.Invoke("bump"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill one member; the manager must recruit a spare automatically.
+	victim := members[0]
+	d.CrashNode(victim)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		cur, _ := d.RM.Members(gid)
+		if len(cur) >= 2 && !containsStr(cur, victim) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no automatic recovery: members=%v", cur)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// State must have survived into the recruited replica.
+	out, err := proxy.Invoke("get")
+	if err != nil || out[0].AsLongLong() != 1 {
+		t.Fatalf("post-recovery state: %v %v", out, err)
+	}
+	if v, _ := d.RM.Version(gid); v < 3 {
+		t.Errorf("IOGR version after crash+recovery = %d, want >= 3", v)
+	}
+}
+
+func TestCreateErrors(t *testing.T) {
+	d := newDomain(t, "n1", "n2")
+	if _, _, err := d.Create("big", tallyType, &ftcorba.Properties{InitialNumberReplicas: 5}); !errors.Is(err, ftcorba.ErrNotEnoughNodes) {
+		t.Errorf("too many replicas: %v", err)
+	}
+	if _, _, err := d.Create("x", "IDL:none:1.0", nil); !errors.Is(err, ftcorba.ErrNotEnoughNodes) {
+		t.Errorf("no factory: %v", err)
+	}
+	if err := d.RM.RegisterFactory("ghost", tallyType, func() orb.Servant { return &tally{} }); !errors.Is(err, ftcorba.ErrUnknownNode) {
+		t.Errorf("unknown node: %v", err)
+	}
+	if _, err := d.RM.AddMember(42, "n1"); !errors.Is(err, ftcorba.ErrUnknownGroup) {
+		t.Errorf("unknown group: %v", err)
+	}
+	if _, err := d.RM.Members(42); !errors.Is(err, ftcorba.ErrUnknownGroup) {
+		t.Errorf("unknown group members: %v", err)
+	}
+	if _, err := d.RM.Version(42); !errors.Is(err, ftcorba.ErrUnknownGroup) {
+		t.Errorf("unknown group version: %v", err)
+	}
+}
+
+func TestGroupIDs(t *testing.T) {
+	d := newDomain(t, "n1", "n2")
+	_, g1, err := d.Create("a", tallyType, &ftcorba.Properties{InitialNumberReplicas: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, g2, err := d.Create("b", tallyType, &ftcorba.Properties{InitialNumberReplicas: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := d.RM.GroupIDs()
+	if len(ids) != 2 || ids[0] != g1 || ids[1] != g2 {
+		t.Errorf("GroupIDs = %v", ids)
+	}
+	if d.RM.Domain() != "ft-domain" {
+		t.Errorf("Domain = %q", d.RM.Domain())
+	}
+}
+
+func containsStr(set []string, s string) bool {
+	for _, x := range set {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

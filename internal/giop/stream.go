@@ -1,0 +1,134 @@
+package giop
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/cdr"
+)
+
+// Writer emits GIOP messages on a byte stream, fragmenting bodies larger
+// than MaxFrame into an initial message plus Fragment messages, as GIOP 1.2
+// allows. Writer is not safe for concurrent use; connections serialize
+// writes above this layer.
+type Writer struct {
+	w        io.Writer
+	MaxFrame int // largest frame body emitted; 0 means DefaultMaxFrame
+}
+
+// NewWriter returns a Writer emitting to w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+func (w *Writer) maxFrame() int {
+	if w.MaxFrame <= 0 {
+		return DefaultMaxFrame
+	}
+	return w.MaxFrame
+}
+
+// WriteMessage encodes and writes m, fragmenting if necessary.
+func (w *Writer) WriteMessage(m Message) error {
+	frame := Marshal(m)
+	limit := w.maxFrame() + HeaderLen
+	if len(frame) <= limit {
+		_, err := w.w.Write(frame)
+		return err
+	}
+
+	// Fragment: first frame carries the header with the more-fragments flag
+	// and the leading body chunk; subsequent frames are Fragment messages.
+	// GIOP 1.2 fragments carry the request id first so receivers can
+	// interleave; we keep the simpler whole-stream reassembly since our
+	// connections never interleave fragmented messages.
+	first := frame[:limit]
+	hdr := make([]byte, HeaderLen)
+	copy(hdr, first[:HeaderLen])
+	hdr[6] |= flagMoreFrags
+	body := first[HeaderLen:]
+	out := append(hdr, body...)
+	patchSize(out)
+	if _, err := w.w.Write(out); err != nil {
+		return err
+	}
+
+	rest := frame[limit:]
+	for len(rest) > 0 {
+		n := len(rest)
+		more := false
+		if n > w.maxFrame() {
+			n = w.maxFrame()
+			more = true
+		}
+		e := cdr.NewEncoder(cdr.BigEndian)
+		writeHeader(e, MsgFragment, 0, more)
+		e.WriteRaw(rest[:n])
+		frag := e.Bytes()
+		patchSize(frag)
+		if _, err := w.w.Write(frag); err != nil {
+			return err
+		}
+		rest = rest[n:]
+	}
+	return nil
+}
+
+// Reader decodes GIOP messages from a byte stream, reassembling fragments.
+type Reader struct {
+	r   io.Reader
+	hdr [HeaderLen]byte
+}
+
+// NewReader returns a Reader consuming from r.
+func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+
+// ReadMessage reads the next complete message, transparently stitching
+// Fragment continuations onto their initial frame.
+func (r *Reader) ReadMessage() (Message, error) {
+	frame, more, err := r.readFrame()
+	if err != nil {
+		return nil, err
+	}
+	if MsgType(frame[7]) == MsgFragment {
+		return nil, ErrOrphanFrag
+	}
+	for more {
+		frag, m, err := r.readFrame()
+		if err != nil {
+			return nil, err
+		}
+		if MsgType(frag[7]) != MsgFragment {
+			return nil, fmt.Errorf("giop: expected Fragment, got %v", MsgType(frag[7]))
+		}
+		frame = append(frame, frag[HeaderLen:]...)
+		more = m
+	}
+	frame[6] &^= flagMoreFrags
+	patchSize(frame)
+	return Unmarshal(frame)
+}
+
+func (r *Reader) readFrame() (frame []byte, moreFrags bool, err error) {
+	if _, err := io.ReadFull(r.r, r.hdr[:]); err != nil {
+		return nil, false, err
+	}
+	if string(r.hdr[0:4]) != "GIOP" {
+		return nil, false, ErrBadMagic
+	}
+	if r.hdr[4] != 1 {
+		return nil, false, ErrBadVersion
+	}
+	little := r.hdr[6]&flagLittleEndian != 0
+	size := uint32(r.hdr[8])<<24 | uint32(r.hdr[9])<<16 | uint32(r.hdr[10])<<8 | uint32(r.hdr[11])
+	if little {
+		size = uint32(r.hdr[11])<<24 | uint32(r.hdr[10])<<16 | uint32(r.hdr[9])<<8 | uint32(r.hdr[8])
+	}
+	if size > MaxMessageSize {
+		return nil, false, ErrTooLarge
+	}
+	frame = make([]byte, HeaderLen+int(size))
+	copy(frame, r.hdr[:])
+	if _, err := io.ReadFull(r.r, frame[HeaderLen:]); err != nil {
+		return nil, false, err
+	}
+	return frame, r.hdr[6]&flagMoreFrags != 0, nil
+}

@@ -1,0 +1,122 @@
+package idl
+
+import "fmt"
+
+// TypeKind enumerates the supported IDL types.
+type TypeKind uint8
+
+// Supported type kinds.
+const (
+	TVoid TypeKind = iota + 1
+	TBoolean
+	TOctet
+	TShort
+	TUShort
+	TLong
+	TULong
+	TLongLong
+	TULongLong
+	TFloat
+	TDouble
+	TString
+	TSequence
+)
+
+// Type is an IDL type; Elem is set for sequences.
+type Type struct {
+	Kind TypeKind
+	Elem *Type
+}
+
+// IsVoid reports whether the type is void.
+func (t Type) IsVoid() bool { return t.Kind == TVoid }
+
+// String renders the IDL spelling.
+func (t Type) String() string {
+	switch t.Kind {
+	case TVoid:
+		return "void"
+	case TBoolean:
+		return "boolean"
+	case TOctet:
+		return "octet"
+	case TShort:
+		return "short"
+	case TUShort:
+		return "unsigned short"
+	case TLong:
+		return "long"
+	case TULong:
+		return "unsigned long"
+	case TLongLong:
+		return "long long"
+	case TULongLong:
+		return "unsigned long long"
+	case TFloat:
+		return "float"
+	case TDouble:
+		return "double"
+	case TString:
+		return "string"
+	case TSequence:
+		return fmt.Sprintf("sequence<%s>", t.Elem)
+	default:
+		return fmt.Sprintf("type(%d)", t.Kind)
+	}
+}
+
+// Member is a named, typed field (exception members, parameters).
+type Member struct {
+	Name string
+	Type Type
+}
+
+// Exception is an IDL exception declaration.
+type Exception struct {
+	Name    string
+	Members []Member
+}
+
+// Operation is one interface operation.
+type Operation struct {
+	Name   string
+	Oneway bool
+	Result Type
+	Params []Member
+	Raises []string // exception names (resolved within the module)
+}
+
+// Attribute is a readonly attribute (mapped to a `_get_<name>` operation).
+type Attribute struct {
+	Name string
+	Type Type
+}
+
+// Interface is an IDL interface declaration.
+type Interface struct {
+	Name       string
+	Operations []Operation
+	Attributes []Attribute
+}
+
+// RepoID returns the interface repository id within module mod.
+func (i *Interface) RepoID(mod string) string {
+	return fmt.Sprintf("IDL:%s/%s:1.0", mod, i.Name)
+}
+
+// Module is one parsed IDL module.
+type Module struct {
+	Name       string
+	Exceptions []Exception
+	Interfaces []Interface
+}
+
+// exception looks an exception up by name.
+func (m *Module) exception(name string) (*Exception, bool) {
+	for i := range m.Exceptions {
+		if m.Exceptions[i].Name == name {
+			return &m.Exceptions[i], true
+		}
+	}
+	return nil, false
+}

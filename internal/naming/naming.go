@@ -1,0 +1,272 @@
+// Package naming implements a CosNaming-style naming service for the FT
+// domain — and hosts it the way the paper's systems did: the naming
+// service is itself a replicated object group, made fault-tolerant by the
+// same infrastructure it helps clients bootstrap into.
+//
+// Names are hierarchical ("ctx/sub/obj"); bindings map a name to a
+// stringified object (group) reference. The servant is deterministic and
+// checkpointable, so it can run under any replication style.
+package naming
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/cdr"
+	"repro/internal/core"
+	"repro/internal/ftcorba"
+	"repro/internal/ior"
+	"repro/internal/orb"
+	"repro/internal/replication"
+)
+
+// TypeID is the naming service's repository id.
+const TypeID = "IDL:repro/NamingContext:1.0"
+
+// Exception names raised by the service.
+const (
+	ExcNotFound     = "IDL:repro/CosNaming/NotFound:1.0"
+	ExcAlreadyBound = "IDL:repro/CosNaming/AlreadyBound:1.0"
+	ExcInvalidName  = "IDL:repro/CosNaming/InvalidName:1.0"
+)
+
+// Servant is the naming-context implementation.
+type Servant struct {
+	mu       sync.Mutex
+	bindings map[string]string // name -> stringified ref
+}
+
+// NewServant creates an empty naming context.
+func NewServant() *Servant {
+	return &Servant{bindings: make(map[string]string)}
+}
+
+// RepoID returns the repository id.
+func (s *Servant) RepoID() string { return TypeID }
+
+func validName(n string) bool {
+	if n == "" || strings.HasPrefix(n, "/") || strings.HasSuffix(n, "/") {
+		return false
+	}
+	for _, seg := range strings.Split(n, "/") {
+		if seg == "" {
+			return false
+		}
+	}
+	return true
+}
+
+// Dispatch implements bind, rebind, resolve, unbind, and list.
+func (s *Servant) Dispatch(inv *orb.Invocation) ([]cdr.Value, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch inv.Operation {
+	case "bind", "rebind":
+		name := inv.Args[0].AsString()
+		if !validName(name) {
+			return nil, &orb.UserException{Name: ExcInvalidName, Info: []cdr.Value{cdr.Str(name)}}
+		}
+		if _, exists := s.bindings[name]; exists && inv.Operation == "bind" {
+			return nil, &orb.UserException{Name: ExcAlreadyBound, Info: []cdr.Value{cdr.Str(name)}}
+		}
+		s.bindings[name] = inv.Args[1].AsString()
+		return nil, nil
+	case "resolve":
+		name := inv.Args[0].AsString()
+		ref, ok := s.bindings[name]
+		if !ok {
+			return nil, &orb.UserException{Name: ExcNotFound, Info: []cdr.Value{cdr.Str(name)}}
+		}
+		return []cdr.Value{cdr.Str(ref)}, nil
+	case "unbind":
+		name := inv.Args[0].AsString()
+		if _, ok := s.bindings[name]; !ok {
+			return nil, &orb.UserException{Name: ExcNotFound, Info: []cdr.Value{cdr.Str(name)}}
+		}
+		delete(s.bindings, name)
+		return nil, nil
+	case "list":
+		prefix := inv.Args[0].AsString()
+		names := make([]string, 0, len(s.bindings))
+		for n := range s.bindings {
+			if strings.HasPrefix(n, prefix) {
+				names = append(names, n)
+			}
+		}
+		sort.Strings(names)
+		out := make([]cdr.Value, len(names))
+		for i, n := range names {
+			out[i] = cdr.Str(n)
+		}
+		return []cdr.Value{cdr.Seq(out...)}, nil
+	}
+	return nil, &orb.UserException{Name: "IDL:repro/CosNaming/BadOperation:1.0"}
+}
+
+// GetState snapshots all bindings deterministically.
+func (s *Servant) GetState() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.bindings))
+	for n := range s.bindings {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	e := cdr.NewEncoder(cdr.BigEndian)
+	e.WriteULong(uint32(len(names)))
+	for _, n := range names {
+		e.WriteString(n)
+		e.WriteString(s.bindings[n])
+	}
+	out := make([]byte, e.Len())
+	copy(out, e.Bytes())
+	return out, nil
+}
+
+// SetState restores bindings from a snapshot.
+func (s *Servant) SetState(b []byte) error {
+	d := cdr.NewDecoder(b, cdr.BigEndian)
+	n, err := d.ReadULong()
+	if err != nil {
+		return err
+	}
+	bindings := make(map[string]string, n)
+	for i := uint32(0); i < n; i++ {
+		name, err := d.ReadString()
+		if err != nil {
+			return err
+		}
+		ref, err := d.ReadString()
+		if err != nil {
+			return err
+		}
+		bindings[name] = ref
+	}
+	s.mu.Lock()
+	s.bindings = bindings
+	s.mu.Unlock()
+	return nil
+}
+
+// --- Deployment and client ---------------------------------------------------
+
+// ErrNotGroupRef is returned by ResolveGroup for non-group bindings.
+var ErrNotGroupRef = errors.New("naming: bound reference is not an object group")
+
+// Deploy creates the replicated naming service in a domain and returns a
+// client for it. replicas selects the degree (0 means 3, capped at the
+// number of registered nodes).
+func Deploy(d *core.Domain, style replication.Style, replicas int) (*Client, error) {
+	if replicas <= 0 {
+		replicas = 3
+	}
+	if n := len(d.Nodes()); replicas > n {
+		replicas = n
+	}
+	if err := d.RegisterFactory(TypeID, func() orb.Servant { return NewServant() }); err != nil {
+		return nil, err
+	}
+	_, gid, err := d.Create("naming", TypeID, &ftcorba.Properties{
+		ReplicationStyle:      style,
+		InitialNumberReplicas: replicas,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("naming: create: %w", err)
+	}
+	if err := d.WaitGroupReady(gid, replicas, 10*time.Second); err != nil {
+		return nil, err
+	}
+	return &Client{domain: d, gid: gid}, nil
+}
+
+// Client invokes the naming service from any node of the domain.
+type Client struct {
+	domain *core.Domain
+	gid    uint64
+}
+
+// GroupID returns the service's object group id (for bootstrap exchange).
+func (c *Client) GroupID() uint64 { return c.gid }
+
+func (c *Client) proxy(from string) (*replication.Proxy, error) {
+	return c.domain.Proxy(from, c.gid)
+}
+
+// Bind registers ref under name, failing if already bound.
+func (c *Client) Bind(from, name string, ref *ior.Ref) error {
+	p, err := c.proxy(from)
+	if err != nil {
+		return err
+	}
+	_, err = p.Invoke("bind", cdr.Str(name), cdr.Str(ior.ToString(ref)))
+	return err
+}
+
+// Rebind registers ref under name, replacing any existing binding.
+func (c *Client) Rebind(from, name string, ref *ior.Ref) error {
+	p, err := c.proxy(from)
+	if err != nil {
+		return err
+	}
+	_, err = p.Invoke("rebind", cdr.Str(name), cdr.Str(ior.ToString(ref)))
+	return err
+}
+
+// Resolve returns the reference bound to name.
+func (c *Client) Resolve(from, name string) (*ior.Ref, error) {
+	p, err := c.proxy(from)
+	if err != nil {
+		return nil, err
+	}
+	out, err := p.Invoke("resolve", cdr.Str(name))
+	if err != nil {
+		return nil, err
+	}
+	return ior.FromString(out[0].AsString())
+}
+
+// ResolveGroup resolves a name and returns the group id its IOGR names —
+// the bootstrap step a client uses before building a group proxy.
+func (c *Client) ResolveGroup(from, name string) (uint64, error) {
+	ref, err := c.Resolve(from, name)
+	if err != nil {
+		return 0, err
+	}
+	g, err := ref.FTGroup()
+	if err != nil {
+		return 0, ErrNotGroupRef
+	}
+	return g.GroupID, nil
+}
+
+// Unbind removes a binding.
+func (c *Client) Unbind(from, name string) error {
+	p, err := c.proxy(from)
+	if err != nil {
+		return err
+	}
+	_, err = p.Invoke("unbind", cdr.Str(name))
+	return err
+}
+
+// List returns the bound names with the given prefix, sorted.
+func (c *Client) List(from, prefix string) ([]string, error) {
+	p, err := c.proxy(from)
+	if err != nil {
+		return nil, err
+	}
+	out, err := p.Invoke("list", cdr.Str(prefix))
+	if err != nil {
+		return nil, err
+	}
+	seq := out[0].AsSeq()
+	names := make([]string, len(seq))
+	for i, v := range seq {
+		names[i] = v.AsString()
+	}
+	return names, nil
+}

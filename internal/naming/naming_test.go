@@ -1,0 +1,246 @@
+package naming_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cdr"
+	"repro/internal/core"
+	"repro/internal/ftcorba"
+	"repro/internal/ior"
+	"repro/internal/naming"
+	"repro/internal/orb"
+	"repro/internal/replication"
+)
+
+func newDomain(t *testing.T) *core.Domain {
+	t.Helper()
+	d, err := core.NewDomain(core.Options{
+		Nodes:     []string{"n1", "n2", "n3", "n4"},
+		Heartbeat: 4 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Stop)
+	if err := d.WaitReady(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func deploy(t *testing.T, d *core.Domain) *naming.Client {
+	t.Helper()
+	c, err := naming.Deploy(d, replication.Active, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func sampleRef(name string) *ior.Ref {
+	return ior.New("IDL:x/"+name+":1.0", "host", 1234, []byte(name))
+}
+
+func TestBindResolveUnbind(t *testing.T) {
+	d := newDomain(t)
+	ns := deploy(t, d)
+
+	ref := sampleRef("printer")
+	if err := ns.Bind("n4", "devices/printer", ref); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ns.Resolve("n4", "devices/printer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(ref) {
+		t.Error("resolved reference differs")
+	}
+
+	// bind over an existing name fails; rebind succeeds.
+	if err := ns.Bind("n4", "devices/printer", ref); !isExc(err, naming.ExcAlreadyBound) {
+		t.Errorf("double bind: %v", err)
+	}
+	ref2 := sampleRef("printer2")
+	if err := ns.Rebind("n4", "devices/printer", ref2); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = ns.Resolve("n4", "devices/printer")
+	if !got.Equal(ref2) {
+		t.Error("rebind did not replace")
+	}
+
+	if err := ns.Unbind("n4", "devices/printer"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ns.Resolve("n4", "devices/printer"); !isExc(err, naming.ExcNotFound) {
+		t.Errorf("resolve after unbind: %v", err)
+	}
+	if err := ns.Unbind("n4", "devices/printer"); !isExc(err, naming.ExcNotFound) {
+		t.Errorf("double unbind: %v", err)
+	}
+}
+
+func isExc(err error, name string) bool {
+	var uexc *orb.UserException
+	return errors.As(err, &uexc) && uexc.Name == name
+}
+
+func TestInvalidNames(t *testing.T) {
+	d := newDomain(t)
+	ns := deploy(t, d)
+	for _, bad := range []string{"", "/abs", "trail/", "a//b"} {
+		if err := ns.Bind("n4", bad, sampleRef("x")); !isExc(err, naming.ExcInvalidName) {
+			t.Errorf("bind %q: %v", bad, err)
+		}
+	}
+}
+
+func TestListWithPrefix(t *testing.T) {
+	d := newDomain(t)
+	ns := deploy(t, d)
+	for _, n := range []string{"svc/a", "svc/b", "dev/c"} {
+		if err := ns.Bind("n4", n, sampleRef(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names, err := ns.List("n4", "svc/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "svc/a" || names[1] != "svc/b" {
+		t.Errorf("List = %v", names)
+	}
+	all, _ := ns.List("n4", "")
+	if len(all) != 3 {
+		t.Errorf("List all = %v", all)
+	}
+}
+
+// TestNamingSurvivesCrash is the point of the exercise: the naming service
+// is itself replicated, so losing a replica loses nothing.
+func TestNamingSurvivesCrash(t *testing.T) {
+	d := newDomain(t)
+	ns := deploy(t, d)
+	if err := ns.Bind("n4", "critical/service", sampleRef("s")); err != nil {
+		t.Fatal(err)
+	}
+	members, _ := d.RM.Members(ns.GroupID())
+	d.CrashNode(members[0])
+	got, err := ns.Resolve("n4", "critical/service")
+	if err != nil || got.IsNil() {
+		t.Fatalf("resolve after crash: %v %v", got, err)
+	}
+}
+
+// TestBootstrapFlow exercises the end-to-end pattern: create a group,
+// bind its IOGR, and have a client bootstrap purely through the name.
+func TestBootstrapFlow(t *testing.T) {
+	d := newDomain(t)
+	ns := deploy(t, d)
+
+	// An application group to advertise.
+	type dummy = namingDummy
+	if err := d.RegisterFactory("IDL:x/Dummy:1.0", func() orb.Servant { return &dummy{} }); err != nil {
+		t.Fatal(err)
+	}
+	iogr, gid, err := d.Create("dummy", "IDL:x/Dummy:1.0", &ftcorba.Properties{
+		ReplicationStyle:      replication.Active,
+		InitialNumberReplicas: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WaitGroupReady(gid, 2, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := ns.Bind("n1", "apps/dummy", iogr); err != nil {
+		t.Fatal(err)
+	}
+
+	// A client that knows only the name.
+	resolvedGID, err := ns.ResolveGroup("n4", "apps/dummy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resolvedGID != gid {
+		t.Fatalf("resolved gid %d, want %d", resolvedGID, gid)
+	}
+	proxy, err := d.Proxy("n4", resolvedGID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := proxy.Invoke("ping")
+	if err != nil || out[0].AsString() != "pong" {
+		t.Fatalf("bootstrap invoke: %v %v", out, err)
+	}
+
+	// Non-group binding rejected by ResolveGroup.
+	if err := ns.Bind("n1", "apps/plain", sampleRef("p")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ns.ResolveGroup("n4", "apps/plain"); !errors.Is(err, naming.ErrNotGroupRef) {
+		t.Errorf("ResolveGroup on plain ref: %v", err)
+	}
+}
+
+// namingDummy is a trivial checkpointable servant for the bootstrap test.
+type namingDummy struct{ mu sync.Mutex }
+
+func (*namingDummy) RepoID() string { return "IDL:x/Dummy:1.0" }
+
+func (d *namingDummy) Dispatch(inv *orb.Invocation) ([]cdr.Value, error) {
+	if inv.Operation == "ping" {
+		return []cdr.Value{cdr.Str("pong")}, nil
+	}
+	return nil, &orb.UserException{Name: "IDL:x/Bad:1.0"}
+}
+
+func (*namingDummy) GetState() ([]byte, error) { return nil, nil }
+func (*namingDummy) SetState([]byte) error     { return nil }
+
+// TestStateTransferToNewReplica checks a recruited naming replica receives
+// all bindings.
+func TestStateTransferToNewReplica(t *testing.T) {
+	d := newDomain(t)
+	c, err := naming.Deploy(d, replication.WarmPassive, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []string{"a", "b", "c"} {
+		if err := c.Bind("n4", "x/"+n, sampleRef(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	members, _ := d.RM.Members(c.GroupID())
+	spare := ""
+	for _, n := range d.Nodes() {
+		in := false
+		for _, m := range members {
+			if m == n {
+				in = true
+			}
+		}
+		if !in {
+			spare = n
+			break
+		}
+	}
+	if _, err := d.RM.AddMember(c.GroupID(), spare); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WaitGroupReady(c.GroupID(), 3, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the two original members; only the recruit survives.
+	for _, m := range members {
+		d.CrashNode(m)
+	}
+	names, err := c.List("n4", "x/")
+	if err != nil || len(names) != 3 {
+		t.Fatalf("bindings after total original loss: %v %v", names, err)
+	}
+}

@@ -1,0 +1,92 @@
+// Package nondet controls sources of nondeterminism inside replicated
+// objects.
+//
+// One of the central lessons of the fault-tolerant CORBA experience is that
+// active replication only works if every replica computes identical results
+// from identical ordered inputs. Wall-clock reads, random numbers, thread
+// scheduling, and local counters silently diverge replicas. The
+// infrastructure therefore supplies replicas with *logical* replacements
+// whose values are functions of the totally ordered message stream:
+//
+//   - Clock yields a logical timestamp derived from the ordered message id
+//     of the invocation being executed, identical at every replica;
+//   - Rand yields a deterministic pseudo-random stream seeded from the
+//     group identity and re-seeded per invocation from the ordered message
+//     id, so every replica draws the same values in the same order;
+//   - Sequence yields per-object monotonic counters that advance only at
+//     invocation boundaries.
+//
+// Replicated servants receive a *Context through the invocation path and
+// must use it instead of time.Now, math/rand, etc.
+package nondet
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Context carries the deterministic facilities for one invocation. It is
+// created by the replication infrastructure from the ordered message that
+// delivered the invocation and must not outlive the invocation.
+type Context struct {
+	msgID uint64
+	base  time.Time
+	rng   *rand.Rand
+	mu    sync.Mutex
+	seqs  map[string]uint64
+}
+
+// NewContext builds a deterministic context for an invocation ordered as
+// msgID within group gid. epochStart anchors logical time; all replicas
+// configure the same anchor (it is part of the group's creation record).
+func NewContext(gid uint64, msgID uint64, epochStart time.Time) *Context {
+	seed := int64(gid*0x9E3779B97F4A7C15 ^ msgID*0xBF58476D1CE4E5B9)
+	return &Context{
+		msgID: msgID,
+		base:  epochStart,
+		rng:   rand.New(rand.NewSource(seed)),
+		seqs:  make(map[string]uint64),
+	}
+}
+
+// MsgID returns the ordered message id of the invocation.
+func (c *Context) MsgID() uint64 { return c.msgID }
+
+// Now returns the deterministic logical time of this invocation: the epoch
+// anchor advanced by one microsecond per ordered message. Every replica
+// executing the same invocation observes the same value — the consistent
+// time service the Eternal line of work describes.
+func (c *Context) Now() time.Time {
+	return c.base.Add(time.Duration(c.msgID) * time.Microsecond)
+}
+
+// Uint64 draws the next deterministic pseudo-random value.
+func (c *Context) Uint64() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rng.Uint64()
+}
+
+// Intn draws a deterministic value in [0, n).
+func (c *Context) Intn(n int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rng.Intn(n)
+}
+
+// Float64 draws a deterministic value in [0, 1).
+func (c *Context) Float64() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rng.Float64()
+}
+
+// Seq returns the next value of a named per-invocation counter (1, 2, …).
+// Replicas issuing the same sequence of Seq calls observe the same values.
+func (c *Context) Seq(name string) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seqs[name]++
+	return c.seqs[name]
+}

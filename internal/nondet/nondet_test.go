@@ -1,0 +1,71 @@
+package nondet
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestReplicaDeterminism(t *testing.T) {
+	anchor := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	f := func(gid, msgID uint64) bool {
+		a := NewContext(gid, msgID, anchor)
+		b := NewContext(gid, msgID, anchor)
+		if !a.Now().Equal(b.Now()) {
+			return false
+		}
+		for i := 0; i < 10; i++ {
+			if a.Uint64() != b.Uint64() {
+				return false
+			}
+		}
+		if a.Intn(100) != b.Intn(100) || a.Float64() != b.Float64() {
+			return false
+		}
+		return a.Seq("x") == b.Seq("x") && a.Seq("x") == b.Seq("x")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDifferentInvocationsDiffer(t *testing.T) {
+	anchor := time.Now()
+	a := NewContext(1, 100, anchor)
+	b := NewContext(1, 101, anchor)
+	if a.Now().Equal(b.Now()) {
+		t.Error("distinct invocations must get distinct logical times")
+	}
+	// Random streams differ with overwhelming probability.
+	same := true
+	for i := 0; i < 4; i++ {
+		if a.Uint64() != b.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("distinct invocations produced identical random streams")
+	}
+}
+
+func TestLogicalTimeMonotonic(t *testing.T) {
+	anchor := time.Unix(0, 0)
+	prev := NewContext(7, 0, anchor).Now()
+	for msg := uint64(1); msg < 100; msg++ {
+		now := NewContext(7, msg, anchor).Now()
+		if !now.After(prev) {
+			t.Fatalf("logical time not monotonic at msg %d", msg)
+		}
+		prev = now
+	}
+}
+
+func TestSeqCountersIndependent(t *testing.T) {
+	c := NewContext(1, 1, time.Now())
+	if c.Seq("a") != 1 || c.Seq("b") != 1 || c.Seq("a") != 2 {
+		t.Error("named counters must be independent and monotonic")
+	}
+	if c.MsgID() != 1 {
+		t.Error("MsgID accessor broken")
+	}
+}

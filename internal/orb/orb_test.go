@@ -1,0 +1,357 @@
+package orb
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cdr"
+	"repro/internal/giop"
+	"repro/internal/ior"
+	"repro/internal/netsim"
+)
+
+func newFabric(t *testing.T, nodes ...string) *netsim.Fabric {
+	t.Helper()
+	f := netsim.NewFabric(netsim.Config{})
+	for _, n := range nodes {
+		f.AddNode(n)
+	}
+	return f
+}
+
+func newORB(t *testing.T, f *netsim.Fabric, node string, port uint16) *ORB {
+	t.Helper()
+	o, err := New(Config{Node: node, Fabric: f, Port: port, RequestTimeout: 500 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(o.Shutdown)
+	return o
+}
+
+func counterServant() *MethodServant {
+	var count int64
+	return NewMethodServant("IDL:repro/Counter:1.0").
+		Define("inc", func(inv *Invocation) ([]cdr.Value, error) {
+			n := inv.Args[0].AsLong()
+			return []cdr.Value{cdr.Long(int32(atomic.AddInt64(&count, int64(n))))}, nil
+		}).
+		Define("get", func(inv *Invocation) ([]cdr.Value, error) {
+			return []cdr.Value{cdr.Long(int32(atomic.LoadInt64(&count)))}, nil
+		}).
+		Define("fail", func(inv *Invocation) ([]cdr.Value, error) {
+			return nil, &UserException{Name: "IDL:repro/Overflow:1.0", Info: []cdr.Value{cdr.Str("boom")}}
+		}).
+		Define("broken", func(inv *Invocation) ([]cdr.Value, error) {
+			return nil, errors.New("internal failure")
+		})
+}
+
+func TestRemoteInvocation(t *testing.T) {
+	f := newFabric(t, "client", "server")
+	srv := newORB(t, f, "server", 8000)
+	cli := newORB(t, f, "client", 8001)
+
+	ref := srv.ActivateObject("counter", counterServant())
+	proxy := cli.Proxy(ref)
+
+	out, err := proxy.Invoke("inc", cdr.Long(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].AsLong() != 5 {
+		t.Fatalf("inc returned %v", out)
+	}
+	out, err = proxy.Invoke("inc", cdr.Long(3))
+	if err != nil || out[0].AsLong() != 8 {
+		t.Fatalf("second inc: %v %v", out, err)
+	}
+}
+
+func TestUserException(t *testing.T) {
+	f := newFabric(t, "client", "server")
+	srv := newORB(t, f, "server", 8000)
+	cli := newORB(t, f, "client", 8001)
+	ref := srv.ActivateObject("counter", counterServant())
+	_, err := cli.Proxy(ref).Invoke("fail")
+	var uexc *UserException
+	if !errors.As(err, &uexc) {
+		t.Fatalf("got %v, want UserException", err)
+	}
+	if uexc.Name != "IDL:repro/Overflow:1.0" || uexc.Info[0].AsString() != "boom" {
+		t.Errorf("exception = %+v", uexc)
+	}
+}
+
+func TestSystemExceptions(t *testing.T) {
+	f := newFabric(t, "client", "server")
+	srv := newORB(t, f, "server", 8000)
+	cli := newORB(t, f, "client", 8001)
+	ref := srv.ActivateObject("counter", counterServant())
+
+	_, err := cli.Proxy(ref).Invoke("no-such-op")
+	var sysExc giop.SystemException
+	if !errors.As(err, &sysExc) || sysExc.RepoID != giop.ExcBadOperation {
+		t.Errorf("unknown op: got %v", err)
+	}
+
+	_, err = cli.Proxy(ref).Invoke("broken")
+	if !errors.As(err, &sysExc) || sysExc.RepoID != giop.ExcInternal {
+		t.Errorf("internal error: got %v", err)
+	}
+
+	badRef := ior.New("IDL:x:1.0", "server", 8000, []byte("missing"))
+	_, err = cli.Proxy(badRef).Invoke("get")
+	if !errors.As(err, &sysExc) || sysExc.RepoID != giop.ExcObjectNotExist {
+		t.Errorf("missing object: got %v", err)
+	}
+}
+
+func TestNilReference(t *testing.T) {
+	f := newFabric(t, "client")
+	cli := newORB(t, f, "client", 8001)
+	_, err := cli.Proxy(&ior.Ref{}).Invoke("x")
+	var sysExc giop.SystemException
+	if !errors.As(err, &sysExc) || sysExc.RepoID != giop.ExcObjectNotExist {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestIsAliveProbe(t *testing.T) {
+	f := newFabric(t, "client", "server")
+	srv := newORB(t, f, "server", 8000)
+	cli := newORB(t, f, "client", 8001)
+	ref := srv.ActivateObject("counter", counterServant())
+	proxy := cli.Proxy(ref)
+	if err := proxy.IsAlive(); err != nil {
+		t.Fatalf("IsAlive on live object: %v", err)
+	}
+	f.CrashNode("server")
+	if err := proxy.IsAlive(); err == nil {
+		t.Fatal("IsAlive must fail after crash")
+	}
+}
+
+func TestOneway(t *testing.T) {
+	f := newFabric(t, "client", "server")
+	srv := newORB(t, f, "server", 8000)
+	cli := newORB(t, f, "client", 8001)
+	done := make(chan struct{}, 1)
+	s := NewMethodServant("IDL:x:1.0").Define("notify", func(inv *Invocation) ([]cdr.Value, error) {
+		done <- struct{}{}
+		return nil, nil
+	})
+	ref := srv.ActivateObject("o", s)
+	if err := cli.Proxy(ref).InvokeOneway("notify"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("oneway never dispatched")
+	}
+}
+
+// TestIOGRFailover is the heart of the client-side FT semantics: with a
+// group reference whose primary is dead, the proxy must transparently fail
+// over to a backup profile.
+func TestIOGRFailover(t *testing.T) {
+	f := newFabric(t, "client", "s1", "s2")
+	o1 := newORB(t, f, "s1", 8000)
+	o2 := newORB(t, f, "s2", 8000)
+	cli := newORB(t, f, "client", 8001)
+
+	o1.ActivateObject("obj", counterServant())
+	o2.ActivateObject("obj", counterServant())
+
+	iogr := ior.NewGroup("IDL:repro/Counter:1.0",
+		ior.FTGroup{FTDomainID: "d", GroupID: 1, Version: 1},
+		[]ior.GroupMember{
+			{Host: "s1", Port: 8000, ObjectKey: []byte("obj"), Primary: true},
+			{Host: "s2", Port: 8000, ObjectKey: []byte("obj")},
+		})
+	proxy := cli.Proxy(iogr)
+
+	if _, err := proxy.Invoke("inc", cdr.Long(1)); err != nil {
+		t.Fatalf("pre-crash invoke: %v", err)
+	}
+	f.CrashNode("s1")
+	out, err := proxy.Invoke("inc", cdr.Long(2))
+	if err != nil {
+		t.Fatalf("failover invoke: %v", err)
+	}
+	// s2 is an independent (non-state-synchronized) servant here; the point
+	// is reachability, not state (state consistency is the replication
+	// engine's job, tested there).
+	if out[0].AsLong() != 2 {
+		t.Errorf("backup state = %v", out[0])
+	}
+	f.CrashNode("s2")
+	if _, err := proxy.Invoke("inc", cdr.Long(1)); !errors.Is(err, ErrAllProfilesFailed) {
+		t.Errorf("all dead: got %v", err)
+	}
+}
+
+// locationForwarder short-circuits every request with LOCATION_FORWARD.
+type locationForwarder struct{ target *ior.Ref }
+
+func (l *locationForwarder) ReceiveRequest(req *giop.Request) *giop.Reply {
+	return &giop.Reply{
+		RequestID: req.RequestID,
+		Status:    giop.ReplyLocationForward,
+		Body:      ior.Marshal(l.target),
+	}
+}
+
+func (l *locationForwarder) SendReply(*giop.Request, *giop.Reply) {}
+
+func TestLocationForward(t *testing.T) {
+	f := newFabric(t, "client", "agent", "server")
+	agent := newORB(t, f, "agent", 8000)
+	srv := newORB(t, f, "server", 8000)
+	cli := newORB(t, f, "client", 8001)
+
+	realRef := srv.ActivateObject("counter", counterServant())
+	agent.ActivateObject("counter", counterServant())
+	agent.AddServerInterceptor(&locationForwarder{target: realRef})
+
+	agentRef := ior.New("IDL:repro/Counter:1.0", "agent", 8000, []byte("counter"))
+	proxy := cli.Proxy(agentRef)
+	out, err := proxy.Invoke("inc", cdr.Long(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].AsLong() != 7 {
+		t.Errorf("forwarded invoke = %v", out)
+	}
+	// The proxy must have cached the forwarded reference.
+	if proxy.Ref().Profiles[0].Host != "server" {
+		t.Errorf("proxy did not adopt forwarded ref: %+v", proxy.Ref().Profiles[0])
+	}
+}
+
+// recordingInterceptor captures service contexts client-side.
+type recordingInterceptor struct {
+	sent     atomic.Int64
+	received atomic.Int64
+}
+
+func (r *recordingInterceptor) SendRequest(req *giop.Request) error {
+	req.Contexts = append(req.Contexts, giop.ServiceContext{
+		ID:   giop.SvcFTRequest,
+		Data: giop.FTRequest{ClientID: "c", RetentionID: uint64(r.sent.Add(1))}.Encode(),
+	})
+	return nil
+}
+
+func (r *recordingInterceptor) ReceiveReply(req *giop.Request, rep *giop.Reply) {
+	r.received.Add(1)
+}
+
+// contextEcho reflects the FT_REQUEST retention id back in the reply body.
+type contextEcho struct{}
+
+func (contextEcho) RepoID() string { return "IDL:repro/CtxEcho:1.0" }
+func (contextEcho) Dispatch(inv *Invocation) ([]cdr.Value, error) {
+	return nil, errors.New("dispatch must not be reached in this test")
+}
+
+func TestClientInterceptorAddsContext(t *testing.T) {
+	f := newFabric(t, "client", "server")
+	srv := newORB(t, f, "server", 8000)
+	cli := newORB(t, f, "client", 8001)
+
+	var gotRetention atomic.Int64
+	s := NewMethodServant("IDL:x:1.0").Define("op", func(inv *Invocation) ([]cdr.Value, error) {
+		return nil, nil
+	})
+	srv.AddServerInterceptor(serverCtxReader{&gotRetention})
+	ref := srv.ActivateObject("o", s)
+
+	ic := &recordingInterceptor{}
+	cli.AddClientInterceptor(ic)
+	if _, err := cli.Proxy(ref).Invoke("op"); err != nil {
+		t.Fatal(err)
+	}
+	if gotRetention.Load() != 1 {
+		t.Errorf("server saw retention %d, want 1", gotRetention.Load())
+	}
+	if ic.received.Load() != 1 {
+		t.Errorf("ReceiveReply called %d times", ic.received.Load())
+	}
+}
+
+type serverCtxReader struct{ got *atomic.Int64 }
+
+func (s serverCtxReader) ReceiveRequest(req *giop.Request) *giop.Reply {
+	if data := giop.FindContext(req.Contexts, giop.SvcFTRequest); data != nil {
+		if ft, err := giop.DecodeFTRequest(data); err == nil {
+			s.got.Store(int64(ft.RetentionID))
+		}
+	}
+	return nil
+}
+
+func (serverCtxReader) SendReply(*giop.Request, *giop.Reply) {}
+
+func TestDispatchLocal(t *testing.T) {
+	f := newFabric(t, "server")
+	srv := newORB(t, f, "server", 8000)
+	srv.ActivateObject("counter", counterServant())
+	req := &giop.Request{
+		RequestID: 1,
+		ObjectKey: []byte("counter"),
+		Operation: "inc",
+	}
+	rep := srv.DispatchLocal(req, &Invocation{Operation: "inc", Args: []cdr.Value{cdr.Long(4)}})
+	out, err := ReplyOutcome(rep)
+	if err != nil || out[0].AsLong() != 4 {
+		t.Fatalf("local dispatch: %v %v", out, err)
+	}
+}
+
+func TestMethodServantOperations(t *testing.T) {
+	s := counterServant()
+	ops := s.Operations()
+	want := []string{"broken", "fail", "get", "inc"}
+	if len(ops) != len(want) {
+		t.Fatalf("ops = %v", ops)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Fatalf("ops = %v", ops)
+		}
+	}
+	if s.RepoID() != "IDL:repro/Counter:1.0" {
+		t.Error("RepoID")
+	}
+}
+
+func TestReplyRoundTripHelpers(t *testing.T) {
+	// NO_EXCEPTION
+	rep := BuildReply(1, []cdr.Value{cdr.Str("ok")}, nil)
+	out, err := ReplyOutcome(rep)
+	if err != nil || out[0].AsString() != "ok" {
+		t.Errorf("no-exception helper: %v %v", out, err)
+	}
+	// User exception
+	rep = BuildReply(1, nil, &UserException{Name: "E", Info: []cdr.Value{cdr.Long(2)}})
+	_, err = ReplyOutcome(rep)
+	var uexc *UserException
+	if !errors.As(err, &uexc) || uexc.Info[0].AsLong() != 2 {
+		t.Errorf("user exception helper: %v", err)
+	}
+	// System exception
+	rep = BuildReply(1, nil, giop.SystemException{RepoID: giop.ExcTransient, Minor: 3, Completed: giop.CompletedMaybe})
+	_, err = ReplyOutcome(rep)
+	var sysExc giop.SystemException
+	if !errors.As(err, &sysExc) || sysExc.Minor != 3 {
+		t.Errorf("system exception helper: %v", err)
+	}
+	// Unknown status
+	if _, err := ReplyOutcome(&giop.Reply{Status: 99}); err == nil {
+		t.Error("unknown status must error")
+	}
+}

@@ -1,0 +1,254 @@
+// Package orb implements a miniature Object Request Broker: typed servants
+// behind a POA-style object adapter on the server side, and object-reference
+// proxies with transparent profile failover on the client side, speaking
+// GIOP/IIOP from packages giop and iiop.
+//
+// This is the unreplicated substrate the fault tolerance layers build on
+// (and measure against): the replication engine reuses the Servant model
+// for replica dispatch, the interception approach taps the ORB's IIOP
+// connections, and the FT-CORBA services are themselves ORB objects.
+package orb
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/cdr"
+	"repro/internal/giop"
+	"repro/internal/nondet"
+)
+
+// Invocation carries one request through dispatch.
+type Invocation struct {
+	// Operation is the IDL operation name.
+	Operation string
+	// Args are the decoded request arguments.
+	Args []cdr.Value
+	// Det supplies deterministic time/randomness when the servant runs
+	// replicated; nil for plain unreplicated dispatch.
+	Det *nondet.Context
+	// Caller optionally exposes infrastructure context (e.g. the
+	// replication engine for nested invocations); nil otherwise.
+	Caller any
+}
+
+// UserException is an application-level exception carried in a reply
+// (CORBA user exceptions, as opposed to system exceptions).
+type UserException struct {
+	// Name is the exception repository id or symbolic name.
+	Name string
+	// Info carries exception members.
+	Info []cdr.Value
+}
+
+// Error implements error.
+func (e *UserException) Error() string {
+	return fmt.Sprintf("user exception %s", e.Name)
+}
+
+// Servant is the implementation of one object (or one replica of one
+// object). Dispatch must be deterministic given the same sequence of
+// invocations when used with active replication; all nondeterminism must
+// come from inv.Det.
+type Servant interface {
+	// RepoID returns the repository id of the servant's interface.
+	RepoID() string
+	// Dispatch executes one operation. Returning a *UserException produces
+	// a user-exception reply; a giop.SystemException produces a system
+	// exception reply; any other error produces a CORBA UNKNOWN-style
+	// internal system exception.
+	Dispatch(inv *Invocation) ([]cdr.Value, error)
+}
+
+// Checkpointable is implemented by servants whose state can be captured and
+// restored — required for passive replication, state transfer to new
+// replicas, and recovery.
+type Checkpointable interface {
+	// GetState serializes the full application state.
+	GetState() ([]byte, error)
+	// SetState replaces the application state.
+	SetState([]byte) error
+}
+
+// Updatable is optionally implemented by servants that can produce and
+// apply incremental updates (postimages), avoiding full-state transfer
+// after every operation under warm passive replication.
+type Updatable interface {
+	// LastUpdate returns the postimage of the most recent operation.
+	LastUpdate() ([]byte, error)
+	// ApplyUpdate applies a postimage produced by LastUpdate.
+	ApplyUpdate([]byte) error
+}
+
+// MethodFunc implements one operation.
+type MethodFunc func(inv *Invocation) ([]cdr.Value, error)
+
+// MethodServant is a Servant assembled from a method table — the analogue
+// of an IDL-generated skeleton.
+type MethodServant struct {
+	repoID  string
+	mu      sync.RWMutex
+	methods map[string]MethodFunc
+}
+
+var _ Servant = (*MethodServant)(nil)
+
+// NewMethodServant creates an empty skeleton for the given repository id.
+func NewMethodServant(repoID string) *MethodServant {
+	return &MethodServant{repoID: repoID, methods: make(map[string]MethodFunc)}
+}
+
+// Define registers an operation; it returns the servant for chaining.
+func (s *MethodServant) Define(op string, fn MethodFunc) *MethodServant {
+	s.mu.Lock()
+	s.methods[op] = fn
+	s.mu.Unlock()
+	return s
+}
+
+// Operations lists the defined operation names, sorted.
+func (s *MethodServant) Operations() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ops := make([]string, 0, len(s.methods))
+	for op := range s.methods {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	return ops
+}
+
+// RepoID returns the repository id.
+func (s *MethodServant) RepoID() string { return s.repoID }
+
+// Dispatch routes to the method table.
+func (s *MethodServant) Dispatch(inv *Invocation) ([]cdr.Value, error) {
+	s.mu.RLock()
+	fn, ok := s.methods[inv.Operation]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, giop.SystemException{
+			RepoID:    giop.ExcBadOperation,
+			Minor:     1,
+			Completed: giop.CompletedNo,
+		}
+	}
+	return fn(inv)
+}
+
+// ErrNoServant is returned when dispatching to an unknown object key.
+var ErrNoServant = errors.New("orb: no servant for object key")
+
+// EncodeReplyBody renders result values for a NO_EXCEPTION reply.
+func EncodeReplyBody(results []cdr.Value) []byte {
+	e := cdr.NewEncoder(cdr.BigEndian)
+	cdr.EncodeValues(e, results)
+	out := make([]byte, e.Len())
+	copy(out, e.Bytes())
+	return out
+}
+
+// DecodeReplyBody parses a NO_EXCEPTION reply body.
+func DecodeReplyBody(body []byte) ([]cdr.Value, error) {
+	if len(body) == 0 {
+		return nil, nil
+	}
+	return cdr.DecodeValues(cdr.NewDecoder(body, cdr.BigEndian))
+}
+
+// EncodeRequestBody renders request arguments.
+func EncodeRequestBody(args []cdr.Value) []byte {
+	return EncodeReplyBody(args)
+}
+
+// DecodeRequestBody parses request arguments.
+func DecodeRequestBody(body []byte) ([]cdr.Value, error) {
+	return DecodeReplyBody(body)
+}
+
+// EncodeUserException renders a user exception reply body.
+func EncodeUserException(exc *UserException) []byte {
+	e := cdr.NewEncoder(cdr.BigEndian)
+	e.WriteString(exc.Name)
+	cdr.EncodeValues(e, exc.Info)
+	out := make([]byte, e.Len())
+	copy(out, e.Bytes())
+	return out
+}
+
+// DecodeUserException parses a user exception reply body.
+func DecodeUserException(body []byte) (*UserException, error) {
+	d := cdr.NewDecoder(body, cdr.BigEndian)
+	name, err := d.ReadString()
+	if err != nil {
+		return nil, fmt.Errorf("orb: user exception name: %w", err)
+	}
+	info, err := cdr.DecodeValues(d)
+	if err != nil {
+		return nil, fmt.Errorf("orb: user exception info: %w", err)
+	}
+	return &UserException{Name: name, Info: info}, nil
+}
+
+// BuildReply converts a Dispatch outcome into a GIOP reply: results, user
+// exception, or system exception.
+func BuildReply(requestID uint32, results []cdr.Value, err error) *giop.Reply {
+	switch {
+	case err == nil:
+		return &giop.Reply{
+			RequestID: requestID,
+			Status:    giop.ReplyNoException,
+			Body:      EncodeReplyBody(results),
+		}
+	default:
+		var uexc *UserException
+		if errors.As(err, &uexc) {
+			return &giop.Reply{
+				RequestID: requestID,
+				Status:    giop.ReplyUserException,
+				Body:      EncodeUserException(uexc),
+			}
+		}
+		var sysExc giop.SystemException
+		if errors.As(err, &sysExc) {
+			return &giop.Reply{
+				RequestID: requestID,
+				Status:    giop.ReplySystemException,
+				Body:      sysExc.Encode(),
+			}
+		}
+		return &giop.Reply{
+			RequestID: requestID,
+			Status:    giop.ReplySystemException,
+			Body: giop.SystemException{
+				RepoID:    giop.ExcInternal,
+				Minor:     0,
+				Completed: giop.CompletedMaybe,
+			}.Encode(),
+		}
+	}
+}
+
+// ReplyOutcome converts a GIOP reply back into Dispatch form on the client.
+func ReplyOutcome(rep *giop.Reply) ([]cdr.Value, error) {
+	switch rep.Status {
+	case giop.ReplyNoException:
+		return DecodeReplyBody(rep.Body)
+	case giop.ReplyUserException:
+		uexc, err := DecodeUserException(rep.Body)
+		if err != nil {
+			return nil, err
+		}
+		return nil, uexc
+	case giop.ReplySystemException:
+		sysExc, err := giop.DecodeSystemException(rep.Body, cdr.BigEndian)
+		if err != nil {
+			return nil, err
+		}
+		return nil, sysExc
+	default:
+		return nil, fmt.Errorf("orb: unexpected reply status %d", rep.Status)
+	}
+}

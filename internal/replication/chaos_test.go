@@ -1,0 +1,199 @@
+package replication
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/cdr"
+)
+
+// TestChaosSchedules drives an object group through randomized fault
+// schedules — crashes, partitions with traffic on both sides, remerges —
+// and checks the two invariants that define the system's correctness:
+//
+//  1. exactly-once accounting: every acknowledged operation is reflected
+//     in the final state exactly once (crashes and partitions never lose
+//     or duplicate an acknowledged update);
+//  2. convergence: after the faults stop, all surviving replicas agree on
+//     the state.
+//
+// Clients are confined to their partition component (cross-component
+// retries of one logical operation are the documented application-level
+// reconciliation case, exercised separately in the back-order tests).
+func TestChaosSchedules(t *testing.T) {
+	for _, style := range []Style{Active, WarmPassive} {
+		for seed := int64(1); seed <= 3; seed++ {
+			style, seed := style, seed
+			t.Run(fmt.Sprintf("%v/seed%d", style, seed), func(t *testing.T) {
+				runChaos(t, style, seed)
+			})
+		}
+	}
+}
+
+func runChaos(t *testing.T, style Style, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	c := newCluster(t, 5) // n1..n3 members, n4/n5 clients
+	def := GroupDef{ID: 77, Name: "chaos", Style: style, CheckpointEvery: 5}
+	c.host(def, "n1", "n2", "n3")
+
+	alive := map[string]bool{"n1": true, "n2": true, "n3": true}
+	aliveMembers := func() []string {
+		var out []string
+		for _, n := range []string{"n1", "n2", "n3"} {
+			if alive[n] {
+				out = append(out, n)
+			}
+		}
+		return out
+	}
+
+	var acked int64
+	invoke := func(from string, amount int64) {
+		t.Helper()
+		proxy := c.engines[from].Proxy(GroupRef{ID: 77}, WithTimeout(15*time.Second), WithRetryInterval(500*time.Millisecond))
+		if _, err := proxy.Invoke("add", cdr.Long(int32(amount))); err != nil {
+			t.Fatalf("add from %s: %v", from, err)
+		}
+		acked += amount
+	}
+
+	burst := func(from string, n int) {
+		for i := 0; i < n; i++ {
+			invoke(from, int64(rng.Intn(9)+1))
+		}
+	}
+
+	crashed := 0
+	partitioned := false
+	const events = 6
+	for ev := 0; ev < events; ev++ {
+		switch action := rng.Intn(3); {
+		case action == 0 && crashed == 0 && !partitioned && len(aliveMembers()) == 3:
+			// Crash one member (keep a majority of the original three).
+			victim := aliveMembers()[rng.Intn(3)]
+			t.Logf("event %d: crash %s", ev, victim)
+			c.fabric.CrashNode(victim)
+			c.engines[victim].Stop()
+			c.rings[victim].Stop()
+			alive[victim] = false
+			crashed++
+			burst("n4", 3)
+
+		case action == 1 && !partitioned && len(aliveMembers()) == 3:
+			// Partition one member away, drive traffic on both sides,
+			// then heal.
+			members := aliveMembers()
+			minority := members[rng.Intn(len(members))]
+			var majority []string
+			for _, m := range members {
+				if m != minority {
+					majority = append(majority, m)
+				}
+			}
+			t.Logf("event %d: partition {%v,n4} | {%s,n5}", ev, majority, minority)
+			c.fabric.Partition(append(majority, "n4"), []string{minority, "n5"})
+			waitFor(t, 10*time.Second, "secondary forms", func() bool {
+				st, ok := c.engines[minority].GroupStatus(77)
+				return ok && st.Secondary
+			})
+			burst("n4", 3) // primary side
+			burst("n5", 2) // disconnected side (queued as fulfillment)
+			t.Logf("event %d: heal", ev)
+			c.fabric.Heal()
+			waitFor(t, 20*time.Second, "remerge", func() bool {
+				for _, m := range aliveMembers() {
+					st, ok := c.engines[m].GroupStatus(77)
+					if !ok || st.Secondary || st.Syncing || len(st.Members) != len(aliveMembers()) {
+						return false
+					}
+				}
+				return true
+			})
+
+		default:
+			t.Logf("event %d: normal burst", ev)
+			burst("n4", 4)
+		}
+	}
+
+	// Quiesce and verify both invariants.
+	c.fabric.Heal()
+	want := acked
+	waitFor(t, 30*time.Second, "final convergence", func() bool {
+		for _, m := range aliveMembers() {
+			bal, _ := c.servants[m][77].snapshot()
+			if bal != want {
+				return false
+			}
+		}
+		return true
+	})
+
+	// Cross-check through a fresh read from each client.
+	for _, client := range []string{"n4", "n5"} {
+		proxy := c.engines[client].Proxy(GroupRef{ID: 77}, WithTimeout(15*time.Second))
+		out, err := proxy.Invoke("get")
+		if err != nil {
+			t.Fatalf("final get from %s: %v", client, err)
+		}
+		if out[0].AsLongLong() != want {
+			t.Fatalf("final state %d from %s, want %d (lost or duplicated an acknowledged update)",
+				out[0].AsLongLong(), client, want)
+		}
+	}
+}
+
+// TestChaosColdPassive drives the cold passive style through a
+// crash-heavy schedule (its recovery path is log replay, so repeated
+// failovers are the stress case).
+func TestChaosColdPassive(t *testing.T) {
+	c := newCluster(t, 4)
+	def := GroupDef{ID: 78, Name: "cold-chaos", Style: ColdPassive, CheckpointEvery: 4}
+	c.host(def, "n1", "n2", "n3")
+
+	var acked int64
+	proxy := c.engines["n4"].Proxy(GroupRef{ID: 78}, WithTimeout(20*time.Second), WithRetryInterval(500*time.Millisecond))
+	invoke := func(amount int64) {
+		t.Helper()
+		if _, err := proxy.Invoke("add", cdr.Long(int32(amount))); err != nil {
+			t.Fatalf("add: %v", err)
+		}
+		acked += amount
+	}
+
+	for i := 0; i < 7; i++ {
+		invoke(int64(i + 1))
+	}
+	// Crash the primary twice in a row: each failover replays the log.
+	for round := 0; round < 2; round++ {
+		members := []string{}
+		for _, n := range []string{"n1", "n2", "n3"} {
+			if st, ok := c.engines[n].GroupStatus(78); ok && len(st.Members) > 0 {
+				members = st.Members
+				break
+			}
+		}
+		if len(members) == 0 {
+			t.Fatal("no live members")
+		}
+		victim := members[0]
+		t.Logf("round %d: crash primary %s", round, victim)
+		c.fabric.CrashNode(victim)
+		c.engines[victim].Stop()
+		c.rings[victim].Stop()
+		for i := 0; i < 5; i++ {
+			invoke(int64(10 + i))
+		}
+	}
+
+	out, err := proxy.Invoke("get")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].AsLongLong() != acked {
+		t.Fatalf("final state %d, want %d after two failovers", out[0].AsLongLong(), acked)
+	}
+}

@@ -1,0 +1,483 @@
+package replication
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/orb"
+	"repro/internal/totem"
+	"repro/internal/wal"
+)
+
+// epochAnchor is the shared origin of deterministic logical time; it must
+// be identical at every engine so replicas compute the same timestamps.
+var epochAnchor = time.Date(2000, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// dedupRetain bounds per-replica duplicate-detection records (an
+// implementation of the FT_REQUEST expiration idea: sufficiently old
+// requests can no longer be deduplicated).
+const dedupRetain = 4096
+
+// Errors returned by the engine and proxies.
+var (
+	ErrEngineStopped = errors.New("replication: engine stopped")
+	ErrCallTimeout   = errors.New("replication: invocation timed out")
+	ErrAlreadyHosted = errors.New("replication: group already hosted on this node")
+)
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Node is this engine's node name (must match the ring's node).
+	Node string
+	// Ring is the totem endpoint the engine communicates through. The
+	// caller retains ownership (and stops it after the engine).
+	Ring *totem.Ring
+	// Notifier receives fault reports derived from membership changes
+	// (optional).
+	Notifier *fault.Notifier
+	// CallTimeout bounds one logical invocation including retries
+	// (default 5s).
+	CallTimeout time.Duration
+	// RetryInterval is how often an unanswered invocation is retransmitted
+	// (default 500ms).
+	RetryInterval time.Duration
+	// SyncRetryInterval is how often a replica stuck awaiting state
+	// transfer re-requests a snapshot (default 150ms).
+	SyncRetryInterval time.Duration
+}
+
+func (c *Config) fill() {
+	if c.CallTimeout <= 0 {
+		c.CallTimeout = 5 * time.Second
+	}
+	if c.RetryInterval <= 0 {
+		c.RetryInterval = 500 * time.Millisecond
+	}
+	if c.SyncRetryInterval <= 0 {
+		c.SyncRetryInterval = 150 * time.Millisecond
+	}
+}
+
+// Stats counts engine-level replication events (experiments E5/E7 read
+// these).
+type Stats struct {
+	Executions        uint64 // servant dispatches performed
+	DupInvocations    uint64 // duplicate invocations suppressed (receiver side)
+	SuppressedReplies uint64 // replies suppressed (sender side)
+	DupReplies        uint64 // duplicate replies discarded (receiver side)
+	Replays           uint64 // operations re-executed during failover
+	Fulfillments      uint64 // fulfillment operations re-invoked after remerge
+	Checkpoints       uint64 // checkpoints multicast
+	StateTransfers    uint64 // state snapshots applied (join/remerge)
+	Retries           uint64 // client-side invocation retransmissions
+}
+
+type engineStats struct {
+	executions        atomic.Uint64
+	dupInvocations    atomic.Uint64
+	suppressedReplies atomic.Uint64
+	dupReplies        atomic.Uint64
+	replays           atomic.Uint64
+	fulfillments      atomic.Uint64
+	checkpoints       atomic.Uint64
+	stateTransfers    atomic.Uint64
+	retries           atomic.Uint64
+}
+
+// Engine is one node's replication runtime: it hosts replicas of object
+// groups and issues invocations to (possibly remote) groups.
+type Engine struct {
+	cfg  Config
+	stat engineStats
+
+	mu          sync.Mutex
+	hosted      map[uint64]*replica
+	pending     map[opKey]*pendingCall
+	replyJoined map[uint64]bool
+	rootSeq     uint64
+	ringMembers []string
+	stopped     bool
+
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+}
+
+type pendingCall struct {
+	votesNeeded int
+	votes       map[string]*msgReply
+	ch          chan *msgReply
+}
+
+// NewEngine creates an engine bound to a started ring.
+func NewEngine(cfg Config) (*Engine, error) {
+	cfg.fill()
+	if cfg.Ring == nil {
+		return nil, errors.New("replication: Config.Ring required")
+	}
+	if cfg.Node == "" {
+		cfg.Node = cfg.Ring.Node()
+	}
+	e := &Engine{
+		cfg:         cfg,
+		hosted:      make(map[uint64]*replica),
+		pending:     make(map[opKey]*pendingCall),
+		replyJoined: make(map[uint64]bool),
+		stopCh:      make(chan struct{}),
+	}
+	return e, nil
+}
+
+// Start launches the delivery loop and the sync-retry maintenance timer.
+func (e *Engine) Start() {
+	e.wg.Add(2)
+	go e.run()
+	go e.syncRetryLoop()
+}
+
+// syncRetryLoop re-requests state transfer for replicas stuck syncing —
+// the expected sender may have vanished in membership churn.
+func (e *Engine) syncRetryLoop() {
+	defer e.wg.Done()
+	ticker := time.NewTicker(e.cfg.SyncRetryInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-e.stopCh:
+			return
+		case <-ticker.C:
+		}
+		e.mu.Lock()
+		reps := make(map[uint64]*replica, len(e.hosted))
+		for gid, r := range e.hosted {
+			reps[gid] = r
+		}
+		e.mu.Unlock()
+		var stuck []uint64
+		for gid, r := range reps {
+			if st := r.status(); st.Syncing {
+				stuck = append(stuck, gid)
+			}
+		}
+		for _, gid := range stuck {
+			_ = e.cfg.Ring.Multicast(invGroupName(gid), encodeWire(&msgStateReq{
+				GroupID: gid,
+				From:    e.cfg.Node,
+			}))
+		}
+	}
+}
+
+// Stop shuts the engine down (the ring is left running for its owner to
+// stop).
+func (e *Engine) Stop() {
+	e.mu.Lock()
+	if e.stopped {
+		e.mu.Unlock()
+		return
+	}
+	e.stopped = true
+	reps := make([]*replica, 0, len(e.hosted))
+	for _, r := range e.hosted {
+		reps = append(reps, r)
+	}
+	pend := e.pending
+	e.pending = make(map[opKey]*pendingCall)
+	e.mu.Unlock()
+	close(e.stopCh)
+	for _, r := range reps {
+		r.q.close()
+	}
+	for _, p := range pend {
+		close(p.ch)
+	}
+	e.wg.Wait()
+}
+
+// Node returns the engine's node name.
+func (e *Engine) Node() string { return e.cfg.Node }
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Executions:        e.stat.executions.Load(),
+		DupInvocations:    e.stat.dupInvocations.Load(),
+		SuppressedReplies: e.stat.suppressedReplies.Load(),
+		DupReplies:        e.stat.dupReplies.Load(),
+		Replays:           e.stat.replays.Load(),
+		Fulfillments:      e.stat.fulfillments.Load(),
+		Checkpoints:       e.stat.checkpoints.Load(),
+		StateTransfers:    e.stat.stateTransfers.Load(),
+		Retries:           e.stat.retries.Load(),
+	}
+}
+
+// HostReplica places a replica of the group on this node. initial must be
+// true only when the group is being created (all initial replicas start
+// with identical zero state before any traffic); later additions pass
+// false and are brought up to date by state transfer from an existing
+// member.
+func (e *Engine) HostReplica(def GroupDef, servant orb.Servant, initial bool) error {
+	def.fill()
+	e.mu.Lock()
+	if e.stopped {
+		e.mu.Unlock()
+		return ErrEngineStopped
+	}
+	if _, ok := e.hosted[def.ID]; ok {
+		e.mu.Unlock()
+		return fmt.Errorf("%w: %d", ErrAlreadyHosted, def.ID)
+	}
+	r := newReplica(e, def, servant, !initial)
+	e.hosted[def.ID] = r
+	e.mu.Unlock()
+
+	if err := e.cfg.Ring.JoinGroup(invGroupName(def.ID)); err != nil {
+		return fmt.Errorf("replication: join group: %w", err)
+	}
+	if err := e.cfg.Ring.JoinGroup(repGroupName(def.ID)); err != nil {
+		return fmt.Errorf("replication: join reply group: %w", err)
+	}
+	e.mu.Lock()
+	e.replyJoined[def.ID] = true
+	e.mu.Unlock()
+
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		r.executorLoop()
+	}()
+	return nil
+}
+
+// RemoveReplica withdraws this node's replica of the group.
+func (e *Engine) RemoveReplica(gid uint64) {
+	e.mu.Lock()
+	r, ok := e.hosted[gid]
+	if ok {
+		delete(e.hosted, gid)
+	}
+	e.mu.Unlock()
+	if !ok {
+		return
+	}
+	r.q.close()
+	_ = e.cfg.Ring.LeaveGroup(invGroupName(gid))
+	// Stay in the reply group: this node may still act as a client.
+}
+
+// GroupStatus reports a hosted replica's view (tests and tools).
+type GroupStatus struct {
+	Members   []string
+	Primary   string
+	Secondary bool // in a secondary partition component
+	Syncing   bool // awaiting state transfer
+	LastExec  uint64
+}
+
+// GroupStatus returns the replica's status, or false if not hosted here.
+func (e *Engine) GroupStatus(gid uint64) (GroupStatus, bool) {
+	e.mu.Lock()
+	r, ok := e.hosted[gid]
+	e.mu.Unlock()
+	if !ok {
+		return GroupStatus{}, false
+	}
+	return r.status(), true
+}
+
+func (e *Engine) replicaFor(gid uint64) *replica {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.hosted[gid]
+}
+
+func (e *Engine) ensureReplyJoined(gid uint64) {
+	e.mu.Lock()
+	joined := e.replyJoined[gid]
+	if !joined {
+		e.replyJoined[gid] = true
+	}
+	stopped := e.stopped
+	e.mu.Unlock()
+	if !joined && !stopped {
+		_ = e.cfg.Ring.JoinGroup(repGroupName(gid))
+	}
+}
+
+// run is the delivery loop: it demultiplexes the totally ordered event
+// stream to hosted replicas and pending client calls. It must never block
+// on servant execution — that happens in per-replica executor goroutines.
+func (e *Engine) run() {
+	defer e.wg.Done()
+	for {
+		var ev totem.Event
+		var ok bool
+		select {
+		case <-e.stopCh:
+			return
+		case ev, ok = <-e.cfg.Ring.Events():
+			if !ok {
+				return
+			}
+		}
+		switch v := ev.(type) {
+		case totem.Deliver:
+			e.onDeliver(v)
+		case totem.GroupView:
+			e.onGroupView(v)
+		case totem.ViewChange:
+			e.onRingView(v)
+		}
+	}
+}
+
+func (e *Engine) onDeliver(d totem.Deliver) {
+	m, err := decodeWire(d.Payload)
+	if err != nil {
+		return // foreign traffic on our groups: drop
+	}
+	switch v := m.(type) {
+	case *msgInvocation:
+		if r := e.replicaFor(v.GroupID); r != nil {
+			r.q.push(taskInvoke{msgID: d.MsgID, m: v})
+		}
+	case *msgReply:
+		e.completeCall(v)
+		if r := e.replicaFor(v.GroupID); r != nil {
+			r.markAnswered(v)
+			r.q.push(taskReply{msgID: d.MsgID, m: v})
+		}
+	case *msgCheckpoint:
+		if r := e.replicaFor(v.GroupID); r != nil {
+			r.q.push(taskCheckpoint{msgID: d.MsgID, m: v})
+		}
+	case *msgStateReq:
+		if r := e.replicaFor(v.GroupID); r != nil {
+			r.q.push(taskStateReq{m: v})
+		}
+	}
+}
+
+func (e *Engine) onGroupView(gv totem.GroupView) {
+	e.mu.Lock()
+	var target *replica
+	for gid, r := range e.hosted {
+		if gv.Group == invGroupName(gid) {
+			target = r
+			break
+		}
+	}
+	e.mu.Unlock()
+	if target != nil {
+		target.q.push(taskView{members: gv.Members})
+	}
+}
+
+// onRingView reports node-level faults derived from ring membership.
+func (e *Engine) onRingView(vc totem.ViewChange) {
+	e.mu.Lock()
+	old := e.ringMembers
+	e.ringMembers = append([]string(nil), vc.Members...)
+	notifier := e.cfg.Notifier
+	e.mu.Unlock()
+	if notifier == nil {
+		return
+	}
+	cur := make(map[string]bool, len(vc.Members))
+	for _, m := range vc.Members {
+		cur[m] = true
+	}
+	for _, m := range old {
+		if !cur[m] {
+			notifier.Push(fault.Report{Kind: fault.NodeCrash, Node: m, Member: m})
+		}
+	}
+}
+
+// completeCall routes a reply to the waiting client call, applying majority
+// voting when requested.
+func (e *Engine) completeCall(m *msgReply) {
+	e.mu.Lock()
+	p, ok := e.pending[m.Key]
+	if !ok {
+		e.mu.Unlock()
+		e.stat.dupReplies.Add(1)
+		return
+	}
+	if _, seen := p.votes[m.Node]; seen {
+		e.mu.Unlock()
+		e.stat.dupReplies.Add(1)
+		return
+	}
+	p.votes[m.Node] = m
+	if len(p.votes) < p.votesNeeded {
+		e.mu.Unlock()
+		return
+	}
+	delete(e.pending, m.Key)
+	winner := majorityReply(p.votes)
+	e.mu.Unlock()
+	p.ch <- winner
+}
+
+// majorityReply picks the most common (status, body) outcome among votes.
+func majorityReply(votes map[string]*msgReply) *msgReply {
+	type bucket struct {
+		rep   *msgReply
+		count int
+	}
+	buckets := make(map[string]*bucket, len(votes))
+	var best *bucket
+	for _, v := range votes {
+		sig := fmt.Sprintf("%d|%x", v.Status, v.Body)
+		b, ok := buckets[sig]
+		if !ok {
+			b = &bucket{rep: v}
+			buckets[sig] = b
+		}
+		b.count++
+		if best == nil || b.count > best.count {
+			best = b
+		}
+	}
+	return best.rep
+}
+
+func (e *Engine) registerCall(key opKey, votes int) (*pendingCall, error) {
+	if votes < 1 {
+		votes = 1
+	}
+	p := &pendingCall{
+		votesNeeded: votes,
+		votes:       make(map[string]*msgReply, votes),
+		ch:          make(chan *msgReply, 1),
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.stopped {
+		return nil, ErrEngineStopped
+	}
+	e.pending[key] = p
+	return p, nil
+}
+
+func (e *Engine) unregisterCall(key opKey) {
+	e.mu.Lock()
+	delete(e.pending, key)
+	e.mu.Unlock()
+}
+
+func (e *Engine) nextRootSeq() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.rootSeq++
+	return e.rootSeq
+}
+
+// newLogFor builds the per-replica log; kept as a hook so experiments can
+// swap in file-backed logs.
+func newLogFor(def GroupDef) wal.Log { return &wal.MemLog{} }

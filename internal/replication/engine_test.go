@@ -1,0 +1,571 @@
+package replication
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cdr"
+	"repro/internal/netsim"
+	"repro/internal/orb"
+	"repro/internal/totem"
+)
+
+// account is a deterministic, checkpointable test servant: a balance plus
+// an operation count.
+type account struct {
+	mu      sync.Mutex
+	balance int64
+	ops     int64
+}
+
+func (a *account) RepoID() string { return "IDL:repro/Account:1.0" }
+
+func (a *account) Dispatch(inv *orb.Invocation) ([]cdr.Value, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	switch inv.Operation {
+	case "add":
+		a.ops++
+		a.balance += int64(inv.Args[0].AsLong())
+		return []cdr.Value{cdr.LongLong(a.balance)}, nil
+	case "get":
+		return []cdr.Value{cdr.LongLong(a.balance), cdr.LongLong(a.ops)}, nil
+	case "overdraw":
+		return nil, &orb.UserException{Name: "IDL:repro/Overdraft:1.0", Info: []cdr.Value{cdr.LongLong(a.balance)}}
+	default:
+		return nil, errors.New("bad op")
+	}
+}
+
+func (a *account) GetState() ([]byte, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	e := cdr.NewEncoder(cdr.BigEndian)
+	e.WriteLongLong(a.balance)
+	e.WriteLongLong(a.ops)
+	out := make([]byte, e.Len())
+	copy(out, e.Bytes())
+	return out, nil
+}
+
+func (a *account) SetState(b []byte) error {
+	d := cdr.NewDecoder(b, cdr.BigEndian)
+	bal, err := d.ReadLongLong()
+	if err != nil {
+		return err
+	}
+	ops, err := d.ReadLongLong()
+	if err != nil {
+		return err
+	}
+	a.mu.Lock()
+	a.balance, a.ops = bal, ops
+	a.mu.Unlock()
+	return nil
+}
+
+func (a *account) snapshot() (int64, int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.balance, a.ops
+}
+
+// cluster is the replication test harness: n nodes, each with a ring and
+// an engine.
+type cluster struct {
+	t        *testing.T
+	fabric   *netsim.Fabric
+	nodes    []string
+	rings    map[string]*totem.Ring
+	engines  map[string]*Engine
+	servants map[string]map[uint64]*account
+}
+
+func newCluster(t *testing.T, n int) *cluster {
+	t.Helper()
+	c := &cluster{
+		t:        t,
+		fabric:   netsim.NewFabric(netsim.Config{Latency: 50 * time.Microsecond}),
+		rings:    make(map[string]*totem.Ring),
+		engines:  make(map[string]*Engine),
+		servants: make(map[string]map[uint64]*account),
+	}
+	for i := 0; i < n; i++ {
+		c.nodes = append(c.nodes, fmt.Sprintf("n%d", i+1))
+	}
+	for _, node := range c.nodes {
+		c.fabric.AddNode(node)
+	}
+	for _, node := range c.nodes {
+		r, err := totem.NewRing(c.fabric, totem.Config{
+			Node:              node,
+			Universe:          c.nodes,
+			Port:              4000,
+			HeartbeatInterval: 4 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Start()
+		c.rings[node] = r
+		e, err := NewEngine(Config{
+			Node:          node,
+			Ring:          r,
+			CallTimeout:   8 * time.Second,
+			RetryInterval: time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Start()
+		c.engines[node] = e
+		c.servants[node] = make(map[uint64]*account)
+	}
+	t.Cleanup(func() {
+		for _, e := range c.engines {
+			e.Stop()
+		}
+		for _, r := range c.rings {
+			r.Stop()
+		}
+	})
+	return c
+}
+
+// host places replicas of a fresh group on the given nodes.
+func (c *cluster) host(def GroupDef, on ...string) {
+	c.t.Helper()
+	for _, node := range on {
+		a := &account{}
+		c.servants[node][def.ID] = a
+		if err := c.engines[node].HostReplica(def, a, true); err != nil {
+			c.t.Fatal(err)
+		}
+	}
+	c.waitMembers(def.ID, on)
+}
+
+// waitMembers waits until every hosting node sees the expected membership.
+func (c *cluster) waitMembers(gid uint64, on []string) {
+	c.t.Helper()
+	want := append([]string(nil), on...)
+	sortStrings(want)
+	waitFor(c.t, 5*time.Second, fmt.Sprintf("group %d membership %v", gid, want), func() bool {
+		for _, node := range on {
+			st, ok := c.engines[node].GroupStatus(gid)
+			if !ok || st.Syncing || !equalStrings(st.Members, want) {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+func TestActiveReplicationConsistency(t *testing.T) {
+	c := newCluster(t, 4)
+	def := GroupDef{ID: 1, Name: "acct", Style: Active}
+	c.host(def, "n1", "n2", "n3")
+
+	proxy := c.engines["n4"].Proxy(GroupRef{ID: 1})
+	var want int64
+	for i := 1; i <= 10; i++ {
+		out, err := proxy.Invoke("add", cdr.Long(int32(i)))
+		if err != nil {
+			t.Fatalf("add %d: %v", i, err)
+		}
+		want += int64(i)
+		if out[0].AsLongLong() != want {
+			t.Fatalf("add %d returned %d, want %d", i, out[0].AsLongLong(), want)
+		}
+	}
+	// Every replica must have executed every operation and hold the same
+	// state.
+	waitFor(t, 5*time.Second, "replica convergence", func() bool {
+		for _, node := range []string{"n1", "n2", "n3"} {
+			bal, ops := c.servants[node][1].snapshot()
+			if bal != want || ops != 10 {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+func TestActiveReplicaCrashIsTransparent(t *testing.T) {
+	c := newCluster(t, 4)
+	def := GroupDef{ID: 1, Name: "acct", Style: Active}
+	c.host(def, "n1", "n2", "n3")
+	proxy := c.engines["n4"].Proxy(GroupRef{ID: 1})
+
+	if _, err := proxy.Invoke("add", cdr.Long(5)); err != nil {
+		t.Fatal(err)
+	}
+	c.fabric.CrashNode("n2")
+	c.engines["n2"].Stop()
+	c.rings["n2"].Stop()
+
+	// Invocations keep succeeding with no client-visible change.
+	out, err := proxy.Invoke("add", cdr.Long(7))
+	if err != nil {
+		t.Fatalf("post-crash add: %v", err)
+	}
+	if out[0].AsLongLong() != 12 {
+		t.Fatalf("post-crash balance %d, want 12", out[0].AsLongLong())
+	}
+}
+
+func TestWarmPassivePrimaryOnlyExecution(t *testing.T) {
+	c := newCluster(t, 4)
+	def := GroupDef{ID: 2, Name: "warm", Style: WarmPassive}
+	c.host(def, "n1", "n2", "n3")
+	proxy := c.engines["n4"].Proxy(GroupRef{ID: 2})
+
+	for i := 0; i < 5; i++ {
+		if _, err := proxy.Invoke("add", cdr.Long(10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Only the primary (n1, senior member) executes; backups apply state.
+	waitFor(t, 5*time.Second, "backup state sync", func() bool {
+		b2, _ := c.servants["n2"][2].snapshot()
+		b3, _ := c.servants["n3"][2].snapshot()
+		return b2 == 50 && b3 == 50
+	})
+	_, opsPrimary := c.servants["n1"][2].snapshot()
+	if opsPrimary != 5 {
+		t.Errorf("primary executed %d ops, want 5", opsPrimary)
+	}
+	// Backups applied full-state updates: their op counters mirror the
+	// primary's because state includes the counter.
+	if ex := c.engines["n2"].Stats().Executions; ex != 0 {
+		t.Errorf("backup n2 executed %d operations, want 0", ex)
+	}
+}
+
+func TestWarmPassiveFailover(t *testing.T) {
+	c := newCluster(t, 4)
+	def := GroupDef{ID: 3, Name: "warm", Style: WarmPassive}
+	c.host(def, "n1", "n2", "n3")
+	proxy := c.engines["n4"].Proxy(GroupRef{ID: 3})
+
+	if _, err := proxy.Invoke("add", cdr.Long(100)); err != nil {
+		t.Fatal(err)
+	}
+	c.fabric.CrashNode("n1") // kill the primary
+	c.engines["n1"].Stop()
+	c.rings["n1"].Stop()
+
+	out, err := proxy.Invoke("add", cdr.Long(1))
+	if err != nil {
+		t.Fatalf("failover add: %v", err)
+	}
+	if out[0].AsLongLong() != 101 {
+		t.Fatalf("state lost in failover: got %d, want 101", out[0].AsLongLong())
+	}
+	waitFor(t, 5*time.Second, "new primary", func() bool {
+		st, ok := c.engines["n2"].GroupStatus(3)
+		return ok && st.Primary == "n2"
+	})
+}
+
+func TestColdPassiveFailoverReplaysLog(t *testing.T) {
+	c := newCluster(t, 4)
+	def := GroupDef{ID: 4, Name: "cold", Style: ColdPassive, CheckpointEvery: 3}
+	c.host(def, "n1", "n2", "n3")
+	proxy := c.engines["n4"].Proxy(GroupRef{ID: 4})
+
+	var want int64
+	for i := 1; i <= 7; i++ {
+		if _, err := proxy.Invoke("add", cdr.Long(int32(i))); err != nil {
+			t.Fatal(err)
+		}
+		want += int64(i)
+	}
+	// Backups have NOT executed anything yet.
+	if bal, _ := c.servants["n2"][4].snapshot(); bal != 0 {
+		// A periodic checkpoint may have installed state; that's fine too —
+		// but executions must be zero.
+		if ex := c.engines["n2"].Stats().Executions; ex != 0 {
+			t.Fatalf("cold backup executed %d ops", ex)
+		}
+		_ = bal
+	}
+
+	c.fabric.CrashNode("n1")
+	c.engines["n1"].Stop()
+	c.rings["n1"].Stop()
+
+	out, err := proxy.Invoke("get")
+	if err != nil {
+		t.Fatalf("post-failover get: %v", err)
+	}
+	if out[0].AsLongLong() != want {
+		t.Fatalf("cold failover state %d, want %d", out[0].AsLongLong(), want)
+	}
+	if re := c.engines["n2"].Stats().Replays; re == 0 {
+		t.Error("expected replayed operations at the new cold primary")
+	}
+}
+
+func TestDuplicateInvocationSuppression(t *testing.T) {
+	c := newCluster(t, 2)
+	def := GroupDef{ID: 5, Name: "dup", Style: Active}
+	c.host(def, "n1")
+	// An aggressive retry interval forces retransmissions of the same
+	// logical operation.
+	proxy := c.engines["n2"].Proxy(GroupRef{ID: 5}, WithRetryInterval(3*time.Millisecond))
+
+	slowDone := make(chan struct{})
+	go func() {
+		defer close(slowDone)
+		if _, err := proxy.Invoke("add", cdr.Long(1)); err != nil {
+			t.Errorf("add: %v", err)
+		}
+	}()
+	<-slowDone
+	time.Sleep(50 * time.Millisecond)
+
+	bal, ops := c.servants["n1"][5].snapshot()
+	if bal != 1 || ops != 1 {
+		t.Fatalf("retransmissions corrupted state: balance=%d ops=%d", bal, ops)
+	}
+	if c.engines["n2"].Stats().Retries == 0 {
+		t.Skip("no retransmission happened (fast network); suppression not exercised")
+	}
+	if c.engines["n1"].Stats().DupInvocations == 0 {
+		t.Error("duplicates were retransmitted but none suppressed")
+	}
+}
+
+func TestNestedInvocationMixedStyles(t *testing.T) {
+	c := newCluster(t, 4)
+	// Group A (active, 2 replicas) calls group B (warm passive, 2
+	// replicas) from inside its dispatch — the paper's central scenario.
+	defB := GroupDef{ID: 11, Name: "B", Style: WarmPassive}
+	c.host(defB, "n3", "n4")
+
+	defA := GroupDef{ID: 10, Name: "A", Style: Active}
+	for _, node := range []string{"n1", "n2"} {
+		node := node
+		forwarder := orb.NewMethodServant("IDL:repro/Forwarder:1.0").
+			Define("addVia", func(inv *orb.Invocation) ([]cdr.Value, error) {
+				nested := Nested(inv, GroupRef{ID: 11})
+				return nested.Invoke("add", inv.Args[0])
+			})
+		if err := c.engines[node].HostReplica(defA, forwarder, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.waitMembers(10, []string{"n1", "n2"})
+
+	client := c.engines["n3"].Proxy(GroupRef{ID: 10})
+	out, err := client.Invoke("addVia", cdr.Long(42))
+	if err != nil {
+		t.Fatalf("nested invoke: %v", err)
+	}
+	if out[0].AsLongLong() != 42 {
+		t.Fatalf("nested result = %d", out[0].AsLongLong())
+	}
+
+	// Both replicas of A invoked B; B must have executed the operation
+	// exactly once.
+	waitFor(t, 5*time.Second, "B state", func() bool {
+		bal, ops := c.servants["n3"][11].snapshot()
+		return bal == 42 && ops == 1
+	})
+	time.Sleep(50 * time.Millisecond)
+	if _, ops := c.servants["n3"][11].snapshot(); ops != 1 {
+		t.Fatalf("duplicate nested invocation executed: ops=%d", ops)
+	}
+	dups := c.engines["n3"].Stats().DupInvocations + c.engines["n4"].Stats().DupInvocations
+	if dups == 0 {
+		t.Error("expected receiver-side duplicate suppression of the second replica's invocation")
+	}
+}
+
+func TestVotingMajority(t *testing.T) {
+	c := newCluster(t, 4)
+	def := GroupDef{ID: 12, Name: "vote", Style: ActiveWithVoting}
+	c.host(def, "n1", "n2", "n3")
+	proxy := c.engines["n4"].Proxy(GroupRef{ID: 12}, WithVotes(3))
+	// Many sequential calls: each needs all three replicas' responses, so
+	// this also guards against sender-side suppression starving the quorum
+	// (a voting group must never suppress its responses).
+	var want int64
+	for i := 1; i <= 40; i++ {
+		out, err := proxy.Invoke("add", cdr.Long(int32(i)))
+		if err != nil {
+			t.Fatalf("voted add %d: %v", i, err)
+		}
+		want += int64(i)
+		if out[0].AsLongLong() != want {
+			t.Fatalf("voted result = %d, want %d", out[0].AsLongLong(), want)
+		}
+	}
+}
+
+func TestUserExceptionPropagates(t *testing.T) {
+	c := newCluster(t, 2)
+	def := GroupDef{ID: 13, Name: "exc", Style: Active}
+	c.host(def, "n1")
+	proxy := c.engines["n2"].Proxy(GroupRef{ID: 13})
+	_, err := proxy.Invoke("overdraw")
+	var uexc *orb.UserException
+	if !errors.As(err, &uexc) || uexc.Name != "IDL:repro/Overdraft:1.0" {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestOnewayInvocation(t *testing.T) {
+	c := newCluster(t, 2)
+	def := GroupDef{ID: 14, Name: "ow", Style: Active}
+	c.host(def, "n1")
+	proxy := c.engines["n2"].Proxy(GroupRef{ID: 14})
+	if err := proxy.InvokeOneway("add", cdr.Long(3)); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "oneway effect", func() bool {
+		bal, _ := c.servants["n1"][14].snapshot()
+		return bal == 3
+	})
+}
+
+func TestJoinerStateTransfer(t *testing.T) {
+	c := newCluster(t, 3)
+	def := GroupDef{ID: 15, Name: "join", Style: Active}
+	c.host(def, "n1", "n2")
+	proxy := c.engines["n3"].Proxy(GroupRef{ID: 15})
+	for i := 0; i < 4; i++ {
+		if _, err := proxy.Invoke("add", cdr.Long(25)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A new replica joins mid-stream and must be brought up to state.
+	late := &account{}
+	c.servants["n3"][15] = late
+	if err := c.engines["n3"].HostReplica(def, late, false); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "joiner synced", func() bool {
+		st, ok := c.engines["n3"].GroupStatus(15)
+		if !ok || st.Syncing {
+			return false
+		}
+		bal, _ := late.snapshot()
+		return bal == 100
+	})
+	if c.engines["n3"].Stats().StateTransfers == 0 {
+		t.Error("joiner did not record a state transfer")
+	}
+
+	// The joiner now participates: kill the old members, state survives.
+	for _, n := range []string{"n1", "n2"} {
+		c.fabric.CrashNode(n)
+		c.engines[n].Stop()
+		c.rings[n].Stop()
+	}
+	local := c.engines["n3"].Proxy(GroupRef{ID: 15})
+	out, err := local.Invoke("get")
+	if err != nil {
+		t.Fatalf("surviving joiner: %v", err)
+	}
+	if out[0].AsLongLong() != 100 {
+		t.Fatalf("joiner state = %d, want 100", out[0].AsLongLong())
+	}
+}
+
+func TestEngineStopUnblocksCallers(t *testing.T) {
+	c := newCluster(t, 2)
+	def := GroupDef{ID: 16, Name: "stop", Style: Active}
+	c.host(def, "n1")
+	proxy := c.engines["n2"].Proxy(GroupRef{ID: 16}, WithTimeout(30*time.Second))
+	c.fabric.CrashNode("n1") // no one will answer
+	done := make(chan error, 1)
+	go func() {
+		_, err := proxy.Invoke("add", cdr.Long(1))
+		done <- err
+	}()
+	time.Sleep(30 * time.Millisecond)
+	c.engines["n2"].Stop()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrEngineStopped) {
+			t.Fatalf("got %v, want ErrEngineStopped", err)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("caller not unblocked by Stop")
+	}
+}
+
+func TestHostReplicaErrors(t *testing.T) {
+	c := newCluster(t, 1)
+	def := GroupDef{ID: 17, Name: "dup-host", Style: Active}
+	c.host(def, "n1")
+	err := c.engines["n1"].HostReplica(def, &account{}, true)
+	if !errors.Is(err, ErrAlreadyHosted) {
+		t.Fatalf("got %v, want ErrAlreadyHosted", err)
+	}
+}
+
+func TestCallTimeout(t *testing.T) {
+	c := newCluster(t, 2)
+	// Group 99 is hosted nowhere: the call must time out.
+	proxy := c.engines["n1"].Proxy(GroupRef{ID: 99}, WithTimeout(80*time.Millisecond), WithRetryInterval(30*time.Millisecond))
+	_, err := proxy.Invoke("add", cdr.Long(1))
+	if !errors.Is(err, ErrCallTimeout) {
+		t.Fatalf("got %v, want ErrCallTimeout", err)
+	}
+}
+
+func TestStyleStrings(t *testing.T) {
+	for s, want := range map[Style]string{
+		Active: "ACTIVE", WarmPassive: "WARM_PASSIVE", ColdPassive: "COLD_PASSIVE",
+		Stateless: "STATELESS", ActiveWithVoting: "ACTIVE_WITH_VOTING",
+	} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q", s, s.String())
+		}
+	}
+	if Style(99).String() == "" {
+		t.Error("unknown style")
+	}
+	if !Active.IsActive() || Active.IsPassive() || !WarmPassive.IsPassive() {
+		t.Error("style predicates")
+	}
+}

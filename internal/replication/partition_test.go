@@ -1,0 +1,284 @@
+package replication
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cdr"
+	"repro/internal/orb"
+)
+
+// inventory models the paper's automobile example: a stock counter that
+// sells cars, with a fulfillment mapping that turns a partitioned-time
+// "sell" into a "sellOrBackOrder" applied to the merged state.
+type inventory struct {
+	mu         sync.Mutex
+	stock      int64
+	sold       int64
+	backOrders int64
+}
+
+func (s *inventory) RepoID() string { return "IDL:repro/Inventory:1.0" }
+
+func (s *inventory) Dispatch(inv *orb.Invocation) ([]cdr.Value, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch inv.Operation {
+	case "stockUp":
+		s.stock += int64(inv.Args[0].AsLong())
+		return []cdr.Value{cdr.LongLong(s.stock)}, nil
+	case "sell":
+		if s.stock <= 0 {
+			return nil, &orb.UserException{Name: "IDL:repro/OutOfStock:1.0"}
+		}
+		s.stock--
+		s.sold++
+		return []cdr.Value{cdr.LongLong(s.stock)}, nil
+	case "sellOrBackOrder":
+		if s.stock > 0 {
+			s.stock--
+			s.sold++
+		} else {
+			s.backOrders++
+			s.sold++
+		}
+		return []cdr.Value{cdr.LongLong(s.stock)}, nil
+	case "report":
+		return []cdr.Value{cdr.LongLong(s.stock), cdr.LongLong(s.sold), cdr.LongLong(s.backOrders)}, nil
+	default:
+		return nil, &orb.UserException{Name: "IDL:repro/BadOp:1.0"}
+	}
+}
+
+func (s *inventory) MapFulfillment(op string, args []cdr.Value) (string, []cdr.Value, bool) {
+	if op == "sell" {
+		return "sellOrBackOrder", args, true
+	}
+	// Reads performed while partitioned need no fulfillment.
+	if op == "report" {
+		return "", nil, false
+	}
+	return op, args, true
+}
+
+func (s *inventory) GetState() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := cdr.NewEncoder(cdr.BigEndian)
+	e.WriteLongLong(s.stock)
+	e.WriteLongLong(s.sold)
+	e.WriteLongLong(s.backOrders)
+	out := make([]byte, e.Len())
+	copy(out, e.Bytes())
+	return out, nil
+}
+
+func (s *inventory) SetState(b []byte) error {
+	d := cdr.NewDecoder(b, cdr.BigEndian)
+	stock, err := d.ReadLongLong()
+	if err != nil {
+		return err
+	}
+	sold, err := d.ReadLongLong()
+	if err != nil {
+		return err
+	}
+	back, err := d.ReadLongLong()
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.stock, s.sold, s.backOrders = stock, sold, back
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *inventory) snapshot() (stock, sold, back int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stock, s.sold, s.backOrders
+}
+
+// hostInventory places inventory replicas (bypassing the account-based
+// helper).
+func hostInventory(t *testing.T, c *cluster, def GroupDef, on ...string) map[string]*inventory {
+	t.Helper()
+	servants := make(map[string]*inventory, len(on))
+	for _, node := range on {
+		s := &inventory{}
+		servants[node] = s
+		if err := c.engines[node].HostReplica(def, s, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.waitMembers(def.ID, on)
+	return servants
+}
+
+// TestPartitionBothComponentsOperate reproduces the paper's automobile
+// scenario: a partitioned group keeps serving in both components; at
+// remerge the primary component's state is transferred and the secondary's
+// operations are re-applied as fulfillment operations.
+func TestPartitionFulfillment(t *testing.T) {
+	c := newCluster(t, 4)
+	def := GroupDef{ID: 20, Name: "inv", Style: Active}
+	servants := hostInventory(t, c, def, "n1", "n2", "n3")
+
+	// Seed stock through a client on n4.
+	seed := c.engines["n4"].Proxy(GroupRef{ID: 20})
+	if _, err := seed.Invoke("stockUp", cdr.Long(10)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Partition: {n1,n2,n4} is the majority (primary) component; {n3} is a
+	// disconnected showroom.
+	c.fabric.Partition([]string{"n1", "n2", "n4"}, []string{"n3"})
+	waitFor(t, 5*time.Second, "secondary component view", func() bool {
+		st, ok := c.engines["n3"].GroupStatus(20)
+		return ok && st.Secondary && len(st.Members) == 1
+	})
+	waitFor(t, 5*time.Second, "primary component view", func() bool {
+		st, ok := c.engines["n1"].GroupStatus(20)
+		return ok && !st.Secondary && len(st.Members) == 2
+	})
+
+	// Sales continue on both sides of the partition.
+	primarySide := c.engines["n4"].Proxy(GroupRef{ID: 20})
+	for i := 0; i < 3; i++ {
+		if _, err := primarySide.Invoke("sell"); err != nil {
+			t.Fatalf("primary-side sell %d: %v", i, err)
+		}
+	}
+	secondarySide := c.engines["n3"].Proxy(GroupRef{ID: 20})
+	for i := 0; i < 2; i++ {
+		if _, err := secondarySide.Invoke("sell"); err != nil {
+			t.Fatalf("secondary-side sell %d: %v", i, err)
+		}
+	}
+
+	// The disconnected showroom sees its own (divergent) state.
+	stock3, _, _ := servants["n3"].snapshot()
+	if stock3 != 8 {
+		t.Fatalf("secondary stock = %d, want 8", stock3)
+	}
+
+	// Remerge: state transfer from the primary component, then the
+	// secondary's two sales replay as fulfillment operations.
+	c.fabric.Heal()
+	waitFor(t, 10*time.Second, "fulfillment reconciliation", func() bool {
+		for _, node := range []string{"n1", "n2", "n3"} {
+			stock, sold, back := servants[node].snapshot()
+			if stock != 5 || sold != 5 || back != 0 {
+				return false
+			}
+		}
+		return true
+	})
+	if f := c.engines["n3"].Stats().Fulfillments; f != 2 {
+		t.Errorf("fulfillment count = %d, want 2", f)
+	}
+	// All replicas fully consistent and out of secondary mode.
+	for _, node := range []string{"n1", "n2", "n3"} {
+		st, _ := c.engines[node].GroupStatus(20)
+		if st.Secondary || st.Syncing {
+			t.Errorf("%s still secondary/syncing: %+v", node, st)
+		}
+	}
+}
+
+// TestPartitionBackOrder drives the conflict case: both components sell
+// more than the remaining stock, so fulfillment generates back orders.
+func TestPartitionBackOrder(t *testing.T) {
+	c := newCluster(t, 4)
+	def := GroupDef{ID: 21, Name: "inv", Style: Active}
+	servants := hostInventory(t, c, def, "n1", "n2", "n3")
+
+	seed := c.engines["n4"].Proxy(GroupRef{ID: 21})
+	if _, err := seed.Invoke("stockUp", cdr.Long(3)); err != nil {
+		t.Fatal(err)
+	}
+
+	c.fabric.Partition([]string{"n1", "n2", "n4"}, []string{"n3"})
+	waitFor(t, 5*time.Second, "split views", func() bool {
+		st3, ok3 := c.engines["n3"].GroupStatus(21)
+		st1, ok1 := c.engines["n1"].GroupStatus(21)
+		return ok3 && ok1 && st3.Secondary && len(st1.Members) == 2
+	})
+
+	primarySide := c.engines["n4"].Proxy(GroupRef{ID: 21})
+	for i := 0; i < 3; i++ {
+		if _, err := primarySide.Invoke("sell"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	secondarySide := c.engines["n3"].Proxy(GroupRef{ID: 21})
+	for i := 0; i < 2; i++ {
+		if _, err := secondarySide.Invoke("sell"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	c.fabric.Heal()
+	// Primary sold all 3; the secondary's 2 sales have no stock left and
+	// become back orders (rush manufacturing, per the paper).
+	waitFor(t, 10*time.Second, "back orders recorded", func() bool {
+		for _, node := range []string{"n1", "n2", "n3"} {
+			stock, sold, back := servants[node].snapshot()
+			if stock != 0 || sold != 5 || back != 2 {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// TestPartitionWarmPassive checks partitioned operation under a passive
+// style: each component's senior surviving member acts as its primary.
+func TestPartitionWarmPassive(t *testing.T) {
+	c := newCluster(t, 4)
+	def := GroupDef{ID: 22, Name: "winv", Style: WarmPassive}
+	servants := hostInventory(t, c, def, "n1", "n2", "n3")
+
+	seed := c.engines["n4"].Proxy(GroupRef{ID: 22})
+	if _, err := seed.Invoke("stockUp", cdr.Long(6)); err != nil {
+		t.Fatal(err)
+	}
+
+	c.fabric.Partition([]string{"n1", "n4"}, []string{"n2", "n3"})
+	waitFor(t, 5*time.Second, "component views", func() bool {
+		st1, ok1 := c.engines["n1"].GroupStatus(22)
+		st2, ok2 := c.engines["n2"].GroupStatus(22)
+		return ok1 && ok2 && len(st1.Members) == 1 && len(st2.Members) == 2 &&
+			st2.Primary == "n2"
+	})
+
+	// {n2,n3} kept 2 of 3 members: majority → primary component.
+	// {n1} is secondary but keeps serving.
+	if st, _ := c.engines["n1"].GroupStatus(22); !st.Secondary {
+		t.Fatal("n1 should be the secondary component")
+	}
+	if st, _ := c.engines["n2"].GroupStatus(22); st.Secondary {
+		t.Fatal("n2/n3 should be the primary component")
+	}
+
+	majority := c.engines["n2"].Proxy(GroupRef{ID: 22})
+	if _, err := majority.Invoke("sell"); err != nil {
+		t.Fatalf("majority sell: %v", err)
+	}
+	minority := c.engines["n1"].Proxy(GroupRef{ID: 22})
+	if _, err := minority.Invoke("sell"); err != nil {
+		t.Fatalf("minority sell: %v", err)
+	}
+
+	c.fabric.Heal()
+	waitFor(t, 10*time.Second, "warm passive reconciliation", func() bool {
+		for _, node := range []string{"n1", "n2", "n3"} {
+			stock, sold, _ := servants[node].snapshot()
+			if stock != 4 || sold != 2 {
+				return false
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,174 @@
+package replication
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cdr"
+	"repro/internal/nondet"
+	"repro/internal/orb"
+)
+
+// CallCtx is attached to orb.Invocation.Caller while a replica executes, so
+// servants can perform deterministic nested invocations: every replica of
+// the calling group derives the identical operation identifier, letting the
+// target group suppress the duplicates.
+type CallCtx struct {
+	eng   *Engine
+	gid   uint64
+	msgID uint64
+	det   *nondet.Context
+}
+
+// ProxyOption customizes a group proxy.
+type ProxyOption func(*Proxy)
+
+// WithVotes makes the proxy wait for n replies and return the majority
+// outcome (ACTIVE_WITH_VOTING on the client side).
+func WithVotes(n int) ProxyOption {
+	return func(p *Proxy) {
+		if n > 0 {
+			p.votes = n
+		}
+	}
+}
+
+// WithTimeout overrides the engine's call timeout for this proxy.
+func WithTimeout(d time.Duration) ProxyOption {
+	return func(p *Proxy) {
+		if d > 0 {
+			p.timeout = d
+		}
+	}
+}
+
+// WithRetryInterval overrides the retransmission interval.
+func WithRetryInterval(d time.Duration) ProxyOption {
+	return func(p *Proxy) {
+		if d > 0 {
+			p.retry = d
+		}
+	}
+}
+
+// Proxy issues invocations to one object group. It is safe for concurrent
+// use.
+type Proxy struct {
+	eng     *Engine
+	gid     uint64
+	votes   int
+	timeout time.Duration
+	retry   time.Duration
+	ctx     *CallCtx // non-nil for nested (deterministic) proxies
+}
+
+// Proxy creates a root (client-side) proxy for the group.
+func (e *Engine) Proxy(ref GroupRef, opts ...ProxyOption) *Proxy {
+	p := &Proxy{
+		eng:     e,
+		gid:     ref.ID,
+		votes:   1,
+		timeout: e.cfg.CallTimeout,
+		retry:   e.cfg.RetryInterval,
+	}
+	for _, opt := range opts {
+		opt(p)
+	}
+	return p
+}
+
+// Nested creates a proxy for a nested invocation from inside a replica's
+// Dispatch. All replicas of the calling group produce the same operation
+// identifiers, so the target group executes the operation exactly once.
+// It panics if inv did not come through the replication engine.
+func Nested(inv *orb.Invocation, ref GroupRef, opts ...ProxyOption) *Proxy {
+	ctx, ok := inv.Caller.(*CallCtx)
+	if !ok {
+		panic("replication: Nested called outside a replicated dispatch")
+	}
+	p := ctx.eng.Proxy(ref, opts...)
+	p.ctx = ctx
+	return p
+}
+
+// Invoke performs a twoway invocation and returns the decoded outcome.
+func (p *Proxy) Invoke(op string, args ...cdr.Value) ([]cdr.Value, error) {
+	return p.call(op, args, false)
+}
+
+// InvokeOneway multicasts an invocation without waiting for a reply.
+func (p *Proxy) InvokeOneway(op string, args ...cdr.Value) error {
+	_, err := p.call(op, args, true)
+	return err
+}
+
+func (p *Proxy) nextKey(op string) opKey {
+	if p.ctx != nil {
+		return opKey{
+			ClientID:  fmt.Sprintf("g:%d", p.ctx.gid),
+			ParentSeq: p.ctx.msgID,
+			OpSeq:     p.ctx.det.Seq("nested-op"),
+		}
+	}
+	return opKey{
+		ClientID:  "c:" + p.eng.cfg.Node,
+		ParentSeq: 0,
+		OpSeq:     p.eng.nextRootSeq(),
+	}
+}
+
+func (p *Proxy) call(op string, args []cdr.Value, oneway bool) ([]cdr.Value, error) {
+	key := p.nextKey(op)
+	inv := &msgInvocation{
+		GroupID:   p.gid,
+		Key:       key,
+		Operation: op,
+		Args:      orb.EncodeRequestBody(args),
+		Oneway:    oneway,
+	}
+	payload := encodeWire(inv)
+
+	if oneway {
+		return nil, p.eng.cfg.Ring.Multicast(invGroupName(p.gid), payload)
+	}
+
+	// Subscribe to the group's reply stream before sending, so the reply
+	// cannot race the subscription.
+	p.eng.ensureReplyJoined(p.gid)
+
+	pc, err := p.eng.registerCall(key, p.votes)
+	if err != nil {
+		return nil, err
+	}
+	defer p.eng.unregisterCall(key)
+
+	if err := p.eng.cfg.Ring.Multicast(invGroupName(p.gid), payload); err != nil {
+		return nil, err
+	}
+
+	deadline := time.NewTimer(p.timeout)
+	defer deadline.Stop()
+	retry := time.NewTicker(p.retry)
+	defer retry.Stop()
+	for {
+		select {
+		case rep, ok := <-pc.ch:
+			if !ok {
+				return nil, ErrEngineStopped
+			}
+			return wireToOutcome(rep.Status, rep.Body)
+		case <-retry.C:
+			// Retransmit with the same operation identifier: the group
+			// suppresses the duplicate and re-sends the logged reply if the
+			// operation already executed (FT-CORBA request retention).
+			p.eng.stat.retries.Add(1)
+			if err := p.eng.cfg.Ring.Multicast(invGroupName(p.gid), payload); err != nil {
+				return nil, err
+			}
+		case <-deadline.C:
+			return nil, fmt.Errorf("%w: %s on group %d", ErrCallTimeout, op, p.gid)
+		case <-p.eng.stopCh:
+			return nil, ErrEngineStopped
+		}
+	}
+}

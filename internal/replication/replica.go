@@ -1,0 +1,849 @@
+package replication
+
+import (
+	"errors"
+	"sort"
+	"time"
+
+	"repro/internal/cdr"
+	"repro/internal/fault"
+	"repro/internal/giop"
+	"repro/internal/nondet"
+	"repro/internal/orb"
+	"repro/internal/wal"
+)
+
+// FulfillmentMapper is optionally implemented by servants to translate an
+// operation performed in a secondary partition component into the
+// fulfillment operation applied to the merged state (e.g. a plain "sell"
+// becomes "sellOrBackOrder"). Returning ok=false drops the operation.
+// Without the interface, operations replay unchanged.
+type FulfillmentMapper interface {
+	MapFulfillment(op string, args []cdr.Value) (newOp string, newArgs []cdr.Value, ok bool)
+}
+
+// Executor task kinds.
+type taskInvoke struct {
+	msgID uint64
+	m     *msgInvocation
+}
+
+type taskReply struct {
+	msgID uint64
+	m     *msgReply
+}
+
+type taskCheckpoint struct {
+	msgID uint64
+	m     *msgCheckpoint
+}
+
+type taskView struct {
+	members []string
+}
+
+type taskStateReq struct {
+	m *msgStateReq
+}
+
+// opRecord is one duplicate-detection entry.
+type opRecord struct {
+	deliveredInv  bool // the invocation itself was delivered here before
+	answered      bool // a reply for the operation has been delivered
+	executedLocal bool // this replica executed the operation
+	reply         *msgReply
+}
+
+type fulfillRec struct {
+	op   string
+	args []byte
+}
+
+// replica is one hosted member of an object group. All fields below `mu`
+// are shared between the engine loop and the executor; the remaining
+// protocol state is owned by the executor goroutine.
+type replica struct {
+	eng     *Engine
+	def     GroupDef
+	servant orb.Servant
+	q       *taskQueue
+	log     wal.Log
+
+	mu        chanMutex
+	dedup     map[opKey]*opRecord
+	dedupFIFO []opKey
+	members   []string
+	secondary bool
+	syncing   bool
+	lastExec  uint64
+
+	// Executor-owned state.
+	buffer       []any        // tasks held in order while syncing
+	pendingOps   []taskInvoke // delivered, not yet covered (warm backups)
+	fulfill      []fulfillRec // operations performed while secondary
+	preSplit     []string     // view before this member became secondary
+	former       map[string]bool
+	opsSinceCk   int
+	fulfillSeq   uint64
+	everHadView  bool
+	stuck        map[string]bool // members known to be awaiting state transfer
+	lastSnapResp time.Time       // rate limit for state-request answers
+}
+
+// chanMutex is a tiny mutex built on a 1-buffered channel (keeps the
+// replica struct copy-safe checks simple and supports try-lock if needed).
+type chanMutex chan struct{}
+
+func newChanMutex() chanMutex {
+	m := make(chanMutex, 1)
+	m <- struct{}{}
+	return m
+}
+
+func (m chanMutex) lock()   { <-m }
+func (m chanMutex) unlock() { m <- struct{}{} }
+
+func newReplica(e *Engine, def GroupDef, servant orb.Servant, syncing bool) *replica {
+	if _, ok := servant.(orb.Checkpointable); !ok || def.Style == Stateless {
+		// Nothing to transfer: the replica is operational immediately.
+		syncing = false
+	}
+	return &replica{
+		eng:     e,
+		def:     def,
+		servant: servant,
+		q:       newTaskQueue(),
+		log:     newLogFor(def),
+		mu:      newChanMutex(),
+		dedup:   make(map[opKey]*opRecord),
+		syncing: syncing,
+		former:  make(map[string]bool),
+		stuck:   make(map[string]bool),
+	}
+}
+
+func (r *replica) status() GroupStatus {
+	r.mu.lock()
+	defer r.mu.unlock()
+	st := GroupStatus{
+		Members:   append([]string(nil), r.members...),
+		Secondary: r.secondary,
+		Syncing:   r.syncing,
+		LastExec:  r.lastExec,
+	}
+	if len(st.Members) > 0 {
+		st.Primary = st.Members[0]
+	}
+	return st
+}
+
+// markAnswered is called from the engine loop the moment a reply is
+// delivered: it records the logged reply for duplicate answering and
+// implements sender-side response suppression (a replica that learns of
+// another replica's response before transmitting its own suppresses its
+// own).
+func (r *replica) markAnswered(m *msgReply) {
+	r.mu.lock()
+	rec, ok := r.dedup[m.Key]
+	if !ok {
+		rec = &opRecord{}
+		r.dedup[m.Key] = rec
+		r.dedupGCLocked(m.Key)
+	}
+	if !rec.answered {
+		rec.answered = true
+		rec.reply = m
+	}
+	r.mu.unlock()
+}
+
+// dedupGCLocked bounds the duplicate-detection table.
+func (r *replica) dedupGCLocked(k opKey) {
+	r.dedupFIFO = append(r.dedupFIFO, k)
+	for len(r.dedupFIFO) > dedupRetain {
+		old := r.dedupFIFO[0]
+		r.dedupFIFO = r.dedupFIFO[1:]
+		delete(r.dedup, old)
+	}
+}
+
+func (r *replica) executorLoop() {
+	for {
+		item, ok := r.q.pop(r.eng.stopCh)
+		if !ok {
+			return
+		}
+		switch t := item.(type) {
+		case taskInvoke:
+			r.onInvoke(t)
+		case taskReply:
+			r.onReply(t)
+		case taskCheckpoint:
+			r.onCheckpoint(t)
+		case taskView:
+			r.onView(t)
+		case taskStateReq:
+			r.onStateReq(t)
+		}
+	}
+}
+
+// isPrimary reports whether this node currently leads the group (senior
+// member of the current — possibly component-local — view).
+func (r *replica) isPrimary() bool {
+	r.mu.lock()
+	defer r.mu.unlock()
+	return len(r.members) > 0 && r.members[0] == r.eng.cfg.Node
+}
+
+func (r *replica) onInvoke(t taskInvoke) {
+	r.mu.lock()
+	syncing := r.syncing
+	secondary := r.secondary
+	r.mu.unlock()
+
+	if syncing {
+		r.buffer = append(r.buffer, t)
+		return
+	}
+	if secondary && !t.m.Fulfillment {
+		// Queue for post-remerge fulfillment (every member of the
+		// secondary component keeps the queue so any survivor can send it).
+		r.fulfill = append(r.fulfill, fulfillRec{op: t.m.Operation, args: t.m.Args})
+	}
+	r.process(t, false)
+}
+
+// process runs the style-appropriate handling for one delivered
+// invocation. replay marks failover re-execution of an already-recorded
+// operation.
+func (r *replica) process(t taskInvoke, replay bool) {
+	r.mu.lock()
+	rec, ok := r.dedup[t.m.Key]
+	if !ok {
+		rec = &opRecord{}
+		r.dedup[t.m.Key] = rec
+		r.dedupGCLocked(t.m.Key)
+	}
+	duplicate := rec.deliveredInv
+	rec.deliveredInv = true
+	answered := rec.answered
+	executed := rec.executedLocal
+	r.mu.unlock()
+
+	if duplicate && !replay {
+		// Receiver-side duplicate suppression: the operation was already
+		// delivered (redundant client replicas or retransmission).
+		r.eng.stat.dupInvocations.Add(1)
+		if answered && r.shouldAnswerDuplicates() {
+			r.mu.lock()
+			logged := rec.reply
+			r.mu.unlock()
+			if logged != nil {
+				r.multicastReply(logged)
+			}
+		}
+		return
+	}
+	if executed {
+		return
+	}
+
+	if r.def.Style.IsActive() || r.isPrimary() {
+		r.run(t, rec)
+		return
+	}
+
+	// Passive backup: hold the operation for possible failover replay.
+	r.pendingOps = append(r.pendingOps, t)
+	if r.def.Style == ColdPassive {
+		_ = r.log.Append(wal.Record{
+			Kind:  wal.KindUpdate,
+			MsgID: t.msgID,
+			Op:    t.m.Operation,
+			Data:  encodeWire(t.m),
+		})
+	}
+}
+
+// shouldAnswerDuplicates limits who re-sends logged replies for duplicate
+// invocations, avoiding a reply storm: the primary for passive styles, the
+// senior member for active styles.
+func (r *replica) shouldAnswerDuplicates() bool { return r.isPrimary() }
+
+// run executes one invocation on the local servant and multicasts the
+// reply (unless suppressed).
+func (r *replica) run(t taskInvoke, rec *opRecord) {
+	det := nondet.NewContext(r.def.ID, t.msgID, epochAnchor)
+	args, err := orb.DecodeRequestBody(t.m.Args)
+	var results []cdr.Value
+	if err == nil {
+		inv := &orb.Invocation{
+			Operation: t.m.Operation,
+			Args:      args,
+			Det:       det,
+			Caller:    &CallCtx{eng: r.eng, gid: r.def.ID, msgID: t.msgID, det: det},
+		}
+		results, err = r.servant.Dispatch(inv)
+	}
+	r.eng.stat.executions.Add(1)
+
+	rep := &msgReply{
+		GroupID:   r.def.ID,
+		Key:       t.m.Key,
+		Node:      r.eng.cfg.Node,
+		ExecMsgID: t.msgID,
+	}
+	rep.Status, rep.Body = outcomeToWire(results, err)
+
+	// Passive primaries piggyback the state update on the reply.
+	if r.def.Style == WarmPassive {
+		if upd, ok := r.servant.(orb.Updatable); ok {
+			if delta, uerr := upd.LastUpdate(); uerr == nil {
+				rep.Update = delta
+			}
+		}
+		if rep.Update == nil {
+			if ck, ok := r.servant.(orb.Checkpointable); ok {
+				if full, serr := ck.GetState(); serr == nil {
+					rep.Update = full
+					rep.UpdateFull = true
+				}
+			}
+		}
+		_ = r.log.Append(wal.Record{Kind: wal.KindUpdate, MsgID: t.msgID, Op: t.m.Operation, Data: rep.Update})
+	}
+
+	r.mu.lock()
+	r.lastExec = t.msgID
+	rec.executedLocal = true
+	send := !rec.answered
+	if !rec.answered {
+		rec.answered = true
+		rec.reply = rep
+	}
+	if r.def.Style == ActiveWithVoting {
+		// Voting clients need every replica's independent response;
+		// sender-side suppression would starve the quorum.
+		send = true
+	}
+	r.mu.unlock()
+
+	if send {
+		r.multicastReply(rep)
+	} else {
+		// Another replica's response was delivered before we transmitted
+		// ours: sender-side suppression (the paper's Figure 2).
+		r.eng.stat.suppressedReplies.Add(1)
+	}
+
+	r.maybeCheckpoint()
+}
+
+// maybeCheckpoint emits a periodic full-state checkpoint from the primary
+// of a passive group (cold backups truncate their invocation logs on it).
+func (r *replica) maybeCheckpoint() {
+	if !r.def.Style.IsPassive() || !r.isPrimary() {
+		return
+	}
+	r.opsSinceCk++
+	if r.opsSinceCk < r.def.CheckpointEvery {
+		return
+	}
+	r.opsSinceCk = 0
+	r.sendCheckpoint(ckptPeriodic)
+}
+
+func (r *replica) sendCheckpoint(reason uint8) {
+	ck, ok := r.servant.(orb.Checkpointable)
+	if !ok {
+		return
+	}
+	state, err := ck.GetState()
+	if err != nil {
+		return
+	}
+	r.mu.lock()
+	upTo := r.lastExec
+	r.mu.unlock()
+	r.eng.stat.checkpoints.Add(1)
+	_ = r.eng.cfg.Ring.Multicast(invGroupName(r.def.ID), encodeWire(&msgCheckpoint{
+		GroupID:   r.def.ID,
+		Reason:    reason,
+		UpToMsgID: upTo,
+		State:     state,
+	}))
+}
+
+func (r *replica) multicastReply(rep *msgReply) {
+	_ = r.eng.cfg.Ring.Multicast(repGroupName(r.def.ID), encodeWire(rep))
+}
+
+// onReply applies passive state updates and clears covered pending
+// operations. (Client-call completion and answered-marking already happened
+// in the engine loop.)
+func (r *replica) onReply(t taskReply) {
+	m := t.m
+	r.mu.lock()
+	syncing := r.syncing
+	r.mu.unlock()
+	if syncing {
+		// Hold updates in order; adoptState replays the ones the
+		// transferred snapshot does not already cover.
+		r.buffer = append(r.buffer, t)
+		return
+	}
+	if r.def.Style == WarmPassive && m.Node != r.eng.cfg.Node && len(m.Update) > 0 {
+		r.mu.lock()
+		stale := m.ExecMsgID <= r.lastExec
+		r.mu.unlock()
+		if !stale {
+			applied := false
+			if m.UpdateFull {
+				if ck, ok := r.servant.(orb.Checkpointable); ok {
+					applied = ck.SetState(m.Update) == nil
+				}
+			} else if upd, ok := r.servant.(orb.Updatable); ok {
+				applied = upd.ApplyUpdate(m.Update) == nil
+			}
+			if applied {
+				r.mu.lock()
+				r.lastExec = m.ExecMsgID
+				r.mu.unlock()
+				_ = r.log.Append(wal.Record{Kind: wal.KindUpdate, MsgID: m.ExecMsgID, Op: "update", Data: m.Update})
+			}
+		}
+	}
+	// The operation is covered: drop it from the failover-pending list.
+	for i := range r.pendingOps {
+		if r.pendingOps[i].m.Key == m.Key {
+			r.pendingOps = append(r.pendingOps[:i], r.pendingOps[i+1:]...)
+			break
+		}
+	}
+}
+
+func (r *replica) onCheckpoint(t taskCheckpoint) {
+	m := t.m
+	r.stuck = make(map[string]bool) // a snapshot unsticks its adopters
+	r.mu.lock()
+	syncing := r.syncing
+	secondary := r.secondary
+	r.mu.unlock()
+
+	if syncing {
+		r.adoptState(m)
+		return
+	}
+	if secondary && m.Reason == ckptRemerge {
+		// A remerge checkpoint can arrive before our own view task if the
+		// primary side reacted first; adopt it as the merged state.
+		r.adoptState(m)
+		return
+	}
+
+	// Operational members: persist and compact the log (the cold passive
+	// truncation point), and drop covered pending operations.
+	_ = r.log.Append(wal.Record{Kind: wal.KindCheckpoint, MsgID: m.UpToMsgID, Data: m.State})
+	_ = r.log.TruncateAtCheckpoint()
+	kept := r.pendingOps[:0]
+	for _, p := range r.pendingOps {
+		if p.msgID > m.UpToMsgID {
+			kept = append(kept, p)
+		}
+	}
+	r.pendingOps = kept
+}
+
+// adoptState installs a transferred state snapshot and replays buffered
+// invocations past it — the join/remerge synchronization point.
+func (r *replica) adoptState(m *msgCheckpoint) {
+	ck, ok := r.servant.(orb.Checkpointable)
+	if ok {
+		if err := ck.SetState(m.State); err != nil {
+			return
+		}
+	}
+	r.eng.stat.stateTransfers.Add(1)
+	_ = r.log.Append(wal.Record{Kind: wal.KindCheckpoint, MsgID: m.UpToMsgID, Data: m.State})
+	_ = r.log.TruncateAtCheckpoint()
+
+	r.mu.lock()
+	r.lastExec = m.UpToMsgID
+	r.syncing = false
+	wasSecondary := r.secondary
+	r.secondary = false
+	r.mu.unlock()
+
+	if wasSecondary {
+		r.sendFulfillments()
+	}
+	buffered := r.buffer
+	r.buffer = nil
+	for _, item := range buffered {
+		switch t := item.(type) {
+		case taskInvoke:
+			if t.msgID > m.UpToMsgID {
+				r.process(t, false)
+			}
+		case taskReply:
+			r.onReply(t) // re-checks staleness against the adopted state
+		}
+	}
+}
+
+// sendFulfillments replays the operations this (former) secondary
+// component performed during the partition, as fresh ordered invocations
+// against the merged state. Only the component's senior surviving member
+// transmits; the others clear their queues.
+func (r *replica) sendFulfillments() {
+	queue := r.fulfill
+	r.fulfill = nil
+	if len(queue) == 0 {
+		return
+	}
+	r.mu.lock()
+	members := append([]string(nil), r.members...)
+	r.mu.unlock()
+	sender := seniorOf(intersect(r.preSplit, members))
+	if sender != r.eng.cfg.Node {
+		return
+	}
+	mapper, _ := r.servant.(FulfillmentMapper)
+	for _, f := range queue {
+		op, args := f.op, f.args
+		if mapper != nil {
+			decoded, err := orb.DecodeRequestBody(f.args)
+			if err != nil {
+				continue
+			}
+			newOp, newArgs, keep := mapper.MapFulfillment(f.op, decoded)
+			if !keep {
+				continue
+			}
+			op, args = newOp, orb.EncodeRequestBody(newArgs)
+		}
+		r.fulfillSeq++
+		r.eng.stat.fulfillments.Add(1)
+		_ = r.eng.cfg.Ring.Multicast(invGroupName(r.def.ID), encodeWire(&msgInvocation{
+			GroupID:     r.def.ID,
+			Key:         opKey{ClientID: "f:" + r.eng.cfg.Node, ParentSeq: 0, OpSeq: r.fulfillSeq},
+			Operation:   op,
+			Args:        args,
+			Oneway:      true,
+			Fulfillment: true,
+		}))
+	}
+}
+
+func (r *replica) onView(t taskView) {
+	r.mu.lock()
+	old := r.members
+	r.members = append([]string(nil), t.members...)
+	secondary := r.secondary
+	syncing := r.syncing
+	r.mu.unlock()
+	r.stuck = make(map[string]bool) // membership changed: re-learn who is stuck
+
+	if !r.everHadView {
+		r.everHadView = true
+		if len(old) == 0 {
+			return
+		}
+	}
+	if len(old) == 0 {
+		return
+	}
+
+	removed := subtract(old, t.members)
+	added := subtract(t.members, old)
+
+	if len(removed) > 0 {
+		for _, n := range removed {
+			r.former[n] = true
+			if r.eng.cfg.Notifier != nil {
+				r.eng.cfg.Notifier.Push(fault.Report{
+					Kind:    fault.ObjectCrash,
+					Node:    n,
+					GroupID: r.def.ID,
+					Member:  n,
+				})
+			}
+		}
+		// Partition detection: the component retaining a majority of the
+		// old view (senior member breaking even splits) is the primary
+		// component; the others become secondary and start queueing
+		// fulfillment operations. (A minority component is indistinguishable
+		// from having watched the majority crash — the classic partition
+		// ambiguity — so small components conservatively go secondary.)
+		if !secondary && !isPrimaryComponent(old, t.members) {
+			r.mu.lock()
+			r.secondary = true
+			r.mu.unlock()
+			r.preSplit = old
+		}
+		// Failover: the new senior member of a passive group re-executes
+		// the uncovered operations.
+		if r.def.Style.IsPassive() && !syncing && len(t.members) > 0 &&
+			t.members[0] == r.eng.cfg.Node && old[0] != r.eng.cfg.Node {
+			r.failover()
+		}
+	}
+
+	if len(added) > 0 {
+		remerge := false
+		for _, n := range added {
+			if r.former[n] {
+				remerge = true
+			}
+			delete(r.former, n)
+		}
+		if secondary && remerge {
+			// The partition healed and the primary component is back: wait
+			// for its state, then send fulfillments (adoptState does both).
+			r.preSplit = old
+			r.mu.lock()
+			r.syncing = true
+			r.mu.unlock()
+			return
+		}
+		if !secondary && !syncing {
+			// Existing members bring joiners (or remerging secondaries) up
+			// to date; the senior pre-existing member transmits the state.
+			stayers := intersect(old, t.members)
+			if len(stayers) > 0 && stayers[0] == r.eng.cfg.Node {
+				reason := ckptJoin
+				if remerge {
+					reason = ckptRemerge
+				}
+				r.sendCheckpoint(reason)
+			}
+		}
+	}
+}
+
+// onStateReq answers a stuck replica's state request (totally ordered, so
+// every member sees the same request stream). Healthy members respond with
+// a snapshot. If every member of the view is stuck — possible after heavy
+// membership churn leaves all survivors believing some other component was
+// primary — the senior member promotes its own state to authoritative,
+// guaranteeing the group always recovers.
+func (r *replica) onStateReq(t taskStateReq) {
+	r.stuck[t.m.From] = true
+	r.mu.lock()
+	syncing := r.syncing
+	secondary := r.secondary
+	members := append([]string(nil), r.members...)
+	r.mu.unlock()
+
+	if !syncing && !secondary {
+		// Rate-limit: several stuck members may request at once, and the
+		// snapshot can be large.
+		if time.Since(r.lastSnapResp) >= 100*time.Millisecond {
+			r.lastSnapResp = time.Now()
+			r.sendCheckpoint(ckptJoin)
+		}
+		return
+	}
+	if len(members) == 0 || members[0] != r.eng.cfg.Node {
+		return
+	}
+	for _, m := range members {
+		if !r.stuck[m] {
+			return // someone may still answer; keep waiting
+		}
+	}
+	r.selfPromote()
+}
+
+// selfPromote makes this replica's state authoritative after total
+// stranding: it stops waiting for a transfer, replays anything it buffered,
+// and snapshots the group so the other stuck members adopt its state.
+func (r *replica) selfPromote() {
+	r.mu.lock()
+	r.syncing = false
+	r.secondary = false
+	upTo := r.lastExec
+	r.mu.unlock()
+	r.stuck = make(map[string]bool)
+	r.fulfill = nil
+
+	buffered := r.buffer
+	r.buffer = nil
+	for _, item := range buffered {
+		switch t := item.(type) {
+		case taskInvoke:
+			if t.msgID > upTo {
+				r.process(t, false)
+			}
+		case taskReply:
+			r.onReply(t)
+		}
+	}
+	r.sendCheckpoint(ckptRemerge)
+}
+
+// failover makes this replica the acting primary: cold passive rebuilds
+// state from the log, then uncovered operations re-execute in delivery
+// order.
+func (r *replica) failover() {
+	if r.def.Style == ColdPassive {
+		cp, updates, ok, err := r.log.Recover()
+		if err == nil {
+			if ok {
+				if ck, isCk := r.servant.(orb.Checkpointable); isCk {
+					_ = ck.SetState(cp.Data)
+					r.mu.lock()
+					r.lastExec = cp.MsgID
+					r.mu.unlock()
+				}
+			}
+			for _, rec := range updates {
+				m, derr := decodeWire(rec.Data)
+				if derr != nil {
+					continue
+				}
+				inv, isInv := m.(*msgInvocation)
+				if !isInv {
+					continue
+				}
+				r.eng.stat.replays.Add(1)
+				r.replayOne(taskInvoke{msgID: rec.MsgID, m: inv})
+			}
+		}
+		r.pendingOps = nil
+		// Give the rebuilt group a fresh checkpoint so the new backups'
+		// logs restart small.
+		r.sendCheckpoint(ckptPeriodic)
+		return
+	}
+
+	// Warm passive: state is current (updates were applied); re-execute
+	// only the uncovered operations.
+	pend := r.pendingOps
+	r.pendingOps = nil
+	for _, t := range pend {
+		r.eng.stat.replays.Add(1)
+		r.replayOne(t)
+	}
+}
+
+// replayOne re-executes an operation during failover. Operations whose
+// replies were already delivered re-execute for state effect only (cold
+// passive) without re-sending the logged reply.
+func (r *replica) replayOne(t taskInvoke) {
+	r.mu.lock()
+	rec, ok := r.dedup[t.m.Key]
+	if !ok {
+		rec = &opRecord{}
+		r.dedup[t.m.Key] = rec
+		r.dedupGCLocked(t.m.Key)
+	}
+	executed := rec.executedLocal
+	r.mu.unlock()
+	if executed {
+		return
+	}
+	r.run(t, rec)
+}
+
+// outcomeToWire converts a Dispatch outcome to reply status + body.
+func outcomeToWire(results []cdr.Value, err error) (uint32, []byte) {
+	switch {
+	case err == nil:
+		return replyOK, orb.EncodeReplyBody(results)
+	default:
+		var uexc *orb.UserException
+		if errors.As(err, &uexc) {
+			return replyUserExc, orb.EncodeUserException(uexc)
+		}
+		var sysExc giop.SystemException
+		if errors.As(err, &sysExc) {
+			return replySysExc, sysExc.Encode()
+		}
+		return replySysExc, giop.SystemException{
+			RepoID:    giop.ExcInternal,
+			Completed: giop.CompletedMaybe,
+		}.Encode()
+	}
+}
+
+// wireToOutcome converts reply status + body back to Dispatch form.
+func wireToOutcome(status uint32, body []byte) ([]cdr.Value, error) {
+	switch status {
+	case replyOK:
+		return orb.DecodeReplyBody(body)
+	case replyUserExc:
+		uexc, err := orb.DecodeUserException(body)
+		if err != nil {
+			return nil, err
+		}
+		return nil, uexc
+	default:
+		sysExc, err := giop.DecodeSystemException(body, cdr.BigEndian)
+		if err != nil {
+			return nil, err
+		}
+		return nil, sysExc
+	}
+}
+
+// --- small set helpers -----------------------------------------------------
+
+func contains(set []string, x string) bool {
+	for _, s := range set {
+		if s == x {
+			return true
+		}
+	}
+	return false
+}
+
+func subtract(a, b []string) []string {
+	var out []string
+	for _, x := range a {
+		if !contains(b, x) {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func intersect(a, b []string) []string {
+	var out []string
+	for _, x := range a {
+		if contains(b, x) {
+			out = append(out, x)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// isPrimaryComponent decides whether the surviving view is the primary
+// component after a membership loss: strict majority of the old view wins;
+// an exact half wins only if it retains the old view's senior member.
+func isPrimaryComponent(old, survivors []string) bool {
+	kept := len(intersect(old, survivors))
+	switch {
+	case 2*kept > len(old):
+		return true
+	case 2*kept == len(old):
+		return contains(survivors, seniorOf(old))
+	default:
+		return false
+	}
+}
+
+func seniorOf(set []string) string {
+	if len(set) == 0 {
+		return ""
+	}
+	min := set[0]
+	for _, s := range set[1:] {
+		if s < min {
+			min = s
+		}
+	}
+	return min
+}

@@ -1,0 +1,391 @@
+// Package replication implements the core of the fault-tolerant CORBA
+// system: consistent object replication over totally ordered group
+// communication.
+//
+// Each node runs one Engine. Engines host replicas of object groups and act
+// as clients of other groups. All invocations, replies, state updates, and
+// checkpoints travel as totally ordered multicasts on the totem ring, so
+// every replica of a group observes the identical sequence of events — the
+// foundation of strong replica consistency.
+//
+// Supported replication styles (FT-CORBA vocabulary):
+//
+//   - STATELESS: every replica executes; no state transfer ever.
+//   - ACTIVE: every replica executes every invocation; duplicate
+//     invocations and responses are suppressed via operation identifiers.
+//   - ACTIVE_WITH_VOTING: active, with the client collecting a majority of
+//     replies (value-fault masking on the client side).
+//   - WARM_PASSIVE: only the primary executes; it multicasts the reply
+//     together with a state update (postimage) that backups apply.
+//   - COLD_PASSIVE: only the primary executes; backups log invocations and
+//     periodic checkpoints, and rebuild state by replay at failover.
+//
+// The engine also implements the partitioned-operation model: when the
+// group communication layer partitions, every component keeps operating;
+// the component containing the previous view's senior member is the
+// *primary component*, the others are secondaries whose operations are
+// queued as fulfillment operations and re-applied to the merged state after
+// the partition heals (with state transfer from the primary component).
+package replication
+
+import (
+	"fmt"
+
+	"repro/internal/cdr"
+)
+
+// Style selects the replication style of an object group.
+type Style uint8
+
+// Replication styles.
+const (
+	Stateless Style = iota + 1
+	Active
+	ActiveWithVoting
+	WarmPassive
+	ColdPassive
+)
+
+var styleNames = map[Style]string{
+	Stateless:        "STATELESS",
+	Active:           "ACTIVE",
+	ActiveWithVoting: "ACTIVE_WITH_VOTING",
+	WarmPassive:      "WARM_PASSIVE",
+	ColdPassive:      "COLD_PASSIVE",
+}
+
+// String names the style in FT-CORBA vocabulary.
+func (s Style) String() string {
+	if n, ok := styleNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("Style(%d)", uint8(s))
+}
+
+// IsPassive reports whether the style executes only at the primary.
+func (s Style) IsPassive() bool { return s == WarmPassive || s == ColdPassive }
+
+// IsActive reports whether every replica executes.
+func (s Style) IsActive() bool {
+	return s == Active || s == ActiveWithVoting || s == Stateless
+}
+
+// GroupDef describes an object group to be hosted.
+type GroupDef struct {
+	// ID is the FT-CORBA object group id, unique within the FT domain.
+	ID uint64
+	// Name is a human-readable group name (diagnostics).
+	Name string
+	// TypeID is the repository id served by the group.
+	TypeID string
+	// Style is the replication style.
+	Style Style
+	// CheckpointEvery is the number of operations between periodic
+	// checkpoints (cold passive log truncation and warm passive full-state
+	// refresh). Zero means 16.
+	CheckpointEvery int
+}
+
+func (d *GroupDef) fill() {
+	if d.CheckpointEvery <= 0 {
+		d.CheckpointEvery = 16
+	}
+}
+
+// GroupRef identifies a target group for client invocations.
+type GroupRef struct {
+	ID uint64
+}
+
+// invGroupName is the totem process group carrying a group's invocations
+// and checkpoints.
+func invGroupName(gid uint64) string { return fmt.Sprintf("og/%d", gid) }
+
+// repGroupName is the totem process group carrying a group's replies (and,
+// for warm passive, the piggybacked state updates).
+func repGroupName(gid uint64) string { return fmt.Sprintf("og/%d/r", gid) }
+
+// opKey identifies a logical operation for duplicate detection: identical
+// for duplicate invocations from different replicas of the same client and
+// for retransmissions, unique across logical operations.
+type opKey struct {
+	ClientID  string
+	ParentSeq uint64
+	OpSeq     uint64
+}
+
+func (k opKey) String() string {
+	return fmt.Sprintf("%s/%d/%d", k.ClientID, k.ParentSeq, k.OpSeq)
+}
+
+// --- Wire messages ---------------------------------------------------------
+
+type wireKind uint8
+
+const (
+	wireInvocation wireKind = iota + 1
+	wireReply
+	wireCheckpoint
+	wireStateReq
+)
+
+// Reply statuses on the wire.
+const (
+	replyOK      uint32 = 0
+	replyUserExc uint32 = 1
+	replySysExc  uint32 = 2
+)
+
+// Checkpoint reasons.
+const (
+	ckptPeriodic uint8 = 1
+	ckptJoin     uint8 = 2
+	ckptRemerge  uint8 = 3
+)
+
+// msgInvocation asks a group to execute an operation.
+type msgInvocation struct {
+	GroupID     uint64
+	Key         opKey
+	Operation   string
+	Args        []byte // encoded cdr value sequence
+	Oneway      bool
+	Fulfillment bool // replayed from a secondary component after remerge
+}
+
+// msgReply carries the outcome of an operation, plus (for passive styles)
+// the state update backups must apply.
+type msgReply struct {
+	GroupID    uint64
+	Key        opKey
+	Status     uint32
+	Body       []byte // results / user exception / system exception
+	Node       string // executing replica (voting and diagnostics)
+	ExecMsgID  uint64 // ordered msg id of the invocation this answers
+	Update     []byte // postimage (warm passive), empty otherwise
+	UpdateFull bool   // Update is a full state snapshot, not a delta
+}
+
+// msgCheckpoint transfers full state: periodic (cold passive), to a joining
+// replica, or to a remerging secondary component.
+type msgCheckpoint struct {
+	GroupID   uint64
+	Reason    uint8
+	UpToMsgID uint64 // state reflects ordered invocations up to this id
+	State     []byte
+}
+
+// msgStateReq is the self-healing sync retry: a replica stuck waiting for
+// state transfer (its expected sender vanished in membership churn)
+// periodically asks the group for a snapshot. Healthy members answer with
+// a checkpoint; if *every* member is stuck, the senior one promotes its
+// own state to authoritative (see replica.onStateReq).
+type msgStateReq struct {
+	GroupID uint64
+	From    string
+}
+
+func encodeOpKey(e *cdr.Encoder, k opKey) {
+	e.WriteString(k.ClientID)
+	e.WriteULongLong(k.ParentSeq)
+	e.WriteULongLong(k.OpSeq)
+}
+
+func decodeOpKey(d *cdr.Decoder) (opKey, error) {
+	var k opKey
+	var err error
+	if k.ClientID, err = d.ReadString(); err != nil {
+		return k, err
+	}
+	if k.ParentSeq, err = d.ReadULongLong(); err != nil {
+		return k, err
+	}
+	if k.OpSeq, err = d.ReadULongLong(); err != nil {
+		return k, err
+	}
+	return k, nil
+}
+
+func encodeWire(m any) []byte {
+	e := cdr.NewEncoder(cdr.BigEndian)
+	switch v := m.(type) {
+	case *msgInvocation:
+		e.WriteOctet(byte(wireInvocation))
+		e.WriteULongLong(v.GroupID)
+		encodeOpKey(e, v.Key)
+		e.WriteString(v.Operation)
+		e.WriteOctetSeq(v.Args)
+		e.WriteBool(v.Oneway)
+		e.WriteBool(v.Fulfillment)
+	case *msgReply:
+		e.WriteOctet(byte(wireReply))
+		e.WriteULongLong(v.GroupID)
+		encodeOpKey(e, v.Key)
+		e.WriteULong(v.Status)
+		e.WriteOctetSeq(v.Body)
+		e.WriteString(v.Node)
+		e.WriteULongLong(v.ExecMsgID)
+		e.WriteOctetSeq(v.Update)
+		e.WriteBool(v.UpdateFull)
+	case *msgCheckpoint:
+		e.WriteOctet(byte(wireCheckpoint))
+		e.WriteULongLong(v.GroupID)
+		e.WriteOctet(v.Reason)
+		e.WriteULongLong(v.UpToMsgID)
+		e.WriteOctetSeq(v.State)
+	case *msgStateReq:
+		e.WriteOctet(byte(wireStateReq))
+		e.WriteULongLong(v.GroupID)
+		e.WriteString(v.From)
+	default:
+		panic(fmt.Sprintf("replication: encodeWire: unknown message %T", m))
+	}
+	out := make([]byte, e.Len())
+	copy(out, e.Bytes())
+	return out
+}
+
+func decodeWire(b []byte) (any, error) {
+	d := cdr.NewDecoder(b, cdr.BigEndian)
+	t, err := d.ReadOctet()
+	if err != nil {
+		return nil, err
+	}
+	switch wireKind(t) {
+	case wireInvocation:
+		v := &msgInvocation{}
+		if v.GroupID, err = d.ReadULongLong(); err != nil {
+			return nil, err
+		}
+		if v.Key, err = decodeOpKey(d); err != nil {
+			return nil, err
+		}
+		if v.Operation, err = d.ReadString(); err != nil {
+			return nil, err
+		}
+		if v.Args, err = d.ReadOctetSeq(); err != nil {
+			return nil, err
+		}
+		if v.Oneway, err = d.ReadBool(); err != nil {
+			return nil, err
+		}
+		if v.Fulfillment, err = d.ReadBool(); err != nil {
+			return nil, err
+		}
+		return v, nil
+	case wireReply:
+		v := &msgReply{}
+		if v.GroupID, err = d.ReadULongLong(); err != nil {
+			return nil, err
+		}
+		if v.Key, err = decodeOpKey(d); err != nil {
+			return nil, err
+		}
+		if v.Status, err = d.ReadULong(); err != nil {
+			return nil, err
+		}
+		if v.Body, err = d.ReadOctetSeq(); err != nil {
+			return nil, err
+		}
+		if v.Node, err = d.ReadString(); err != nil {
+			return nil, err
+		}
+		if v.ExecMsgID, err = d.ReadULongLong(); err != nil {
+			return nil, err
+		}
+		if v.Update, err = d.ReadOctetSeq(); err != nil {
+			return nil, err
+		}
+		if v.UpdateFull, err = d.ReadBool(); err != nil {
+			return nil, err
+		}
+		return v, nil
+	case wireCheckpoint:
+		v := &msgCheckpoint{}
+		if v.GroupID, err = d.ReadULongLong(); err != nil {
+			return nil, err
+		}
+		if v.Reason, err = d.ReadOctet(); err != nil {
+			return nil, err
+		}
+		if v.UpToMsgID, err = d.ReadULongLong(); err != nil {
+			return nil, err
+		}
+		if v.State, err = d.ReadOctetSeq(); err != nil {
+			return nil, err
+		}
+		return v, nil
+	case wireStateReq:
+		v := &msgStateReq{}
+		if v.GroupID, err = d.ReadULongLong(); err != nil {
+			return nil, err
+		}
+		if v.From, err = d.ReadString(); err != nil {
+			return nil, err
+		}
+		return v, nil
+	default:
+		return nil, fmt.Errorf("replication: unknown wire kind %d", t)
+	}
+}
+
+// taskQueue is an unbounded FIFO feeding a replica's executor goroutine:
+// the engine's delivery loop must never block on a servant executing a
+// (possibly nested, possibly slow) operation.
+type taskQueue struct {
+	ch     chan struct{}
+	mu     chan struct{} // 1-slot mutex usable in select
+	items  []any
+	closed bool
+}
+
+func newTaskQueue() *taskQueue {
+	q := &taskQueue{ch: make(chan struct{}, 1), mu: make(chan struct{}, 1)}
+	q.mu <- struct{}{}
+	return q
+}
+
+func (q *taskQueue) push(item any) {
+	<-q.mu
+	if !q.closed {
+		q.items = append(q.items, item)
+	}
+	q.mu <- struct{}{}
+	select {
+	case q.ch <- struct{}{}:
+	default:
+	}
+}
+
+// pop returns the next task, blocking until one exists or stop closes.
+func (q *taskQueue) pop(stop <-chan struct{}) (any, bool) {
+	for {
+		<-q.mu
+		if len(q.items) > 0 {
+			item := q.items[0]
+			q.items = q.items[1:]
+			q.mu <- struct{}{}
+			return item, true
+		}
+		closed := q.closed
+		q.mu <- struct{}{}
+		if closed {
+			return nil, false
+		}
+		select {
+		case <-q.ch:
+		case <-stop:
+			return nil, false
+		}
+	}
+}
+
+func (q *taskQueue) close() {
+	<-q.mu
+	q.closed = true
+	q.mu <- struct{}{}
+	select {
+	case q.ch <- struct{}{}:
+	default:
+	}
+}

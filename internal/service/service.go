@@ -1,0 +1,96 @@
+// Package service implements the OGS-style *service approach* to
+// fault-tolerant CORBA: fault tolerance is provided by an explicit object
+// group service that applications invoke through the ORB, above it rather
+// than below it.
+//
+// The client makes a perfectly ordinary CORBA invocation on the
+// GroupService object ("invoke", carrying the target group id, the
+// operation name, and the marshaled arguments); the service forwards the
+// call through the replication engine. Compared to the interception
+// approach, the group logic is visible to the application and costs an
+// extra marshal/dispatch hop per call — the trade-off experiment E8
+// quantifies.
+package service
+
+import (
+	"repro/internal/cdr"
+	"repro/internal/giop"
+	"repro/internal/ior"
+	"repro/internal/orb"
+	"repro/internal/replication"
+)
+
+// TypeID is the repository id of the group service interface.
+const TypeID = "IDL:repro/GroupService:1.0"
+
+// ObjectKey is the service's well-known object key.
+const ObjectKey = "svc/group-service"
+
+// NewServant builds the GroupService servant forwarding through engine.
+//
+// IDL sketch:
+//
+//	interface GroupService {
+//	    any_seq invoke(in unsigned long long group, in string op, in any_seq args)
+//	        raises (/* target's exceptions */);
+//	    oneway void invoke_oneway(in unsigned long long group, in string op, in any_seq args);
+//	};
+func NewServant(engine *replication.Engine) *orb.MethodServant {
+	s := orb.NewMethodServant(TypeID)
+	s.Define("invoke", func(inv *orb.Invocation) ([]cdr.Value, error) {
+		gid, op, args, err := splitArgs(inv.Args)
+		if err != nil {
+			return nil, err
+		}
+		return engine.Proxy(replication.GroupRef{ID: gid}).Invoke(op, args...)
+	})
+	s.Define("invoke_oneway", func(inv *orb.Invocation) ([]cdr.Value, error) {
+		gid, op, args, err := splitArgs(inv.Args)
+		if err != nil {
+			return nil, err
+		}
+		return nil, engine.Proxy(replication.GroupRef{ID: gid}).InvokeOneway(op, args...)
+	})
+	return s
+}
+
+func splitArgs(in []cdr.Value) (uint64, string, []cdr.Value, error) {
+	if len(in) < 2 || in[0].Kind != cdr.KindULongLong || in[1].Kind != cdr.KindString {
+		return 0, "", nil, giop.SystemException{
+			RepoID:    giop.ExcBadOperation,
+			Minor:     10,
+			Completed: giop.CompletedNo,
+		}
+	}
+	var args []cdr.Value
+	if len(in) > 2 {
+		args = in[2].AsSeq()
+	}
+	return in[0].AsULongLong(), in[1].AsString(), args, nil
+}
+
+// Publish registers the servant with an ORB under the well-known key and
+// returns its reference.
+func Publish(o *orb.ORB, engine *replication.Engine) *ior.Ref {
+	return o.ActivateObject(ObjectKey, NewServant(engine))
+}
+
+// Client invokes object groups through a remote GroupService.
+type Client struct {
+	svc *orb.ObjectRef
+}
+
+// NewClient wraps a GroupService reference for calls issued via o.
+func NewClient(o *orb.ORB, ref *ior.Ref) *Client {
+	return &Client{svc: o.Proxy(ref)}
+}
+
+// Invoke performs op on the group through the service.
+func (c *Client) Invoke(gid uint64, op string, args ...cdr.Value) ([]cdr.Value, error) {
+	return c.svc.Invoke("invoke", cdr.ULongLong(gid), cdr.Str(op), cdr.Seq(args...))
+}
+
+// InvokeOneway fires op on the group without waiting.
+func (c *Client) InvokeOneway(gid uint64, op string, args ...cdr.Value) error {
+	return c.svc.InvokeOneway("invoke_oneway", cdr.ULongLong(gid), cdr.Str(op), cdr.Seq(args...))
+}

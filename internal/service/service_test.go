@@ -1,0 +1,155 @@
+package service_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cdr"
+	"repro/internal/core"
+	"repro/internal/ftcorba"
+	"repro/internal/giop"
+	"repro/internal/orb"
+	"repro/internal/replication"
+	"repro/internal/service"
+)
+
+type counter struct {
+	mu sync.Mutex
+	n  int64
+}
+
+func (c *counter) RepoID() string { return "IDL:repro/Ctr:1.0" }
+
+func (c *counter) Dispatch(inv *orb.Invocation) ([]cdr.Value, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch inv.Operation {
+	case "add":
+		c.n += int64(inv.Args[0].AsLong())
+		return []cdr.Value{cdr.LongLong(c.n)}, nil
+	case "err":
+		return nil, &orb.UserException{Name: "IDL:repro/E:1.0"}
+	}
+	return nil, giop.SystemException{RepoID: giop.ExcBadOperation, Completed: giop.CompletedNo}
+}
+
+func (c *counter) GetState() ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := cdr.NewEncoder(cdr.BigEndian)
+	e.WriteLongLong(c.n)
+	out := make([]byte, e.Len())
+	copy(out, e.Bytes())
+	return out, nil
+}
+
+func (c *counter) SetState(b []byte) error {
+	d := cdr.NewDecoder(b, cdr.BigEndian)
+	n, err := d.ReadLongLong()
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.n = n
+	c.mu.Unlock()
+	return nil
+}
+
+const ctrType = "IDL:repro/Ctr:1.0"
+
+func setup(t *testing.T) (*core.Domain, uint64, *service.Client) {
+	t.Helper()
+	d, err := core.NewDomain(core.Options{
+		Nodes:       []string{"n1", "n2", "client"},
+		Heartbeat:   4 * time.Millisecond,
+		ORBPort:     7000,
+		CallTimeout: 1500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Stop)
+	if err := d.WaitReady(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RegisterFactory(ctrType, func() orb.Servant { return &counter{} }, "n1", "n2"); err != nil {
+		t.Fatal(err)
+	}
+	_, gid, err := d.Create("ctr", ctrType, &ftcorba.Properties{
+		ReplicationStyle:      replication.Active,
+		InitialNumberReplicas: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WaitGroupReady(gid, 2, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// The group service runs on n1 (a gateway into the group layer); the
+	// client reaches it by an ordinary ORB call.
+	svcRef := service.Publish(d.Node("n1").ORB, d.Node("n1").Engine)
+	client := service.NewClient(d.Node("client").ORB, svcRef)
+	return d, gid, client
+}
+
+func TestServiceApproachInvocation(t *testing.T) {
+	_, gid, client := setup(t)
+	out, err := client.Invoke(gid, "add", cdr.Long(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].AsLongLong() != 5 {
+		t.Fatalf("add = %v", out)
+	}
+	out, err = client.Invoke(gid, "add", cdr.Long(2))
+	if err != nil || out[0].AsLongLong() != 7 {
+		t.Fatalf("second add: %v %v", out, err)
+	}
+}
+
+func TestServiceApproachExceptions(t *testing.T) {
+	_, gid, client := setup(t)
+	_, err := client.Invoke(gid, "err")
+	var uexc *orb.UserException
+	if !errors.As(err, &uexc) || uexc.Name != "IDL:repro/E:1.0" {
+		t.Fatalf("got %v", err)
+	}
+	// Malformed service call.
+	_, err = client.Invoke(0, "")
+	if err == nil {
+		t.Fatal("invoking group 0 must fail")
+	}
+}
+
+func TestServiceApproachOneway(t *testing.T) {
+	_, gid, client := setup(t)
+	if err := client.InvokeOneway(gid, "add", cdr.Long(3)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		out, err := client.Invoke(gid, "add", cdr.Long(0))
+		if err == nil && out[0].AsLongLong() == 3 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("oneway never applied: %v %v", out, err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestServiceBadArguments(t *testing.T) {
+	d, _, _ := setup(t)
+	// Call the service with a wrong signature directly.
+	svcRef := service.Publish(d.Node("n2").ORB, d.Node("n2").Engine)
+	raw := d.Node("client").ORB.Proxy(svcRef)
+	_, err := raw.Invoke("invoke", cdr.Str("not-a-gid"))
+	var sysExc giop.SystemException
+	if !errors.As(err, &sysExc) || sysExc.RepoID != giop.ExcBadOperation {
+		t.Fatalf("got %v", err)
+	}
+}

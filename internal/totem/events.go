@@ -1,0 +1,102 @@
+package totem
+
+import "sync"
+
+// Event is delivered to the application layer in a single total order per
+// ring (and, across rings, in local delivery order). The concrete types are
+// Deliver, ViewChange, and GroupView.
+type Event interface{ isEvent() }
+
+// Deliver carries one totally ordered multicast message.
+type Deliver struct {
+	// MsgID is a system-wide unique, totally ordered message identifier:
+	// the ring epoch in the high bits and the on-ring sequence number in
+	// the low bits. Eternal-style operation identifiers are built from it.
+	MsgID uint64
+	// Ring identifies the ring that ordered the message.
+	Ring RingID
+	// Seq is the on-ring sequence number (contiguous from 1 per ring).
+	Seq uint64
+	// Group is the destination process group.
+	Group string
+	// Sender is the node that multicast the message.
+	Sender string
+	// Payload is the application payload.
+	Payload []byte
+}
+
+func (Deliver) isEvent() {}
+
+// ViewChange announces a new ring membership, totally ordered with respect
+// to message delivery (extended virtual synchrony: members coming from the
+// same previous ring deliver the same messages before the same view).
+type ViewChange struct {
+	Ring    RingID
+	Members []string
+}
+
+func (ViewChange) isEvent() {}
+
+// GroupView announces the membership of one process group, emitted whenever
+// it changes (join/leave messages or ring view changes). All group members
+// observe the same GroupView at the same point in the delivery order.
+type GroupView struct {
+	Ring    RingID
+	Group   string
+	Members []string
+}
+
+func (GroupView) isEvent() {}
+
+// MsgIDFor composes the system-wide message identifier from a ring epoch
+// and an on-ring sequence number. Epochs are bounded well below 2^24 in any
+// realistic run, and on-ring sequence numbers below 2^40.
+func MsgIDFor(epoch, seq uint64) uint64 { return epoch<<40 | (seq & (1<<40 - 1)) }
+
+// eventQueue is an unbounded FIFO decoupling the protocol goroutine from
+// the application consumer: the protocol must never block on a slow
+// consumer, or token circulation would stall and trigger spurious
+// membership changes.
+type eventQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []Event
+	closed bool
+}
+
+func newEventQueue() *eventQueue {
+	q := &eventQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *eventQueue) push(ev Event) {
+	q.mu.Lock()
+	if !q.closed {
+		q.items = append(q.items, ev)
+		q.cond.Signal()
+	}
+	q.mu.Unlock()
+}
+
+// pop blocks until an event is available or the queue is closed.
+func (q *eventQueue) pop() (Event, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	ev := q.items[0]
+	q.items = q.items[1:]
+	return ev, true
+}
+
+func (q *eventQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}

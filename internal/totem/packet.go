@@ -1,0 +1,416 @@
+package totem
+
+import (
+	"fmt"
+
+	"repro/internal/cdr"
+)
+
+// pktType enumerates protocol packet kinds.
+type pktType uint8
+
+const (
+	pktHello pktType = iota + 1
+	pktPropose
+	pktAccept
+	pktInstall
+	pktToken
+	pktData
+)
+
+// RingID identifies one ring incarnation. Epochs grow monotonically; the
+// coordinator name disambiguates concurrent formations in different
+// partition components (which necessarily have different coordinators).
+type RingID struct {
+	Epoch uint64
+	Coord string
+}
+
+// Less orders ring ids (by epoch, then coordinator).
+func (r RingID) Less(o RingID) bool {
+	if r.Epoch != o.Epoch {
+		return r.Epoch < o.Epoch
+	}
+	return r.Coord < o.Coord
+}
+
+// IsZero reports whether the id is unset.
+func (r RingID) IsZero() bool { return r.Epoch == 0 && r.Coord == "" }
+
+// String renders the id as epoch@coord.
+func (r RingID) String() string { return fmt.Sprintf("%d@%s", r.Epoch, r.Coord) }
+
+// hello is the gossip heartbeat used for liveness and remerge detection.
+type hello struct {
+	From     string
+	Alive    []string // nodes From currently hears
+	MaxEpoch uint64   // highest ring epoch From has seen
+	Ring     RingID   // ring From is operating in (zero when forming)
+}
+
+// propose is the coordinator's ring formation proposal.
+type propose struct {
+	Ring    RingID
+	Members []string
+}
+
+// storedMsg is an ordered message retained for retransmission/recovery.
+type storedMsg struct {
+	Seq     uint64
+	Group   string
+	Sender  string
+	Payload []byte
+}
+
+// accept is a member's answer to a proposal, carrying its old-ring state
+// for extended-virtual-synchrony recovery plus its local group
+// subscriptions.
+type accept struct {
+	Ring      RingID
+	From      string
+	OldRing   RingID
+	Delivered uint64 // highest contiguously delivered seq in OldRing
+	Stored    []storedMsg
+	Groups    []string
+}
+
+// recoverySet carries, for one old ring, the union of messages any new
+// member of that old ring still holds; members deliver the suffix they are
+// missing before installing the new view.
+type recoverySet struct {
+	OldRing RingID
+	Msgs    []storedMsg // sorted by Seq ascending
+}
+
+// groupSub records that a node is subscribed to a group.
+type groupSub struct {
+	Node  string
+	Group string
+}
+
+// install finalizes formation: members recover, deliver the view change,
+// and start circulating the token.
+type install struct {
+	Ring     RingID
+	Members  []string
+	Recovery []recoverySet
+	Subs     []groupSub
+}
+
+// token is the circulating ring token.
+type token struct {
+	Ring    RingID
+	Round   uint64
+	Seq     uint64   // highest sequence number assigned on this ring
+	Aru     uint64   // min contiguous-received over nodes visited this round
+	LastAru uint64   // final Aru of the previous round (safe to prune <=)
+	Rtr     []uint64 // sequence numbers requested for retransmission
+}
+
+// data is an ordered multicast message (original or retransmission).
+type data struct {
+	Ring    RingID
+	Seq     uint64
+	Group   string
+	Sender  string
+	Payload []byte
+	Resend  bool
+}
+
+func encodeRingID(e *cdr.Encoder, r RingID) {
+	e.WriteULongLong(r.Epoch)
+	e.WriteString(r.Coord)
+}
+
+func decodeRingID(d *cdr.Decoder) (RingID, error) {
+	var r RingID
+	var err error
+	if r.Epoch, err = d.ReadULongLong(); err != nil {
+		return r, err
+	}
+	if r.Coord, err = d.ReadString(); err != nil {
+		return r, err
+	}
+	return r, nil
+}
+
+func encodeStrings(e *cdr.Encoder, ss []string) {
+	e.WriteULong(uint32(len(ss)))
+	for _, s := range ss {
+		e.WriteString(s)
+	}
+}
+
+func decodeStrings(d *cdr.Decoder) ([]string, error) {
+	n, err := d.ReadULong()
+	if err != nil {
+		return nil, err
+	}
+	if n > 1<<20 {
+		return nil, fmt.Errorf("totem: implausible string count %d", n)
+	}
+	out := make([]string, 0, n)
+	for i := uint32(0); i < n; i++ {
+		s, err := d.ReadString()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func encodeStoredMsgs(e *cdr.Encoder, ms []storedMsg) {
+	e.WriteULong(uint32(len(ms)))
+	for _, m := range ms {
+		e.WriteULongLong(m.Seq)
+		e.WriteString(m.Group)
+		e.WriteString(m.Sender)
+		e.WriteOctetSeq(m.Payload)
+	}
+}
+
+func decodeStoredMsgs(d *cdr.Decoder) ([]storedMsg, error) {
+	n, err := d.ReadULong()
+	if err != nil {
+		return nil, err
+	}
+	if n > 1<<20 {
+		return nil, fmt.Errorf("totem: implausible message count %d", n)
+	}
+	out := make([]storedMsg, 0, n)
+	for i := uint32(0); i < n; i++ {
+		var m storedMsg
+		if m.Seq, err = d.ReadULongLong(); err != nil {
+			return nil, err
+		}
+		if m.Group, err = d.ReadString(); err != nil {
+			return nil, err
+		}
+		if m.Sender, err = d.ReadString(); err != nil {
+			return nil, err
+		}
+		if m.Payload, err = d.ReadOctetSeq(); err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// encodePacket marshals any protocol packet into a datagram payload.
+func encodePacket(p any) []byte {
+	e := cdr.NewEncoder(cdr.BigEndian)
+	switch v := p.(type) {
+	case *hello:
+		e.WriteOctet(byte(pktHello))
+		e.WriteString(v.From)
+		encodeStrings(e, v.Alive)
+		e.WriteULongLong(v.MaxEpoch)
+		encodeRingID(e, v.Ring)
+	case *propose:
+		e.WriteOctet(byte(pktPropose))
+		encodeRingID(e, v.Ring)
+		encodeStrings(e, v.Members)
+	case *accept:
+		e.WriteOctet(byte(pktAccept))
+		encodeRingID(e, v.Ring)
+		e.WriteString(v.From)
+		encodeRingID(e, v.OldRing)
+		e.WriteULongLong(v.Delivered)
+		encodeStoredMsgs(e, v.Stored)
+		encodeStrings(e, v.Groups)
+	case *install:
+		e.WriteOctet(byte(pktInstall))
+		encodeRingID(e, v.Ring)
+		encodeStrings(e, v.Members)
+		e.WriteULong(uint32(len(v.Recovery)))
+		for _, rs := range v.Recovery {
+			encodeRingID(e, rs.OldRing)
+			encodeStoredMsgs(e, rs.Msgs)
+		}
+		e.WriteULong(uint32(len(v.Subs)))
+		for _, s := range v.Subs {
+			e.WriteString(s.Node)
+			e.WriteString(s.Group)
+		}
+	case *token:
+		e.WriteOctet(byte(pktToken))
+		encodeRingID(e, v.Ring)
+		e.WriteULongLong(v.Round)
+		e.WriteULongLong(v.Seq)
+		e.WriteULongLong(v.Aru)
+		e.WriteULongLong(v.LastAru)
+		e.WriteULong(uint32(len(v.Rtr)))
+		for _, s := range v.Rtr {
+			e.WriteULongLong(s)
+		}
+	case *data:
+		e.WriteOctet(byte(pktData))
+		encodeRingID(e, v.Ring)
+		e.WriteULongLong(v.Seq)
+		e.WriteString(v.Group)
+		e.WriteString(v.Sender)
+		e.WriteBool(v.Resend)
+		e.WriteOctetSeq(v.Payload)
+	default:
+		panic(fmt.Sprintf("totem: encodePacket: unknown packet %T", p))
+	}
+	out := make([]byte, e.Len())
+	copy(out, e.Bytes())
+	return out
+}
+
+// decodePacket unmarshals a datagram payload.
+func decodePacket(b []byte) (any, error) {
+	d := cdr.NewDecoder(b, cdr.BigEndian)
+	t, err := d.ReadOctet()
+	if err != nil {
+		return nil, err
+	}
+	switch pktType(t) {
+	case pktHello:
+		v := &hello{}
+		if v.From, err = d.ReadString(); err != nil {
+			return nil, err
+		}
+		if v.Alive, err = decodeStrings(d); err != nil {
+			return nil, err
+		}
+		if v.MaxEpoch, err = d.ReadULongLong(); err != nil {
+			return nil, err
+		}
+		if v.Ring, err = decodeRingID(d); err != nil {
+			return nil, err
+		}
+		return v, nil
+	case pktPropose:
+		v := &propose{}
+		if v.Ring, err = decodeRingID(d); err != nil {
+			return nil, err
+		}
+		if v.Members, err = decodeStrings(d); err != nil {
+			return nil, err
+		}
+		return v, nil
+	case pktAccept:
+		v := &accept{}
+		if v.Ring, err = decodeRingID(d); err != nil {
+			return nil, err
+		}
+		if v.From, err = d.ReadString(); err != nil {
+			return nil, err
+		}
+		if v.OldRing, err = decodeRingID(d); err != nil {
+			return nil, err
+		}
+		if v.Delivered, err = d.ReadULongLong(); err != nil {
+			return nil, err
+		}
+		if v.Stored, err = decodeStoredMsgs(d); err != nil {
+			return nil, err
+		}
+		if v.Groups, err = decodeStrings(d); err != nil {
+			return nil, err
+		}
+		return v, nil
+	case pktInstall:
+		v := &install{}
+		if v.Ring, err = decodeRingID(d); err != nil {
+			return nil, err
+		}
+		if v.Members, err = decodeStrings(d); err != nil {
+			return nil, err
+		}
+		n, err := d.ReadULong()
+		if err != nil {
+			return nil, err
+		}
+		if n > 1<<16 {
+			return nil, fmt.Errorf("totem: implausible recovery set count %d", n)
+		}
+		for i := uint32(0); i < n; i++ {
+			var rs recoverySet
+			if rs.OldRing, err = decodeRingID(d); err != nil {
+				return nil, err
+			}
+			if rs.Msgs, err = decodeStoredMsgs(d); err != nil {
+				return nil, err
+			}
+			v.Recovery = append(v.Recovery, rs)
+		}
+		ns, err := d.ReadULong()
+		if err != nil {
+			return nil, err
+		}
+		if ns > 1<<20 {
+			return nil, fmt.Errorf("totem: implausible subscription count %d", ns)
+		}
+		for i := uint32(0); i < ns; i++ {
+			var s groupSub
+			if s.Node, err = d.ReadString(); err != nil {
+				return nil, err
+			}
+			if s.Group, err = d.ReadString(); err != nil {
+				return nil, err
+			}
+			v.Subs = append(v.Subs, s)
+		}
+		return v, nil
+	case pktToken:
+		v := &token{}
+		if v.Ring, err = decodeRingID(d); err != nil {
+			return nil, err
+		}
+		if v.Round, err = d.ReadULongLong(); err != nil {
+			return nil, err
+		}
+		if v.Seq, err = d.ReadULongLong(); err != nil {
+			return nil, err
+		}
+		if v.Aru, err = d.ReadULongLong(); err != nil {
+			return nil, err
+		}
+		if v.LastAru, err = d.ReadULongLong(); err != nil {
+			return nil, err
+		}
+		n, err := d.ReadULong()
+		if err != nil {
+			return nil, err
+		}
+		if n > 1<<20 {
+			return nil, fmt.Errorf("totem: implausible rtr count %d", n)
+		}
+		for i := uint32(0); i < n; i++ {
+			s, err := d.ReadULongLong()
+			if err != nil {
+				return nil, err
+			}
+			v.Rtr = append(v.Rtr, s)
+		}
+		return v, nil
+	case pktData:
+		v := &data{}
+		if v.Ring, err = decodeRingID(d); err != nil {
+			return nil, err
+		}
+		if v.Seq, err = d.ReadULongLong(); err != nil {
+			return nil, err
+		}
+		if v.Group, err = d.ReadString(); err != nil {
+			return nil, err
+		}
+		if v.Sender, err = d.ReadString(); err != nil {
+			return nil, err
+		}
+		if v.Resend, err = d.ReadBool(); err != nil {
+			return nil, err
+		}
+		if v.Payload, err = d.ReadOctetSeq(); err != nil {
+			return nil, err
+		}
+		return v, nil
+	default:
+		return nil, fmt.Errorf("totem: unknown packet type %d", t)
+	}
+}

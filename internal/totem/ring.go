@@ -1,0 +1,1011 @@
+// Package totem implements a Totem-style group communication layer:
+// reliable, totally ordered multicast with a membership service, built on
+// an unreliable datagram substrate (package netsim).
+//
+// The design follows the single-ring Totem protocol in structure:
+//
+//   - a token circulates the ring members in a fixed (sorted) order; only
+//     the token holder assigns sequence numbers and multicasts messages,
+//     yielding a single system-wide total order;
+//   - the token carries a retransmission-request list and an
+//     all-received-up-to (aru) watermark used to prune message logs;
+//   - liveness is tracked by gossip heartbeats; loss of the token or a
+//     change in the perceived live set triggers the membership protocol,
+//     which forms a new ring (epoch, coordinator) and installs it on all
+//     members;
+//   - extended virtual synchrony: during formation, members hand their
+//     old-ring state to the coordinator, which computes per-old-ring
+//     recovery sets so that all new members coming from the same old ring
+//     deliver the same messages in the same order before the new view is
+//     delivered. Components of a partition each form their own ring and
+//     continue operating; on remerge the rings fuse and recovery runs.
+//
+// A process-group layer is multiplexed on the ring: join/leave requests
+// travel as ordered control messages, so every member observes group
+// membership changes at the same point in the total order.
+//
+// Simplifications relative to full Totem (documented for DESIGN.md): only
+// agreed delivery (not safe delivery) is implemented — a message is
+// delivered as soon as it is received in contiguous sequence order; and a
+// message multicast by a node that crashes before any retransmission can
+// be unrecoverable, in which case members that had received it keep their
+// delivery (Totem confines this case to transitional views).
+package totem
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/cdr"
+	"repro/internal/netsim"
+)
+
+var debugContiguity = false
+
+// ctlGroup is the reserved process-group name used for membership control
+// messages (join/leave).
+const ctlGroup = "\x00ctl"
+
+// Control message opcodes.
+const (
+	ctlJoin  = 1
+	ctlLeave = 2
+)
+
+// Errors returned by the public API.
+var (
+	ErrStopped = errors.New("totem: ring stopped")
+)
+
+// Config parameterizes one ring endpoint.
+type Config struct {
+	// Node is this endpoint's node name on the fabric.
+	Node string
+	// Universe lists all nodes that may ever participate (the broadcast
+	// domain); heartbeats are sent to every universe member.
+	Universe []string
+	// Port is the fabric datagram port shared by all ring endpoints.
+	Port uint16
+
+	// HeartbeatInterval is the gossip period (default 10ms).
+	HeartbeatInterval time.Duration
+	// FailTimeout declares a node dead when no heartbeat arrives for this
+	// long (default 6 heartbeats).
+	FailTimeout time.Duration
+	// TokenTimeout triggers ring re-formation when the token stays away
+	// this long (default 12 heartbeats).
+	TokenTimeout time.Duration
+	// SettleDelay is how long a would-be coordinator waits for the live
+	// set to stabilize before proposing (default 3 heartbeats).
+	SettleDelay time.Duration
+	// AcceptTimeout bounds the coordinator's wait for accepts (default 10
+	// heartbeats).
+	AcceptTimeout time.Duration
+	// MaxBatch bounds messages multicast per token visit (default 64).
+	MaxBatch int
+	// MaxBatchBytes bounds payload bytes multicast per token visit
+	// (default 256KiB) — the token-driven flow control that keeps one
+	// node's large transfers from stalling token circulation.
+	MaxBatchBytes int
+	// IdleTokenDelay paces the token when a full round did no work: the
+	// coordinator withholds the forward for this long so an idle ring does
+	// not spin the CPU (default 1ms; delivery of new multicasts is delayed
+	// by at most one idle rotation).
+	IdleTokenDelay time.Duration
+	// Promiscuous delivers every ordered message regardless of local group
+	// subscription (used by interceptors and tests).
+	Promiscuous bool
+}
+
+func (c *Config) fill() {
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = 10 * time.Millisecond
+	}
+	if c.FailTimeout <= 0 {
+		c.FailTimeout = 6 * c.HeartbeatInterval
+	}
+	if c.TokenTimeout <= 0 {
+		c.TokenTimeout = 12 * c.HeartbeatInterval
+	}
+	if c.SettleDelay <= 0 {
+		c.SettleDelay = 3 * c.HeartbeatInterval
+	}
+	if c.AcceptTimeout <= 0 {
+		c.AcceptTimeout = 10 * c.HeartbeatInterval
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.MaxBatchBytes <= 0 {
+		c.MaxBatchBytes = 256 << 10
+	}
+	if c.IdleTokenDelay <= 0 {
+		c.IdleTokenDelay = time.Millisecond
+	}
+}
+
+// ring states.
+const (
+	stForming      = iota + 1 // no installed ring usable; waiting to form
+	stAwaitAccepts            // coordinator collecting accepts
+	stOperational             // token circulating
+)
+
+type outMsg struct {
+	group   string
+	payload []byte
+}
+
+// fwdToken is an internal loop event: a paced token forward coming due.
+type fwdToken struct {
+	ring RingID
+	tok  *token
+	next string
+}
+
+// Ring is one node's endpoint of the group communication layer.
+type Ring struct {
+	cfg    Config
+	fabric *netsim.Fabric
+	port   *netsim.DGram
+	events *eventQueue
+	evCh   chan Event
+
+	// Application-facing state, guarded by mu.
+	mu      sync.Mutex
+	sendQ   []outMsg
+	subs    map[string]bool
+	stopped bool
+	// Published snapshots, updated by the protocol loop.
+	pubRing    RingID
+	pubMembers []string
+	pubGroups  map[string][]string
+
+	// Protocol state, owned by the run goroutine.
+	ring        RingID
+	members     []string
+	state       int
+	maxEpoch    uint64
+	lastHello   map[string]time.Time
+	formingFrom time.Time
+	formingRing RingID
+	formMembers []string
+	accepts     map[string]*accept
+
+	store        map[uint64]storedMsg
+	delivered    uint64
+	pruned       uint64
+	lastToken    time.Time
+	lastRound    uint64
+	retained     *token
+	retainedNext string
+	groupMembers map[string]map[string]bool
+
+	packetCh chan any
+	stopCh   chan struct{}
+	wg       sync.WaitGroup
+	dbgLast  map[RingID]uint64 // contiguity assertion state (tests only)
+
+	// Stats counters (read via Stats).
+	statMu        sync.Mutex
+	statDelivered uint64
+	statSent      uint64
+	statRetrans   uint64
+	statForms     uint64
+}
+
+// Stats is a snapshot of protocol counters.
+type Stats struct {
+	Delivered  uint64 // ordered messages delivered locally
+	Sent       uint64 // messages this node originated
+	Retransmit uint64 // retransmissions this node served
+	Formations uint64 // ring formations participated in
+}
+
+// NewRing creates (but does not start) a ring endpoint on the fabric.
+func NewRing(fabric *netsim.Fabric, cfg Config) (*Ring, error) {
+	cfg.fill()
+	if cfg.Node == "" {
+		return nil, errors.New("totem: Config.Node required")
+	}
+	port, err := fabric.OpenPort(cfg.Node, cfg.Port)
+	if err != nil {
+		return nil, fmt.Errorf("totem: open port: %w", err)
+	}
+	r := &Ring{
+		cfg:          cfg,
+		fabric:       fabric,
+		port:         port,
+		events:       newEventQueue(),
+		evCh:         make(chan Event),
+		subs:         make(map[string]bool),
+		lastHello:    make(map[string]time.Time),
+		store:        make(map[uint64]storedMsg),
+		groupMembers: make(map[string]map[string]bool),
+		packetCh:     make(chan any, 1024),
+		stopCh:       make(chan struct{}),
+		state:        stForming,
+		formingFrom:  time.Now(),
+		pubGroups:    make(map[string][]string),
+	}
+	return r, nil
+}
+
+// Start launches the protocol goroutines.
+func (r *Ring) Start() {
+	r.wg.Add(3)
+	go r.recvLoop()
+	go r.run()
+	go r.pumpEvents()
+}
+
+// Stop shuts the endpoint down and waits for its goroutines.
+func (r *Ring) Stop() {
+	r.mu.Lock()
+	if r.stopped {
+		r.mu.Unlock()
+		return
+	}
+	r.stopped = true
+	r.mu.Unlock()
+	close(r.stopCh)
+	r.port.Close()
+	r.events.close()
+	r.wg.Wait()
+}
+
+// Node returns this endpoint's node name.
+func (r *Ring) Node() string { return r.cfg.Node }
+
+// Events returns the ordered event stream. The channel closes on Stop.
+func (r *Ring) Events() <-chan Event { return r.evCh }
+
+// Multicast queues a totally ordered multicast to a process group. The
+// message is sent when the token next visits this node; delivery is to all
+// subscribed members of the group, in the system-wide total order, on every
+// node of the component.
+func (r *Ring) Multicast(group string, payload []byte) error {
+	cp := make([]byte, len(payload))
+	copy(cp, payload)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.stopped {
+		return ErrStopped
+	}
+	r.sendQ = append(r.sendQ, outMsg{group: group, payload: cp})
+	return nil
+}
+
+// JoinGroup subscribes this node to a group. The join is announced as an
+// ordered control message so all members observe it at the same point.
+func (r *Ring) JoinGroup(group string) error {
+	r.mu.Lock()
+	if r.stopped {
+		r.mu.Unlock()
+		return ErrStopped
+	}
+	r.subs[group] = true
+	r.mu.Unlock()
+	return r.Multicast(ctlGroup, encodeCtl(ctlJoin, r.cfg.Node, group))
+}
+
+// LeaveGroup unsubscribes this node from a group.
+func (r *Ring) LeaveGroup(group string) error {
+	r.mu.Lock()
+	if r.stopped {
+		r.mu.Unlock()
+		return ErrStopped
+	}
+	delete(r.subs, group)
+	r.mu.Unlock()
+	return r.Multicast(ctlGroup, encodeCtl(ctlLeave, r.cfg.Node, group))
+}
+
+// CurrentRing returns the installed ring id and membership (snapshot).
+func (r *Ring) CurrentRing() (RingID, []string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.pubRing, append([]string(nil), r.pubMembers...)
+}
+
+// GroupMembers returns the current members of a process group (snapshot).
+func (r *Ring) GroupMembers(group string) []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.pubGroups[group]...)
+}
+
+// Stats returns a snapshot of protocol counters.
+func (r *Ring) Stats() Stats {
+	r.statMu.Lock()
+	defer r.statMu.Unlock()
+	return Stats{
+		Delivered:  r.statDelivered,
+		Sent:       r.statSent,
+		Retransmit: r.statRetrans,
+		Formations: r.statForms,
+	}
+}
+
+func encodeCtl(op byte, node, group string) []byte {
+	e := cdr.NewEncoder(cdr.BigEndian)
+	e.WriteOctet(op)
+	e.WriteString(node)
+	e.WriteString(group)
+	out := make([]byte, e.Len())
+	copy(out, e.Bytes())
+	return out
+}
+
+func decodeCtl(b []byte) (op byte, node, group string, err error) {
+	d := cdr.NewDecoder(b, cdr.BigEndian)
+	if op, err = d.ReadOctet(); err != nil {
+		return
+	}
+	if node, err = d.ReadString(); err != nil {
+		return
+	}
+	group, err = d.ReadString()
+	return
+}
+
+// --- Goroutines ----------------------------------------------------------
+
+func (r *Ring) recvLoop() {
+	defer r.wg.Done()
+	for {
+		dg, err := r.port.Recv()
+		if err != nil {
+			return
+		}
+		pkt, err := decodePacket(dg.Payload)
+		if err != nil {
+			continue // corrupt datagram: drop, like UDP
+		}
+		select {
+		case r.packetCh <- pkt:
+		case <-r.stopCh:
+			return
+		}
+	}
+}
+
+func (r *Ring) pumpEvents() {
+	defer r.wg.Done()
+	defer close(r.evCh)
+	for {
+		ev, ok := r.events.pop()
+		if !ok {
+			return
+		}
+		select {
+		case r.evCh <- ev:
+		case <-r.stopCh:
+			return
+		}
+	}
+}
+
+func (r *Ring) run() {
+	defer r.wg.Done()
+	ticker := time.NewTicker(r.cfg.HeartbeatInterval)
+	defer ticker.Stop()
+	r.lastHello[r.cfg.Node] = time.Now()
+	for {
+		select {
+		case <-r.stopCh:
+			return
+		case pkt := <-r.packetCh:
+			r.handlePacket(pkt)
+		case <-ticker.C:
+			r.tick()
+		}
+	}
+}
+
+// --- Protocol ------------------------------------------------------------
+
+func (r *Ring) send(to string, pkt any) {
+	if to == r.cfg.Node {
+		// Loopback: handle inline to avoid a needless trip through the
+		// fabric (and possible loss).
+		r.handlePacket(pkt)
+		return
+	}
+	_ = r.port.Send(to, r.cfg.Port, encodePacket(pkt))
+}
+
+func (r *Ring) broadcastMembers(pkt any, includeSelf bool) {
+	raw := encodePacket(pkt)
+	for _, m := range r.members {
+		if m == r.cfg.Node {
+			continue
+		}
+		_ = r.port.Send(m, r.cfg.Port, raw)
+	}
+	if includeSelf {
+		r.handlePacket(pkt)
+	}
+}
+
+func (r *Ring) aliveSet(now time.Time) []string {
+	alive := []string{r.cfg.Node}
+	for n, t := range r.lastHello {
+		if n == r.cfg.Node {
+			continue
+		}
+		if now.Sub(t) <= r.cfg.FailTimeout {
+			alive = append(alive, n)
+		}
+	}
+	sort.Strings(alive)
+	return alive
+}
+
+func sameStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Ring) tick() {
+	now := time.Now()
+	// Gossip a heartbeat to the whole universe.
+	h := &hello{From: r.cfg.Node, Alive: r.aliveSet(now), MaxEpoch: r.maxEpoch, Ring: r.ring}
+	raw := encodePacket(h)
+	for _, n := range r.cfg.Universe {
+		if n != r.cfg.Node {
+			_ = r.port.Send(n, r.cfg.Port, raw)
+		}
+	}
+
+	alive := r.aliveSet(now)
+	switch r.state {
+	case stOperational:
+		if !sameStrings(alive, r.members) {
+			r.enterForming(now)
+			return
+		}
+		if now.Sub(r.lastToken) > r.cfg.TokenTimeout {
+			r.enterForming(now)
+			return
+		}
+		// Token retransmission: if the token is overdue by half the
+		// timeout and we were the last holder, resend our retained copy.
+		if r.retained != nil && r.retained.Ring == r.ring &&
+			now.Sub(r.lastToken) > r.cfg.TokenTimeout/2 {
+			r.send(r.retainedNext, r.retained)
+		}
+	case stForming:
+		if len(alive) > 0 && alive[0] == r.cfg.Node && now.Sub(r.formingFrom) >= r.cfg.SettleDelay {
+			r.proposeRing(alive)
+		}
+	case stAwaitAccepts:
+		if now.Sub(r.formingFrom) > r.cfg.AcceptTimeout {
+			// Some member never answered; fall back and let the live set
+			// re-stabilize (dead members age out of lastHello).
+			r.state = stForming
+			r.formingFrom = now
+		}
+	}
+}
+
+func (r *Ring) enterForming(now time.Time) {
+	r.state = stForming
+	r.formingFrom = now
+	r.retained = nil
+}
+
+func (r *Ring) proposeRing(members []string) {
+	r.maxEpoch++
+	r.formingRing = RingID{Epoch: r.maxEpoch, Coord: r.cfg.Node}
+	r.formMembers = append([]string(nil), members...)
+	r.accepts = make(map[string]*accept, len(members))
+	r.state = stAwaitAccepts
+	r.formingFrom = time.Now()
+	p := &propose{Ring: r.formingRing, Members: r.formMembers}
+	for _, m := range r.formMembers {
+		r.send(m, p)
+	}
+}
+
+func (r *Ring) handlePacket(pkt any) {
+	switch v := pkt.(type) {
+	case *hello:
+		r.handleHello(v)
+	case *propose:
+		r.handlePropose(v)
+	case *accept:
+		r.handleAccept(v)
+	case *install:
+		r.handleInstall(v)
+	case *token:
+		r.handleToken(v)
+	case *data:
+		r.handleData(v)
+	case *fwdToken:
+		if v.ring == r.ring && r.state == stOperational {
+			r.send(v.next, v.tok)
+		}
+	}
+}
+
+func (r *Ring) handleHello(h *hello) {
+	r.lastHello[h.From] = time.Now()
+	if h.MaxEpoch > r.maxEpoch {
+		r.maxEpoch = h.MaxEpoch
+	}
+}
+
+// makeAccept snapshots this node's old-ring state for the coordinator.
+func (r *Ring) makeAccept(ringID RingID) *accept {
+	stored := make([]storedMsg, 0, len(r.store))
+	for _, m := range r.store {
+		stored = append(stored, m)
+	}
+	sort.Slice(stored, func(i, j int) bool { return stored[i].Seq < stored[j].Seq })
+	r.mu.Lock()
+	groups := make([]string, 0, len(r.subs))
+	for g := range r.subs {
+		groups = append(groups, g)
+	}
+	r.mu.Unlock()
+	sort.Strings(groups)
+	return &accept{
+		Ring:      ringID,
+		From:      r.cfg.Node,
+		OldRing:   r.ring,
+		Delivered: r.delivered,
+		Stored:    stored,
+		Groups:    groups,
+	}
+}
+
+func (r *Ring) handlePropose(p *propose) {
+	if p.Ring.Epoch > r.maxEpoch {
+		r.maxEpoch = p.Ring.Epoch
+	}
+	// Ignore proposals for rings not newer than the installed one.
+	if !r.ring.Less(p.Ring) {
+		return
+	}
+	// If we are coordinating a competing formation with a smaller id,
+	// abandon it in favor of the larger.
+	if r.state == stAwaitAccepts && p.Ring.Less(r.formingRing) {
+		return
+	}
+	if r.state == stOperational {
+		r.enterForming(time.Now())
+	}
+	r.send(p.Ring.Coord, r.makeAccept(p.Ring))
+}
+
+func (r *Ring) handleAccept(a *accept) {
+	if r.state != stAwaitAccepts || a.Ring != r.formingRing {
+		return
+	}
+	r.accepts[a.From] = a
+	for _, m := range r.formMembers {
+		if _, ok := r.accepts[m]; !ok {
+			return
+		}
+	}
+	r.finishFormation()
+}
+
+func (r *Ring) finishFormation() {
+	// Union the old-ring states per old ring for EVS recovery.
+	byRing := make(map[RingID]map[uint64]storedMsg)
+	subs := make([]groupSub, 0)
+	for _, a := range r.accepts {
+		for _, g := range a.Groups {
+			subs = append(subs, groupSub{Node: a.From, Group: g})
+		}
+		if a.OldRing.IsZero() {
+			continue
+		}
+		set := byRing[a.OldRing]
+		if set == nil {
+			set = make(map[uint64]storedMsg)
+			byRing[a.OldRing] = set
+		}
+		for _, m := range a.Stored {
+			if _, ok := set[m.Seq]; !ok {
+				set[m.Seq] = m
+			}
+		}
+	}
+	recovery := make([]recoverySet, 0, len(byRing))
+	for rid, set := range byRing {
+		msgs := make([]storedMsg, 0, len(set))
+		for _, m := range set {
+			msgs = append(msgs, m)
+		}
+		sort.Slice(msgs, func(i, j int) bool { return msgs[i].Seq < msgs[j].Seq })
+		recovery = append(recovery, recoverySet{OldRing: rid, Msgs: msgs})
+	}
+	sort.Slice(recovery, func(i, j int) bool { return recovery[i].OldRing.Less(recovery[j].OldRing) })
+	sort.Slice(subs, func(i, j int) bool {
+		if subs[i].Node != subs[j].Node {
+			return subs[i].Node < subs[j].Node
+		}
+		return subs[i].Group < subs[j].Group
+	})
+
+	ins := &install{
+		Ring:     r.formingRing,
+		Members:  r.formMembers,
+		Recovery: recovery,
+		Subs:     subs,
+	}
+	raw := encodePacket(ins)
+	for _, m := range r.formMembers {
+		if m != r.cfg.Node {
+			_ = r.port.Send(m, r.cfg.Port, raw)
+		}
+	}
+	r.handleInstall(ins)
+}
+
+func (r *Ring) handleInstall(ins *install) {
+	if !r.ring.Less(ins.Ring) {
+		return
+	}
+	if ins.Ring.Epoch > r.maxEpoch {
+		r.maxEpoch = ins.Ring.Epoch
+	}
+
+	// EVS recovery: deliver the suffix of old-ring messages we are
+	// missing, in contiguous sequence order, before the new view. The
+	// union stops being useful at the first hole — a message no new
+	// member still stores (pruned after full dissemination in a component
+	// this node was cut off from) is unrecoverable here, and skipping past
+	// it would silently diverge this node from members that delivered it.
+	// Delivery stops at the hole; the layers above re-synchronize such a
+	// member by state transfer.
+	for _, rs := range ins.Recovery {
+		if rs.OldRing != r.ring || r.ring.IsZero() {
+			continue
+		}
+		for _, m := range rs.Msgs {
+			if m.Seq <= r.delivered {
+				continue
+			}
+			if m.Seq != r.delivered+1 {
+				break
+			}
+			r.delivered = m.Seq
+			r.deliverMsg(r.ring, m)
+		}
+	}
+
+	wasCoordinator := ins.Ring.Coord == r.cfg.Node
+	r.ring = ins.Ring
+	r.members = append([]string(nil), ins.Members...)
+	r.state = stOperational
+	r.store = make(map[uint64]storedMsg)
+	r.delivered = 0
+	r.pruned = 0
+	r.lastRound = 0
+	r.lastToken = time.Now()
+	r.retained = nil
+
+	// Rebuild group membership from the collected subscriptions.
+	r.groupMembers = make(map[string]map[string]bool)
+	for _, s := range ins.Subs {
+		set := r.groupMembers[s.Group]
+		if set == nil {
+			set = make(map[string]bool)
+			r.groupMembers[s.Group] = set
+		}
+		set[s.Node] = true
+	}
+
+	r.statMu.Lock()
+	r.statForms++
+	r.statMu.Unlock()
+
+	r.publish()
+	r.events.push(ViewChange{Ring: r.ring, Members: append([]string(nil), r.members...)})
+	groups := make([]string, 0, len(r.groupMembers))
+	for g := range r.groupMembers {
+		groups = append(groups, g)
+	}
+	sort.Strings(groups)
+	for _, g := range groups {
+		r.events.push(GroupView{Ring: r.ring, Group: g, Members: r.groupMemberList(g)})
+	}
+
+	if wasCoordinator {
+		t := &token{Ring: r.ring, Round: 0, Seq: 0, Aru: math.MaxUint64, LastAru: 0}
+		r.handleToken(t)
+	}
+}
+
+func (r *Ring) groupMemberList(g string) []string {
+	set := r.groupMembers[g]
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// publish refreshes the snapshot accessors.
+func (r *Ring) publish() {
+	r.mu.Lock()
+	r.pubRing = r.ring
+	r.pubMembers = append([]string(nil), r.members...)
+	r.pubGroups = make(map[string][]string, len(r.groupMembers))
+	for g := range r.groupMembers {
+		r.pubGroups[g] = r.groupMemberList(g)
+	}
+	r.mu.Unlock()
+}
+
+func (r *Ring) successor() string {
+	idx := sort.SearchStrings(r.members, r.cfg.Node)
+	next := (idx + 1) % len(r.members)
+	return r.members[next]
+}
+
+func (r *Ring) handleToken(t *token) {
+	if r.state != stOperational || t.Ring != r.ring {
+		return
+	}
+	if r.ring.Coord == r.cfg.Node {
+		// The coordinator opens a new round: finalize last round's aru.
+		t.Round++
+		t.LastAru = t.Aru
+		if t.LastAru == math.MaxUint64 {
+			t.LastAru = 0
+		}
+		t.Aru = math.MaxUint64
+	}
+	if t.Round <= r.lastRound {
+		return // duplicate (token retransmission raced the original)
+	}
+	r.lastRound = t.Round
+	r.lastToken = time.Now()
+
+	// Serve retransmission requests we can satisfy.
+	if len(t.Rtr) > 0 {
+		remaining := t.Rtr[:0]
+		for _, seq := range t.Rtr {
+			if m, ok := r.store[seq]; ok {
+				r.broadcastMembers(&data{Ring: r.ring, Seq: m.Seq, Group: m.Group, Sender: m.Sender, Payload: m.Payload, Resend: true}, false)
+				r.statMu.Lock()
+				r.statRetrans++
+				r.statMu.Unlock()
+			} else {
+				remaining = append(remaining, seq)
+			}
+		}
+		t.Rtr = remaining
+	}
+	// Request what we are missing.
+	have := func(seq uint64) bool {
+		_, ok := r.store[seq]
+		return ok || seq <= r.delivered
+	}
+	for seq := r.delivered + 1; seq <= t.Seq; seq++ {
+		if !have(seq) && !containsSeq(t.Rtr, seq) {
+			t.Rtr = append(t.Rtr, seq)
+		}
+	}
+
+	// Multicast queued messages, bounded per visit by both count and
+	// bytes (token-driven flow control).
+	r.mu.Lock()
+	take, bytes := 0, 0
+	for take < len(r.sendQ) && take < r.cfg.MaxBatch {
+		bytes += len(r.sendQ[take].payload)
+		take++
+		if bytes >= r.cfg.MaxBatchBytes {
+			break
+		}
+	}
+	batch := r.sendQ[:take]
+	if take == len(r.sendQ) {
+		r.sendQ = nil
+	} else {
+		r.sendQ = append([]outMsg(nil), r.sendQ[take:]...)
+	}
+	r.mu.Unlock()
+	for _, om := range batch {
+		t.Seq++
+		m := storedMsg{Seq: t.Seq, Group: om.group, Sender: r.cfg.Node, Payload: om.payload}
+		r.store[m.Seq] = m
+		r.statMu.Lock()
+		r.statSent++
+		r.statMu.Unlock()
+		r.broadcastMembers(&data{Ring: r.ring, Seq: m.Seq, Group: m.Group, Sender: m.Sender, Payload: m.Payload}, false)
+		r.advanceDelivery()
+	}
+
+	// Aru bookkeeping and log pruning.
+	if r.delivered < t.Aru {
+		t.Aru = r.delivered
+	}
+	if t.LastAru > r.pruned && t.LastAru != math.MaxUint64 {
+		for seq := r.pruned + 1; seq <= t.LastAru; seq++ {
+			delete(r.store, seq)
+		}
+		r.pruned = t.LastAru
+	}
+
+	next := r.successor()
+	cp := *t
+	cp.Rtr = append([]uint64(nil), t.Rtr...)
+	r.retained = &cp
+	r.retainedNext = next
+	// Idle pacing: if this coordinator visit closed a round in which
+	// nothing was sent, requested, or outstanding, withhold the forward
+	// briefly instead of spinning the token at CPU speed.
+	if r.ring.Coord == r.cfg.Node && len(batch) == 0 && len(cp.Rtr) == 0 &&
+		cp.Seq == r.delivered && next != r.cfg.Node {
+		r.paceForward(&cp, next)
+		return
+	}
+	if next == r.cfg.Node {
+		// Singleton ring: nothing to pass; reprocess on next tick only if
+		// there is pending work, otherwise the retained token is resent by
+		// the timeout path. Process immediately when messages are queued.
+		r.mu.Lock()
+		pending := len(r.sendQ) > 0
+		r.mu.Unlock()
+		if pending {
+			r.handleToken(&cp)
+		} else {
+			// Keep the token "arriving" so the timeout never fires.
+			r.lastToken = time.Now()
+			r.selfToken(&cp)
+		}
+		return
+	}
+	r.send(next, &cp)
+}
+
+// paceForward delays a token forward without blocking the protocol loop.
+func (r *Ring) paceForward(t *token, next string) {
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		timer := time.NewTimer(r.cfg.IdleTokenDelay)
+		defer timer.Stop()
+		select {
+		case <-timer.C:
+		case <-r.stopCh:
+			return
+		}
+		select {
+		case r.packetCh <- &fwdToken{ring: t.Ring, tok: t, next: next}:
+		case <-r.stopCh:
+		}
+	}()
+}
+
+// selfToken re-enqueues the token to ourselves asynchronously so a
+// singleton ring keeps a live token without spinning.
+func (r *Ring) selfToken(t *token) {
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		timer := time.NewTimer(r.cfg.HeartbeatInterval)
+		defer timer.Stop()
+		select {
+		case <-timer.C:
+		case <-r.stopCh:
+			return
+		}
+		select {
+		case r.packetCh <- t:
+		case <-r.stopCh:
+		}
+	}()
+}
+
+func containsSeq(list []uint64, seq uint64) bool {
+	for _, s := range list {
+		if s == seq {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *Ring) handleData(d *data) {
+	if d.Ring != r.ring {
+		return
+	}
+	if d.Seq <= r.delivered {
+		return
+	}
+	if _, ok := r.store[d.Seq]; ok {
+		return
+	}
+	r.store[d.Seq] = storedMsg{Seq: d.Seq, Group: d.Group, Sender: d.Sender, Payload: d.Payload}
+	// Delivery freezes while a membership change is in progress: the
+	// accept this node sent snapshotted its delivery point, and advancing
+	// past it would diverge from the recovery set the coordinator builds
+	// (the role Totem's transitional configuration plays). Late messages
+	// are still stored so they reach the union via this node's next
+	// accept if the formation restarts.
+	if r.state == stOperational {
+		r.advanceDelivery()
+	}
+}
+
+func (r *Ring) advanceDelivery() {
+	for {
+		m, ok := r.store[r.delivered+1]
+		if !ok {
+			return
+		}
+		r.delivered++
+		r.deliverMsg(r.ring, m)
+	}
+}
+
+// deliverMsg hands one ordered message to the application layer (or applies
+// it, for control messages). Called both in steady state and during EVS
+// recovery (with the old ring id).
+func (r *Ring) deliverMsg(rid RingID, m storedMsg) {
+	if debugContiguity {
+		if last, ok := r.dbgLast[rid]; ok && m.Seq != last+1 {
+			panic(fmt.Sprintf("%s: non-contiguous delivery ring %v: %d after %d", r.cfg.Node, rid, m.Seq, last))
+		}
+		if r.dbgLast == nil {
+			r.dbgLast = make(map[RingID]uint64)
+		}
+		r.dbgLast[rid] = m.Seq
+	}
+	r.statMu.Lock()
+	r.statDelivered++
+	r.statMu.Unlock()
+	if m.Group == ctlGroup {
+		op, node, group, err := decodeCtl(m.Payload)
+		if err != nil {
+			return
+		}
+		set := r.groupMembers[group]
+		switch op {
+		case ctlJoin:
+			if set == nil {
+				set = make(map[string]bool)
+				r.groupMembers[group] = set
+			}
+			set[node] = true
+		case ctlLeave:
+			delete(set, node)
+		}
+		r.publish()
+		r.events.push(GroupView{Ring: rid, Group: group, Members: r.groupMemberList(group)})
+		return
+	}
+	r.mu.Lock()
+	subscribed := r.subs[m.Group]
+	r.mu.Unlock()
+	if !subscribed && !r.cfg.Promiscuous {
+		return
+	}
+	r.events.push(Deliver{
+		MsgID:   MsgIDFor(rid.Epoch, m.Seq),
+		Ring:    rid,
+		Seq:     m.Seq,
+		Group:   m.Group,
+		Sender:  m.Sender,
+		Payload: m.Payload,
+	})
+}

@@ -1,0 +1,313 @@
+// Package wal implements the logging-and-recovery mechanisms behind warm
+// and cold passive replication: a log of state checkpoints interleaved with
+// the update operations (or state deltas) applied since the last
+// checkpoint.
+//
+// On failover, a backup recovers by loading the most recent checkpoint and
+// replaying the updates logged after it; the checkpointing interval
+// therefore trades steady-state cost against recovery time (experiment E6).
+// Two implementations are provided: MemLog (what the infrastructure uses on
+// the simulated nodes) and FileLog (a durable variant demonstrating the
+// same record format on disk).
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"repro/internal/cdr"
+)
+
+// Kind distinguishes log record types.
+type Kind uint8
+
+// Record kinds.
+const (
+	KindCheckpoint Kind = iota + 1
+	KindUpdate
+)
+
+// Record is one log entry.
+type Record struct {
+	Kind Kind
+	// MsgID is the ordered message id of the invocation that produced this
+	// record; recovery uses it to resume duplicate detection correctly.
+	MsgID uint64
+	// Op names the operation for update records (diagnostic).
+	Op string
+	// Data is the checkpointed state or the update payload.
+	Data []byte
+}
+
+// Log is the interface shared by MemLog and FileLog.
+type Log interface {
+	// Append adds a record.
+	Append(rec Record) error
+	// Recover returns the most recent checkpoint record (zero Record and
+	// false if none) and all update records appended after it, oldest
+	// first.
+	Recover() (cp Record, updates []Record, ok bool, err error)
+	// Len returns the number of live records (since the last truncation).
+	Len() int
+	// TruncateAtCheckpoint drops every record before the most recent
+	// checkpoint (log compaction after a successful checkpoint broadcast).
+	TruncateAtCheckpoint() error
+	// Close releases resources.
+	Close() error
+}
+
+// ErrClosed is returned when appending to a closed log.
+var ErrClosed = errors.New("wal: log closed")
+
+// --- MemLog ----------------------------------------------------------------
+
+// MemLog is an in-memory log. The zero value is ready to use.
+type MemLog struct {
+	mu     sync.Mutex
+	recs   []Record
+	closed bool
+}
+
+var _ Log = (*MemLog)(nil)
+
+// Append adds a record.
+func (l *MemLog) Append(rec Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	rec.Data = append([]byte(nil), rec.Data...)
+	l.recs = append(l.recs, rec)
+	return nil
+}
+
+// Recover returns the latest checkpoint and subsequent updates.
+func (l *MemLog) Recover() (Record, []Record, bool, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return recoverFrom(l.recs)
+}
+
+// Len returns the number of retained records.
+func (l *MemLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.recs)
+}
+
+// TruncateAtCheckpoint drops records preceding the latest checkpoint.
+func (l *MemLog) TruncateAtCheckpoint() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	idx := latestCheckpoint(l.recs)
+	if idx > 0 {
+		l.recs = append([]Record(nil), l.recs[idx:]...)
+	}
+	return nil
+}
+
+// Close marks the log closed.
+func (l *MemLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.closed = true
+	return nil
+}
+
+func latestCheckpoint(recs []Record) int {
+	for i := len(recs) - 1; i >= 0; i-- {
+		if recs[i].Kind == KindCheckpoint {
+			return i
+		}
+	}
+	return -1
+}
+
+func recoverFrom(recs []Record) (Record, []Record, bool, error) {
+	idx := latestCheckpoint(recs)
+	if idx < 0 {
+		updates := append([]Record(nil), recs...)
+		return Record{}, updates, false, nil
+	}
+	updates := append([]Record(nil), recs[idx+1:]...)
+	return recs[idx], updates, true, nil
+}
+
+// --- FileLog ---------------------------------------------------------------
+
+// FileLog is a durable log of length-prefixed CDR records.
+type FileLog struct {
+	mu     sync.Mutex
+	f      *os.File
+	recs   []Record // index kept in memory; file is the durable copy
+	closed bool
+}
+
+var _ Log = (*FileLog)(nil)
+
+// OpenFileLog opens (or creates) a file-backed log, loading any existing
+// records.
+func OpenFileLog(path string) (*FileLog, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open: %w", err)
+	}
+	l := &FileLog{f: f}
+	if err := l.load(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return l, nil
+}
+
+func (l *FileLog) load() error {
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("wal: seek: %w", err)
+	}
+	var lenBuf [4]byte
+	for {
+		if _, err := io.ReadFull(l.f, lenBuf[:]); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			if err == io.ErrUnexpectedEOF {
+				// Torn final record (crash mid-append): ignore the tail.
+				return nil
+			}
+			return fmt.Errorf("wal: read length: %w", err)
+		}
+		n := uint32(lenBuf[0])<<24 | uint32(lenBuf[1])<<16 | uint32(lenBuf[2])<<8 | uint32(lenBuf[3])
+		body := make([]byte, n)
+		if _, err := io.ReadFull(l.f, body); err != nil {
+			// Torn record: ignore the tail.
+			return nil
+		}
+		rec, err := decodeRecord(body)
+		if err != nil {
+			return nil // corrupt tail: stop loading
+		}
+		l.recs = append(l.recs, rec)
+	}
+}
+
+func encodeRecord(rec Record) []byte {
+	e := cdr.NewEncoder(cdr.BigEndian)
+	e.WriteOctet(byte(rec.Kind))
+	e.WriteULongLong(rec.MsgID)
+	e.WriteString(rec.Op)
+	e.WriteOctetSeq(rec.Data)
+	out := make([]byte, e.Len())
+	copy(out, e.Bytes())
+	return out
+}
+
+func decodeRecord(b []byte) (Record, error) {
+	var rec Record
+	d := cdr.NewDecoder(b, cdr.BigEndian)
+	k, err := d.ReadOctet()
+	if err != nil {
+		return rec, err
+	}
+	rec.Kind = Kind(k)
+	if rec.Kind != KindCheckpoint && rec.Kind != KindUpdate {
+		return rec, fmt.Errorf("wal: bad record kind %d", k)
+	}
+	if rec.MsgID, err = d.ReadULongLong(); err != nil {
+		return rec, err
+	}
+	if rec.Op, err = d.ReadString(); err != nil {
+		return rec, err
+	}
+	if rec.Data, err = d.ReadOctetSeq(); err != nil {
+		return rec, err
+	}
+	return rec, nil
+}
+
+// Append adds and persists a record.
+func (l *FileLog) Append(rec Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	body := encodeRecord(rec)
+	frame := make([]byte, 4+len(body))
+	frame[0] = byte(len(body) >> 24)
+	frame[1] = byte(len(body) >> 16)
+	frame[2] = byte(len(body) >> 8)
+	frame[3] = byte(len(body))
+	copy(frame[4:], body)
+	if _, err := l.f.Write(frame); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	rec.Data = append([]byte(nil), rec.Data...)
+	l.recs = append(l.recs, rec)
+	return nil
+}
+
+// Recover returns the latest checkpoint and subsequent updates.
+func (l *FileLog) Recover() (Record, []Record, bool, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return recoverFrom(l.recs)
+}
+
+// Len returns the number of retained records.
+func (l *FileLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.recs)
+}
+
+// TruncateAtCheckpoint compacts the log file to start at the most recent
+// checkpoint.
+func (l *FileLog) TruncateAtCheckpoint() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	idx := latestCheckpoint(l.recs)
+	if idx <= 0 {
+		return nil
+	}
+	kept := append([]Record(nil), l.recs[idx:]...)
+	if err := l.f.Truncate(0); err != nil {
+		return fmt.Errorf("wal: truncate: %w", err)
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("wal: seek: %w", err)
+	}
+	l.recs = nil
+	for _, rec := range kept {
+		body := encodeRecord(rec)
+		frame := make([]byte, 4+len(body))
+		frame[0] = byte(len(body) >> 24)
+		frame[1] = byte(len(body) >> 16)
+		frame[2] = byte(len(body) >> 8)
+		frame[3] = byte(len(body))
+		copy(frame[4:], body)
+		if _, err := l.f.Write(frame); err != nil {
+			return fmt.Errorf("wal: rewrite: %w", err)
+		}
+		l.recs = append(l.recs, rec)
+	}
+	return nil
+}
+
+// Close syncs and closes the file.
+func (l *FileLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if err := l.f.Sync(); err != nil {
+		l.f.Close()
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	return l.f.Close()
+}

@@ -1,0 +1,229 @@
+package wal
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func openAppend(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+func testLogs(t *testing.T) map[string]Log {
+	t.Helper()
+	fl, err := OpenFileLog(filepath.Join(t.TempDir(), "test.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	logs := map[string]Log{"mem": &MemLog{}, "file": fl}
+	t.Cleanup(func() {
+		for _, l := range logs {
+			l.Close()
+		}
+	})
+	return logs
+}
+
+func TestRecoverEmptyLog(t *testing.T) {
+	for name, l := range testLogs(t) {
+		cp, updates, ok, err := l.Recover()
+		if err != nil || ok || len(updates) != 0 || cp.Kind != 0 {
+			t.Errorf("%s: empty recover = %+v %v %v %v", name, cp, updates, ok, err)
+		}
+	}
+}
+
+func TestRecoverUpdatesOnly(t *testing.T) {
+	for name, l := range testLogs(t) {
+		for i := uint64(1); i <= 3; i++ {
+			if err := l.Append(Record{Kind: KindUpdate, MsgID: i, Op: "inc", Data: []byte{byte(i)}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		_, updates, ok, err := l.Recover()
+		if err != nil || ok {
+			t.Fatalf("%s: %v ok=%v", name, err, ok)
+		}
+		if len(updates) != 3 || updates[2].MsgID != 3 {
+			t.Errorf("%s: updates = %+v", name, updates)
+		}
+	}
+}
+
+func TestRecoverCheckpointAndSuffix(t *testing.T) {
+	for name, l := range testLogs(t) {
+		l.Append(Record{Kind: KindUpdate, MsgID: 1, Op: "a"})
+		l.Append(Record{Kind: KindCheckpoint, MsgID: 2, Data: []byte("state-2")})
+		l.Append(Record{Kind: KindUpdate, MsgID: 3, Op: "b", Data: []byte("x")})
+		l.Append(Record{Kind: KindCheckpoint, MsgID: 4, Data: []byte("state-4")})
+		l.Append(Record{Kind: KindUpdate, MsgID: 5, Op: "c"})
+		l.Append(Record{Kind: KindUpdate, MsgID: 6, Op: "d"})
+
+		cp, updates, ok, err := l.Recover()
+		if err != nil || !ok {
+			t.Fatalf("%s: %v ok=%v", name, err, ok)
+		}
+		if string(cp.Data) != "state-4" || cp.MsgID != 4 {
+			t.Errorf("%s: cp = %+v", name, cp)
+		}
+		if len(updates) != 2 || updates[0].Op != "c" || updates[1].Op != "d" {
+			t.Errorf("%s: updates = %+v", name, updates)
+		}
+	}
+}
+
+func TestTruncateAtCheckpoint(t *testing.T) {
+	for name, l := range testLogs(t) {
+		for i := uint64(1); i <= 10; i++ {
+			kind := KindUpdate
+			if i == 6 {
+				kind = KindCheckpoint
+			}
+			l.Append(Record{Kind: kind, MsgID: i})
+		}
+		if err := l.TruncateAtCheckpoint(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if l.Len() != 5 { // checkpoint + 4 updates after it
+			t.Errorf("%s: Len = %d, want 5", name, l.Len())
+		}
+		cp, updates, ok, _ := l.Recover()
+		if !ok || cp.MsgID != 6 || len(updates) != 4 {
+			t.Errorf("%s: post-truncate recover = %+v %d ok=%v", name, cp, len(updates), ok)
+		}
+	}
+}
+
+func TestAppendAfterClose(t *testing.T) {
+	for name, l := range testLogs(t) {
+		l.Close()
+		if err := l.Append(Record{Kind: KindUpdate}); err != ErrClosed {
+			t.Errorf("%s: got %v, want ErrClosed", name, err)
+		}
+	}
+}
+
+func TestFileLogPersistsAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "persist.wal")
+	l, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Append(Record{Kind: KindCheckpoint, MsgID: 10, Data: []byte("snap")})
+	l.Append(Record{Kind: KindUpdate, MsgID: 11, Op: "inc", Data: []byte{1}})
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	cp, updates, ok, err := l2.Recover()
+	if err != nil || !ok {
+		t.Fatalf("recover: %v ok=%v", err, ok)
+	}
+	if string(cp.Data) != "snap" || len(updates) != 1 || updates[0].Op != "inc" {
+		t.Errorf("got %+v / %+v", cp, updates)
+	}
+}
+
+func TestFileLogToleratesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "torn.wal")
+	l, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Append(Record{Kind: KindCheckpoint, MsgID: 1, Data: []byte("ok")})
+	l.Close()
+
+	// Simulate a crash mid-append: write a length prefix with no body.
+	f, err := openAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0, 0, 0, 50, 1, 2}) // claims 50 bytes, supplies 2
+	f.Close()
+
+	l2, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatalf("reopen with torn tail: %v", err)
+	}
+	defer l2.Close()
+	cp, _, ok, _ := l2.Recover()
+	if !ok || string(cp.Data) != "ok" {
+		t.Errorf("torn tail corrupted earlier records: %+v ok=%v", cp, ok)
+	}
+}
+
+func TestRecordRoundTripQuick(t *testing.T) {
+	f := func(kindBit bool, msgID uint64, op string, data []byte) bool {
+		op = sanitize(op)
+		kind := KindCheckpoint
+		if kindBit {
+			kind = KindUpdate
+		}
+		rec := Record{Kind: kind, MsgID: msgID, Op: op, Data: data}
+		got, err := decodeRecord(encodeRecord(rec))
+		if err != nil {
+			return false
+		}
+		return got.Kind == rec.Kind && got.MsgID == rec.MsgID && got.Op == rec.Op &&
+			string(got.Data) == string(rec.Data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRecoverEquivalenceQuick checks MemLog and FileLog recover identically
+// for random record sequences.
+func TestRecoverEquivalenceQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		mem := &MemLog{}
+		fl, err := OpenFileLog(filepath.Join(t.TempDir(), fmt.Sprintf("eq-%d.wal", seed&0xFFFF)))
+		if err != nil {
+			return false
+		}
+		defer fl.Close()
+		n := r.Intn(20)
+		for i := 0; i < n; i++ {
+			rec := Record{Kind: KindUpdate, MsgID: uint64(i)}
+			if r.Intn(4) == 0 {
+				rec.Kind = KindCheckpoint
+			}
+			mem.Append(rec)
+			fl.Append(rec)
+		}
+		c1, u1, ok1, _ := mem.Recover()
+		c2, u2, ok2, _ := fl.Recover()
+		if ok1 != ok2 || c1.MsgID != c2.MsgID || len(u1) != len(u2) {
+			return false
+		}
+		for i := range u1 {
+			if u1[i].MsgID != u2[i].MsgID {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func sanitize(s string) string {
+	b := []byte(s)
+	for i := range b {
+		if b[i] == 0 {
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}
