@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: check race bench test build vet
+
+## check: vet + build + full test suite (the tier-1 gate)
+check: vet build test
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+## race: race-detect the concurrency-heavy layers
+race:
+	$(GO) test -race ./internal/totem ./internal/replication
+
+## bench: run the PR2 hot-path benchmarks and snapshot them to BENCH_pr2.json
+bench:
+	$(GO) test -run '^$$' -bench 'PR2' -benchmem ./... | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_pr2.json

@@ -1,0 +1,117 @@
+package repro
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/giop"
+)
+
+// --- PR2 hot-path benchmarks -------------------------------------------------
+//
+// These benchmarks track the replicated invocation hot path end-to-end and
+// the marshalling layers under it. They are the regression guard for the
+// coalescing + pooled-marshalling work recorded in BENCH_pr2.json; run them
+// via `make bench`.
+
+// BenchmarkPR2GIOPMarshal measures the encode side of the GIOP layer alone
+// (the path every IIOP request and reply takes). allocs/op is the headline
+// number: the marshal path should not copy the frame it just built.
+func BenchmarkPR2GIOPMarshal(b *testing.B) {
+	req := &giop.Request{
+		RequestID:     7,
+		ResponseFlags: giop.ResponseExpected,
+		ObjectKey:     []byte("og/42"),
+		Operation:     "deposit",
+		Contexts: []giop.ServiceContext{
+			{ID: giop.SvcFTRequest, Data: giop.FTRequest{ClientID: "c1", RetentionID: 9}.Encode()},
+		},
+		Body: make([]byte, 256),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		frame := giop.Marshal(req)
+		if len(frame) == 0 {
+			b.Fatal("empty frame")
+		}
+	}
+}
+
+// BenchmarkPR2GIOPMarshalLarge is the same with a 16KiB body, where the
+// redundant full-frame copy dominates.
+func BenchmarkPR2GIOPMarshalLarge(b *testing.B) {
+	req := &giop.Request{
+		RequestID:     7,
+		ResponseFlags: giop.ResponseExpected,
+		ObjectKey:     []byte("og/42"),
+		Operation:     "deposit",
+		Body:          make([]byte, 16<<10),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		frame := giop.Marshal(req)
+		if len(frame) == 0 {
+			b.Fatal("empty frame")
+		}
+	}
+}
+
+// BenchmarkPR2PipelinedActive3 is the E2-style headline: 8 concurrent
+// clients invoking a 3-replica ACTIVE group through one proxy. b.N is the
+// total number of invocations across all clients, so ns/op is the
+// pipelined per-invocation cost (the inverse of E2's ops/s column).
+func BenchmarkPR2PipelinedActive3(b *testing.B) {
+	benchPipelined(b, Active, 3, 8)
+}
+
+// BenchmarkPR2PipelinedActive1 isolates the protocol floor: one replica,
+// same pipelining.
+func BenchmarkPR2PipelinedActive1(b *testing.B) {
+	benchPipelined(b, Active, 1, 8)
+}
+
+// BenchmarkPR2SerialActive3 is the serial (unpipelined) replicated
+// latency, matching E1's ACTIVE rows at 256B.
+func BenchmarkPR2SerialActive3(b *testing.B) {
+	benchInvoke(b, Active, 3)
+}
+
+func benchPipelined(b *testing.B, style Style, replicas, clients int) {
+	_, _, proxy := benchDomain(b, style, replicas)
+	arg := OctetSeq(make([]byte, 256))
+	if _, err := proxy.Invoke("echo", arg); err != nil {
+		b.Fatal(err)
+	}
+	work := make(chan struct{})
+	var wg sync.WaitGroup
+	var errOnce sync.Once
+	var firstErr error
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			failed := false
+			for range work {
+				if failed {
+					continue // keep draining so the feeder never blocks
+				}
+				if _, err := proxy.Invoke("echo", arg); err != nil {
+					errOnce.Do(func() { firstErr = err })
+					failed = true
+				}
+			}
+		}()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		work <- struct{}{}
+	}
+	close(work)
+	wg.Wait()
+	b.StopTimer()
+	if firstErr != nil {
+		b.Fatal(firstErr)
+	}
+}

@@ -1,0 +1,80 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// array of benchmark records, one per Benchmark line:
+//
+//	go test -run '^$' -bench 'PR2' -benchmem ./... | go run ./cmd/benchjson
+//
+// Records carry the benchmark name (GOMAXPROCS suffix stripped), iteration
+// count, ns/op, and — when -benchmem was used — B/op and allocs/op. The
+// Makefile's bench target uses it to snapshot results into BENCH_pr2.json.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type record struct {
+	Name     string  `json:"name"`
+	Iters    int64   `json:"iters"`
+	NsPerOp  float64 `json:"ns_op"`
+	BytesOp  *int64  `json:"bytes_op,omitempty"`
+	AllocsOp *int64  `json:"allocs_op,omitempty"`
+}
+
+func main() {
+	var out []record
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 4 || f[3] != "ns/op" {
+			continue
+		}
+		name := f[0]
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		iters, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(f[2], 64)
+		if err != nil {
+			continue
+		}
+		r := record{Name: name, Iters: iters, NsPerOp: ns}
+		for i := 4; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseInt(f[i], 10, 64)
+			if err != nil {
+				continue
+			}
+			switch f[i+1] {
+			case "B/op":
+				r.BytesOp = &v
+			case "allocs/op":
+				r.AllocsOp = &v
+			}
+		}
+		out = append(out, r)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -374,11 +374,11 @@ func (d *Decoder) ReadRaw(n int) ([]byte, error) {
 // suitable for embedding as a sequence<octet> (tagged components, service
 // contexts, profile bodies).
 func EncodeEncapsulation(order byte, build func(*Encoder)) []byte {
-	e := NewEncoder(order)
+	e := GetEncoder(order)
 	e.WriteOctet(order)
 	build(e)
-	out := make([]byte, e.Len())
-	copy(out, e.Bytes())
+	out := e.TakeBytes()
+	e.Release()
 	return out
 }
 

@@ -253,16 +253,41 @@ func (m *LocateReply) encodeBody(e *cdr.Encoder) {
 func (*CloseConnection) encodeBody(*cdr.Encoder) {}
 func (*MessageError) encodeBody(*cdr.Encoder)    {}
 
-// Marshal encodes a complete single-frame GIOP message.
+// Marshal encodes a complete single-frame GIOP message. The frame is
+// marshalled directly into a single buffer whose size field is patched in
+// place — no build-then-copy pass — and ownership of the buffer passes to
+// the caller.
 func Marshal(m Message) []byte {
-	e := cdr.NewEncoder(cdr.BigEndian)
+	e := cdr.GetEncoder(cdr.BigEndian)
+	e.Grow(HeaderLen + sizeHint(m))
 	writeHeader(e, m.msgType(), 0, false)
 	m.encodeBody(e)
-	buf := e.Bytes()
+	buf := e.TakeBytes()
+	e.Release()
 	patchSize(buf)
-	out := make([]byte, len(buf))
-	copy(out, buf)
-	return out
+	return buf
+}
+
+// sizeHint estimates the encoded body size so Marshal can reserve the frame
+// in one allocation; the constants cover headers, service contexts, and
+// alignment padding for typical messages.
+func sizeHint(m Message) int {
+	switch v := m.(type) {
+	case *Request:
+		n := len(v.Body) + len(v.ObjectKey) + len(v.Operation) + 64
+		for _, c := range v.Contexts {
+			n += len(c.Data) + 16
+		}
+		return n
+	case *Reply:
+		n := len(v.Body) + 32
+		for _, c := range v.Contexts {
+			n += len(c.Data) + 16
+		}
+		return n
+	default:
+		return 96
+	}
 }
 
 func writeHeader(e *cdr.Encoder, t MsgType, flags byte, moreFrags bool) {

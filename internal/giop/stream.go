@@ -26,9 +26,17 @@ func (w *Writer) maxFrame() int {
 	return w.MaxFrame
 }
 
-// WriteMessage encodes and writes m, fragmenting if necessary.
+// WriteMessage encodes and writes m, fragmenting if necessary. The frame
+// is built in a pooled buffer that is recycled after the io.Writer call
+// returns (io.Writer implementations must not retain p), so steady-state
+// writes on a connection allocate nothing for framing.
 func (w *Writer) WriteMessage(m Message) error {
-	frame := Marshal(m)
+	e := cdr.GetEncoder(cdr.BigEndian)
+	defer e.Release()
+	writeHeader(e, m.msgType(), 0, false)
+	m.encodeBody(e)
+	frame := e.Bytes()
+	patchSize(frame)
 	limit := w.maxFrame() + HeaderLen
 	if len(frame) <= limit {
 		_, err := w.w.Write(frame)
@@ -59,12 +67,14 @@ func (w *Writer) WriteMessage(m Message) error {
 			n = w.maxFrame()
 			more = true
 		}
-		e := cdr.NewEncoder(cdr.BigEndian)
-		writeHeader(e, MsgFragment, 0, more)
-		e.WriteRaw(rest[:n])
-		frag := e.Bytes()
+		fe := cdr.GetEncoder(cdr.BigEndian)
+		writeHeader(fe, MsgFragment, 0, more)
+		fe.WriteRaw(rest[:n])
+		frag := fe.Bytes()
 		patchSize(frag)
-		if _, err := w.w.Write(frag); err != nil {
+		_, err := w.w.Write(frag)
+		fe.Release()
+		if err != nil {
 			return err
 		}
 		rest = rest[n:]

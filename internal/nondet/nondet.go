@@ -32,22 +32,33 @@ import (
 type Context struct {
 	msgID uint64
 	base  time.Time
-	rng   *rand.Rand
+	seed  int64
 	mu    sync.Mutex
+	rng   *rand.Rand // created on first draw; seeding is too costly to pay per invocation
 	seqs  map[string]uint64
 }
 
 // NewContext builds a deterministic context for an invocation ordered as
 // msgID within group gid. epochStart anchors logical time; all replicas
 // configure the same anchor (it is part of the group's creation record).
+// The pseudo-random source is seeded lazily: most operations never draw
+// randomness, and rngSource seeding dominates dispatch cost if paid
+// unconditionally on every invocation.
 func NewContext(gid uint64, msgID uint64, epochStart time.Time) *Context {
-	seed := int64(gid*0x9E3779B97F4A7C15 ^ msgID*0xBF58476D1CE4E5B9)
 	return &Context{
 		msgID: msgID,
 		base:  epochStart,
-		rng:   rand.New(rand.NewSource(seed)),
-		seqs:  make(map[string]uint64),
+		seed:  int64(gid*0x9E3779B97F4A7C15 ^ msgID*0xBF58476D1CE4E5B9),
 	}
+}
+
+// random returns the deterministic source, creating it on first use.
+// Callers must hold c.mu.
+func (c *Context) random() *rand.Rand {
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewSource(c.seed))
+	}
+	return c.rng
 }
 
 // MsgID returns the ordered message id of the invocation.
@@ -65,21 +76,21 @@ func (c *Context) Now() time.Time {
 func (c *Context) Uint64() uint64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.rng.Uint64()
+	return c.random().Uint64()
 }
 
 // Intn draws a deterministic value in [0, n).
 func (c *Context) Intn(n int) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.rng.Intn(n)
+	return c.random().Intn(n)
 }
 
 // Float64 draws a deterministic value in [0, 1).
 func (c *Context) Float64() float64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.rng.Float64()
+	return c.random().Float64()
 }
 
 // Seq returns the next value of a named per-invocation counter (1, 2, …).
@@ -87,6 +98,9 @@ func (c *Context) Float64() float64 {
 func (c *Context) Seq(name string) uint64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.seqs == nil {
+		c.seqs = make(map[string]uint64)
+	}
 	c.seqs[name]++
 	return c.seqs[name]
 }

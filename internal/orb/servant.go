@@ -143,10 +143,10 @@ var ErrNoServant = errors.New("orb: no servant for object key")
 
 // EncodeReplyBody renders result values for a NO_EXCEPTION reply.
 func EncodeReplyBody(results []cdr.Value) []byte {
-	e := cdr.NewEncoder(cdr.BigEndian)
+	e := cdr.GetEncoder(cdr.BigEndian)
 	cdr.EncodeValues(e, results)
-	out := make([]byte, e.Len())
-	copy(out, e.Bytes())
+	out := e.TakeBytes()
+	e.Release()
 	return out
 }
 
@@ -170,11 +170,11 @@ func DecodeRequestBody(body []byte) ([]cdr.Value, error) {
 
 // EncodeUserException renders a user exception reply body.
 func EncodeUserException(exc *UserException) []byte {
-	e := cdr.NewEncoder(cdr.BigEndian)
+	e := cdr.GetEncoder(cdr.BigEndian)
 	e.WriteString(exc.Name)
 	cdr.EncodeValues(e, exc.Info)
-	out := make([]byte, e.Len())
-	copy(out, e.Bytes())
+	out := e.TakeBytes()
+	e.Release()
 	return out
 }
 

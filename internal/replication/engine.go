@@ -419,12 +419,17 @@ func (e *Engine) completeCall(m *msgReply) {
 		return
 	}
 	delete(e.pending, m.Key)
-	winner := majorityReply(p.votes)
+	winner := m
+	if p.votesNeeded > 1 {
+		winner = majorityReply(p.votes)
+	}
 	e.mu.Unlock()
 	p.ch <- winner
 }
 
 // majorityReply picks the most common (status, body) outcome among votes.
+// Only called when more than one vote was collected; the single-vote styles
+// take the reply directly and skip the signature hashing.
 func majorityReply(votes map[string]*msgReply) *msgReply {
 	type bucket struct {
 		rep   *msgReply

@@ -206,8 +206,12 @@ func decodeOpKey(d *cdr.Decoder) (opKey, error) {
 	return k, nil
 }
 
+// encodeWire marshals an engine message into a caller-owned buffer. The
+// buffer comes from the shared encoder pool and is handed to
+// Ring.Multicast, which takes ownership (no defensive copies anywhere on
+// the path).
 func encodeWire(m any) []byte {
-	e := cdr.NewEncoder(cdr.BigEndian)
+	e := cdr.GetEncoder(cdr.BigEndian)
 	switch v := m.(type) {
 	case *msgInvocation:
 		e.WriteOctet(byte(wireInvocation))
@@ -240,8 +244,8 @@ func encodeWire(m any) []byte {
 	default:
 		panic(fmt.Sprintf("replication: encodeWire: unknown message %T", m))
 	}
-	out := make([]byte, e.Len())
-	copy(out, e.Bytes())
+	out := e.TakeBytes()
+	e.Release()
 	return out
 }
 

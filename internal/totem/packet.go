@@ -16,6 +16,7 @@ const (
 	pktInstall
 	pktToken
 	pktData
+	pktDataBatch
 )
 
 // RingID identifies one ring incarnation. Epochs grow monotonically; the
@@ -104,6 +105,7 @@ type token struct {
 	Seq     uint64   // highest sequence number assigned on this ring
 	Aru     uint64   // min contiguous-received over nodes visited this round
 	LastAru uint64   // final Aru of the previous round (safe to prune <=)
+	Backlog uint32   // messages left queued ring-wide this round (eager release)
 	Rtr     []uint64 // sequence numbers requested for retransmission
 }
 
@@ -115,6 +117,21 @@ type data struct {
 	Sender  string
 	Payload []byte
 	Resend  bool
+}
+
+// dataBatch is a coalesced frame: several ordered messages with contiguous
+// sequence numbers (FirstSeq, FirstSeq+1, ...), all originated by one token
+// holder during a single token visit, packed into one fabric datagram.
+// Receivers unpack and deliver each sub-message exactly as if it had
+// arrived in its own data packet. Retransmissions always travel as single
+// data packets re-framed from the message log, so the recovery path
+// addresses individual sequence numbers regardless of original framing.
+type dataBatch struct {
+	Ring     RingID
+	Sender   string
+	FirstSeq uint64
+	Groups   []string // per sub-message, parallel to Payloads
+	Payloads [][]byte
 }
 
 func encodeRingID(e *cdr.Encoder, r RingID) {
@@ -198,9 +215,12 @@ func decodeStoredMsgs(d *cdr.Decoder) ([]storedMsg, error) {
 	return out, nil
 }
 
-// encodePacket marshals any protocol packet into a datagram payload.
+// encodePacket marshals any protocol packet into a datagram payload. The
+// buffer comes from the shared encoder pool and its ownership transfers to
+// the caller (and onward to the fabric, which retains datagram payloads
+// without copying).
 func encodePacket(p any) []byte {
-	e := cdr.NewEncoder(cdr.BigEndian)
+	e := cdr.GetEncoder(cdr.BigEndian)
 	switch v := p.(type) {
 	case *hello:
 		e.WriteOctet(byte(pktHello))
@@ -241,6 +261,7 @@ func encodePacket(p any) []byte {
 		e.WriteULongLong(v.Seq)
 		e.WriteULongLong(v.Aru)
 		e.WriteULongLong(v.LastAru)
+		e.WriteULong(v.Backlog)
 		e.WriteULong(uint32(len(v.Rtr)))
 		for _, s := range v.Rtr {
 			e.WriteULongLong(s)
@@ -253,11 +274,21 @@ func encodePacket(p any) []byte {
 		e.WriteString(v.Sender)
 		e.WriteBool(v.Resend)
 		e.WriteOctetSeq(v.Payload)
+	case *dataBatch:
+		e.WriteOctet(byte(pktDataBatch))
+		encodeRingID(e, v.Ring)
+		e.WriteString(v.Sender)
+		e.WriteULongLong(v.FirstSeq)
+		e.WriteULong(uint32(len(v.Payloads)))
+		for i, p := range v.Payloads {
+			e.WriteString(v.Groups[i])
+			e.WriteOctetSeq(p)
+		}
 	default:
 		panic(fmt.Sprintf("totem: encodePacket: unknown packet %T", p))
 	}
-	out := make([]byte, e.Len())
-	copy(out, e.Bytes())
+	out := e.TakeBytes()
+	e.Release()
 	return out
 }
 
@@ -374,6 +405,9 @@ func decodePacket(b []byte) (any, error) {
 		if v.LastAru, err = d.ReadULongLong(); err != nil {
 			return nil, err
 		}
+		if v.Backlog, err = d.ReadULong(); err != nil {
+			return nil, err
+		}
 		n, err := d.ReadULong()
 		if err != nil {
 			return nil, err
@@ -408,6 +442,39 @@ func decodePacket(b []byte) (any, error) {
 		}
 		if v.Payload, err = d.ReadOctetSeq(); err != nil {
 			return nil, err
+		}
+		return v, nil
+	case pktDataBatch:
+		v := &dataBatch{}
+		if v.Ring, err = decodeRingID(d); err != nil {
+			return nil, err
+		}
+		if v.Sender, err = d.ReadString(); err != nil {
+			return nil, err
+		}
+		if v.FirstSeq, err = d.ReadULongLong(); err != nil {
+			return nil, err
+		}
+		n, err := d.ReadULong()
+		if err != nil {
+			return nil, err
+		}
+		if n > 1<<20 {
+			return nil, fmt.Errorf("totem: implausible batch count %d", n)
+		}
+		v.Groups = make([]string, 0, n)
+		v.Payloads = make([][]byte, 0, n)
+		for i := uint32(0); i < n; i++ {
+			g, err := d.ReadString()
+			if err != nil {
+				return nil, err
+			}
+			p, err := d.ReadOctetSeq()
+			if err != nil {
+				return nil, err
+			}
+			v.Groups = append(v.Groups, g)
+			v.Payloads = append(v.Payloads, p)
 		}
 		return v, nil
 	default:

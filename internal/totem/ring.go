@@ -91,11 +91,25 @@ type Config struct {
 	// (default 256KiB) — the token-driven flow control that keeps one
 	// node's large transfers from stalling token circulation.
 	MaxBatchBytes int
-	// IdleTokenDelay paces the token when a full round did no work: the
-	// coordinator withholds the forward for this long so an idle ring does
-	// not spin the CPU (default 1ms; delivery of new multicasts is delayed
-	// by at most one idle rotation).
+	// IdleTokenDelay paces the token once the ring has been idle for two
+	// consecutive rounds: the coordinator withholds the forward for this
+	// long so an idle ring does not spin the CPU (default 1ms). Under load
+	// the hold is skipped entirely — the token carries a ring-wide backlog
+	// count, the first idle round after traffic rotates eagerly to pick up
+	// just-queued work, and locally queued work cancels a hold in progress
+	// — so back-to-back invocations pay token rotations, not idle holds.
 	IdleTokenDelay time.Duration
+	// MaxFrameBytes bounds the payload bytes coalesced into one fabric
+	// datagram when the token holder drains its send queue (default
+	// 60KiB). A message larger than the bound still travels, alone in an
+	// oversized frame.
+	MaxFrameBytes int
+	// NoCoalesce makes this node emit one datagram per message (the
+	// pre-coalescing wire behavior) instead of packed dataBatch frames.
+	// Coalesced frames from other nodes are still accepted, so nodes with
+	// and without coalescing interoperate on one ring (conservative
+	// rollout; also exercised by tests).
+	NoCoalesce bool
 	// Promiscuous delivers every ordered message regardless of local group
 	// subscription (used by interceptors and tests).
 	Promiscuous bool
@@ -126,6 +140,9 @@ func (c *Config) fill() {
 	if c.IdleTokenDelay <= 0 {
 		c.IdleTokenDelay = time.Millisecond
 	}
+	if c.MaxFrameBytes <= 0 {
+		c.MaxFrameBytes = 60 << 10
+	}
 }
 
 // ring states.
@@ -146,6 +163,13 @@ type fwdToken struct {
 	tok  *token
 	next string
 }
+
+// wake is an internal loop event: Multicast queued new local work. It
+// cancels an idle-token hold in progress and, on a singleton ring, triggers
+// immediate self-delivery instead of waiting for the self-token timer.
+type wake struct{}
+
+var wakeEvent = &wake{}
 
 // Ring is one node's endpoint of the group communication layer.
 type Ring struct {
@@ -184,6 +208,8 @@ type Ring struct {
 	retained     *token
 	retainedNext string
 	groupMembers map[string]map[string]bool
+	idleRounds   int           // consecutive workless rounds (coordinator only)
+	paceCancel   chan struct{} // closes to release a held idle token early
 
 	packetCh chan any
 	stopCh   chan struct{}
@@ -196,6 +222,7 @@ type Ring struct {
 	statSent      uint64
 	statRetrans   uint64
 	statForms     uint64
+	statBatches   uint64
 }
 
 // Stats is a snapshot of protocol counters.
@@ -204,6 +231,7 @@ type Stats struct {
 	Sent       uint64 // messages this node originated
 	Retransmit uint64 // retransmissions this node served
 	Formations uint64 // ring formations participated in
+	Batches    uint64 // coalesced multi-message frames this node emitted
 }
 
 // NewRing creates (but does not start) a ring endpoint on the fabric.
@@ -268,15 +296,30 @@ func (r *Ring) Events() <-chan Event { return r.evCh }
 // message is sent when the token next visits this node; delivery is to all
 // subscribed members of the group, in the system-wide total order, on every
 // node of the component.
+//
+// Ownership: the ring retains payload without copying (it flows into the
+// message log and fabric datagrams as-is); the caller must not mutate it
+// after Multicast returns. Reusing the same immutable buffer across calls
+// (e.g. for retransmissions) is fine.
 func (r *Ring) Multicast(group string, payload []byte) error {
-	cp := make([]byte, len(payload))
-	copy(cp, payload)
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if r.stopped {
+		r.mu.Unlock()
 		return ErrStopped
 	}
-	r.sendQ = append(r.sendQ, outMsg{group: group, payload: cp})
+	wasEmpty := len(r.sendQ) == 0
+	r.sendQ = append(r.sendQ, outMsg{group: group, payload: payload})
+	r.mu.Unlock()
+	if wasEmpty {
+		// Nudge the protocol loop: a held idle token should be released
+		// now, and a singleton ring can self-deliver immediately. Dropping
+		// the nudge when the loop is busy is fine — a busy loop is already
+		// processing a token and will see the queue.
+		select {
+		case r.packetCh <- wakeEvent:
+		default:
+		}
+	}
 	return nil
 }
 
@@ -328,16 +371,17 @@ func (r *Ring) Stats() Stats {
 		Sent:       r.statSent,
 		Retransmit: r.statRetrans,
 		Formations: r.statForms,
+		Batches:    r.statBatches,
 	}
 }
 
 func encodeCtl(op byte, node, group string) []byte {
-	e := cdr.NewEncoder(cdr.BigEndian)
+	e := cdr.GetEncoder(cdr.BigEndian)
 	e.WriteOctet(op)
 	e.WriteString(node)
 	e.WriteString(group)
-	out := make([]byte, e.Len())
-	copy(out, e.Bytes())
+	out := e.TakeBytes()
+	e.Release()
 	return out
 }
 
@@ -533,10 +577,36 @@ func (r *Ring) handlePacket(pkt any) {
 		r.handleToken(v)
 	case *data:
 		r.handleData(v)
+	case *dataBatch:
+		r.handleDataBatch(v)
 	case *fwdToken:
 		if v.ring == r.ring && r.state == stOperational {
+			r.paceCancel = nil
 			r.send(v.next, v.tok)
 		}
+	case *wake:
+		r.handleWake()
+	}
+}
+
+// handleWake reacts to freshly queued local work: it ends an idle-token
+// hold early and fast-paths a singleton ring past token pacing entirely.
+func (r *Ring) handleWake() {
+	if r.state != stOperational {
+		return
+	}
+	if len(r.members) == 1 && r.retained != nil {
+		// Singleton ring: no token circulation is needed for ordering —
+		// reprocess the retained token now and self-deliver in order,
+		// instead of waiting out the self-token timer.
+		cp := *r.retained
+		cp.Rtr = append([]uint64(nil), r.retained.Rtr...)
+		r.handleToken(&cp)
+		return
+	}
+	if r.paceCancel != nil {
+		close(r.paceCancel)
+		r.paceCancel = nil
 	}
 }
 
@@ -699,6 +769,8 @@ func (r *Ring) handleInstall(ins *install) {
 	r.lastRound = 0
 	r.lastToken = time.Now()
 	r.retained = nil
+	r.idleRounds = 0
+	r.paceCancel = nil
 
 	// Rebuild group membership from the collected subscriptions.
 	r.groupMembers = make(map[string]map[string]bool)
@@ -764,14 +836,19 @@ func (r *Ring) handleToken(t *token) {
 	if r.state != stOperational || t.Ring != r.ring {
 		return
 	}
+	var prevBacklog uint32
 	if r.ring.Coord == r.cfg.Node {
-		// The coordinator opens a new round: finalize last round's aru.
+		// The coordinator opens a new round: finalize last round's aru and
+		// collect the backlog members reported while the round circulated
+		// (drives the eager-release decision below).
 		t.Round++
 		t.LastAru = t.Aru
 		if t.LastAru == math.MaxUint64 {
 			t.LastAru = 0
 		}
 		t.Aru = math.MaxUint64
+		prevBacklog = t.Backlog
+		t.Backlog = 0
 	}
 	if t.Round <= r.lastRound {
 		return // duplicate (token retransmission raced the original)
@@ -822,17 +899,14 @@ func (r *Ring) handleToken(t *token) {
 	} else {
 		r.sendQ = append([]outMsg(nil), r.sendQ[take:]...)
 	}
+	leftover := len(r.sendQ)
 	r.mu.Unlock()
-	for _, om := range batch {
-		t.Seq++
-		m := storedMsg{Seq: t.Seq, Group: om.group, Sender: r.cfg.Node, Payload: om.payload}
-		r.store[m.Seq] = m
-		r.statMu.Lock()
-		r.statSent++
-		r.statMu.Unlock()
-		r.broadcastMembers(&data{Ring: r.ring, Seq: m.Seq, Group: m.Group, Sender: m.Sender, Payload: m.Payload}, false)
-		r.advanceDelivery()
+	if len(batch) > 0 {
+		r.sendBatch(t, batch)
 	}
+	// Report work this visit could not drain, so the coordinator keeps the
+	// token rotating eagerly instead of pacing.
+	t.Backlog += uint32(leftover)
 
 	// Aru bookkeeping and log pruning.
 	if r.delivered < t.Aru {
@@ -850,13 +924,26 @@ func (r *Ring) handleToken(t *token) {
 	cp.Rtr = append([]uint64(nil), t.Rtr...)
 	r.retained = &cp
 	r.retainedNext = next
-	// Idle pacing: if this coordinator visit closed a round in which
-	// nothing was sent, requested, or outstanding, withhold the forward
-	// briefly instead of spinning the token at CPU speed.
-	if r.ring.Coord == r.cfg.Node && len(batch) == 0 && len(cp.Rtr) == 0 &&
-		cp.Seq == r.delivered && next != r.cfg.Node {
-		r.paceForward(&cp, next)
-		return
+	// Idle pacing with eager release under load: withhold the forward only
+	// when this round did no work (nothing sent, requested, or outstanding
+	// locally), no member reported backlog — neither during the round that
+	// just closed nor at this visit — and the ring has already completed a
+	// full idle round. Requiring two consecutive idle rounds makes the
+	// first post-traffic rotation eager, so an invocation queued while the
+	// previous one was being delivered pays one token rotation, not an
+	// idle hold plus a rotation.
+	if r.ring.Coord == r.cfg.Node {
+		idle := len(batch) == 0 && len(cp.Rtr) == 0 && cp.Seq == r.delivered &&
+			prevBacklog == 0 && cp.Backlog == 0
+		if idle {
+			r.idleRounds++
+		} else {
+			r.idleRounds = 0
+		}
+		if idle && r.idleRounds >= 2 && next != r.cfg.Node {
+			r.paceForward(&cp, next)
+			return
+		}
 	}
 	if next == r.cfg.Node {
 		// Singleton ring: nothing to pass; reprocess on next tick only if
@@ -877,8 +964,68 @@ func (r *Ring) handleToken(t *token) {
 	r.send(next, &cp)
 }
 
+// sendBatch assigns contiguous sequence numbers to one token visit's
+// batch, logs every message for retransmission, and multicasts the batch
+// packed into as few fabric datagrams as MaxFrameBytes allows (or as
+// legacy per-message data packets when coalescing is off or the ring is a
+// singleton with no one to send to).
+func (r *Ring) sendBatch(t *token, batch []outMsg) {
+	r.statMu.Lock()
+	r.statSent += uint64(len(batch))
+	r.statMu.Unlock()
+	if r.cfg.NoCoalesce || len(r.members) == 1 {
+		for _, om := range batch {
+			t.Seq++
+			m := storedMsg{Seq: t.Seq, Group: om.group, Sender: r.cfg.Node, Payload: om.payload}
+			r.store[m.Seq] = m
+			if len(r.members) > 1 {
+				r.broadcastMembers(&data{Ring: r.ring, Seq: m.Seq, Group: m.Group, Sender: m.Sender, Payload: m.Payload}, false)
+			}
+			r.advanceDelivery()
+		}
+		return
+	}
+	i := 0
+	for i < len(batch) {
+		firstSeq := t.Seq + 1
+		groups := make([]string, 0, len(batch)-i)
+		payloads := make([][]byte, 0, len(batch)-i)
+		frameBytes := 0
+		for i < len(batch) {
+			sz := len(batch[i].payload)
+			if len(payloads) > 0 && frameBytes+sz > r.cfg.MaxFrameBytes {
+				break // frame full; an oversized single still goes alone
+			}
+			t.Seq++
+			m := storedMsg{Seq: t.Seq, Group: batch[i].group, Sender: r.cfg.Node, Payload: batch[i].payload}
+			r.store[m.Seq] = m
+			groups = append(groups, m.Group)
+			payloads = append(payloads, m.Payload)
+			frameBytes += sz
+			i++
+		}
+		r.broadcastMembers(&dataBatch{
+			Ring:     r.ring,
+			Sender:   r.cfg.Node,
+			FirstSeq: firstSeq,
+			Groups:   groups,
+			Payloads: payloads,
+		}, false)
+		if len(payloads) > 1 {
+			r.statMu.Lock()
+			r.statBatches++
+			r.statMu.Unlock()
+		}
+	}
+	r.advanceDelivery()
+}
+
 // paceForward delays a token forward without blocking the protocol loop.
+// The hold ends early if local work arrives (handleWake closes the cancel
+// channel).
 func (r *Ring) paceForward(t *token, next string) {
+	cancel := make(chan struct{})
+	r.paceCancel = cancel
 	r.wg.Add(1)
 	go func() {
 		defer r.wg.Done()
@@ -886,6 +1033,7 @@ func (r *Ring) paceForward(t *token, next string) {
 		defer timer.Stop()
 		select {
 		case <-timer.C:
+		case <-cancel:
 		case <-r.stopCh:
 			return
 		}
@@ -923,6 +1071,29 @@ func containsSeq(list []uint64, seq uint64) bool {
 		}
 	}
 	return false
+}
+
+// handleDataBatch unpacks a coalesced frame: each sub-message is stored
+// and delivered exactly as if it had arrived as its own data packet, in
+// contiguous sequence order starting at FirstSeq.
+func (r *Ring) handleDataBatch(b *dataBatch) {
+	if b.Ring != r.ring {
+		return
+	}
+	for i, p := range b.Payloads {
+		seq := b.FirstSeq + uint64(i)
+		if seq <= r.delivered {
+			continue
+		}
+		if _, ok := r.store[seq]; ok {
+			continue
+		}
+		r.store[seq] = storedMsg{Seq: seq, Group: b.Groups[i], Sender: b.Sender, Payload: p}
+	}
+	// Same membership-freeze rule as handleData: see the comment there.
+	if r.state == stOperational {
+		r.advanceDelivery()
+	}
 }
 
 func (r *Ring) handleData(d *data) {
