@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check race bench test build vet
+.PHONY: check race bench test build vet chaos
 
 ## check: vet + build + full test suite (the tier-1 gate)
 check: vet build test
@@ -17,6 +17,12 @@ test:
 ## race: race-detect the concurrency-heavy layers
 race:
 	$(GO) test -race ./internal/totem ./internal/replication
+
+## chaos: the full seeded fault-injection sweep under the race detector
+## (7 seeds x 3 replication styles = 21 schedules, plus the targeted
+## coalescing/recovery fault tests)
+chaos:
+	CHAOS_SEEDS=7 $(GO) test -race -count=1 ./internal/chaos
 
 ## bench: run the PR2 hot-path benchmarks and snapshot them to BENCH_pr2.json
 bench:

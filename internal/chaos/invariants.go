@@ -1,0 +1,175 @@
+package chaos
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/replication"
+	"repro/internal/totem"
+)
+
+// CheckAll runs every post-schedule invariant: virtual-synchrony order
+// consistency, exactly-once accounting with state convergence, and (for
+// passive styles) WAL crash-recovery consistency. Goroutine-leak checking
+// needs the harness closed first, so it runs separately (CheckGoroutines).
+func (h *Harness) CheckAll() {
+	h.tb.Helper()
+	h.CheckDeliveryInvariants()
+	h.CheckConvergence()
+	h.CheckWALConsistency()
+}
+
+// CheckDeliveryInvariants verifies virtual-synchrony ordering over the
+// complete delivery histories of every node incarnation:
+//
+//	V1: MsgIDs are strictly increasing at each incarnation.
+//	V2: within one ring, each incarnation's sequence numbers are strictly
+//	    increasing (the ring's own contiguity assert guarantees density).
+//	V3: a (ring, seq) slot carries the same payload (hash) and sender at
+//	    every incarnation that delivers it — no divergence, anywhere, ever.
+func (h *Harness) CheckDeliveryInvariants() {
+	h.tb.Helper()
+	type slot struct {
+		ring totem.RingID
+		seq  uint64
+	}
+	type content struct {
+		hash   uint64
+		sender string
+		owner  string
+	}
+	seen := make(map[slot]content)
+	for _, rec := range h.Recorders() {
+		who := fmt.Sprintf("%s#%d", rec.Node, rec.Inc)
+		msgs := rec.Msgs()
+		lastSeq := make(map[totem.RingID]uint64)
+		for k, m := range msgs {
+			if k > 0 && m.MsgID <= msgs[k-1].MsgID {
+				h.tb.Fatalf("seed %d: %s: MsgID not strictly increasing at %d (%d after %d)",
+					h.opts.Seed, who, k, m.MsgID, msgs[k-1].MsgID)
+			}
+			if last, ok := lastSeq[m.Ring]; ok && m.Seq <= last {
+				h.tb.Fatalf("seed %d: %s: ring %v seq not increasing (%d after %d)",
+					h.opts.Seed, who, m.Ring, m.Seq, last)
+			}
+			lastSeq[m.Ring] = m.Seq
+			k2 := slot{ring: m.Ring, seq: m.Seq}
+			if prev, ok := seen[k2]; ok {
+				if prev.hash != m.Hash || prev.sender != m.Sender {
+					h.tb.Fatalf("seed %d: ring %v seq %d diverges between %s and %s",
+						h.opts.Seed, m.Ring, m.Seq, prev.owner, who)
+				}
+			} else {
+				seen[k2] = content{hash: m.Hash, sender: m.Sender, owner: who}
+			}
+		}
+	}
+}
+
+// authoritative returns the node whose servant holds the authoritative
+// state: the group's current primary (first member of the converged view).
+func (h *Harness) authoritative() string {
+	h.tb.Helper()
+	live := h.LiveReplicas()
+	if len(live) == 0 {
+		h.tb.Fatalf("seed %d: no live replicas to check", h.opts.Seed)
+	}
+	st, ok := h.Engine(live[0]).GroupStatus(h.Def.ID)
+	if !ok || st.Primary == "" {
+		h.tb.Fatalf("seed %d: no primary visible from %s", h.opts.Seed, live[0])
+	}
+	return st.Primary
+}
+
+// CheckConvergence verifies exactly-once accounting and replica-state
+// convergence: the authoritative state must equal exactly the acknowledged
+// operations (none lost, none doubled), and every live replica that
+// executes operations (active styles) or tracks the primary (warm passive)
+// must converge to it. Cold-passive backups hold state only in their logs;
+// CheckWALConsistency covers them.
+func (h *Harness) CheckConvergence() {
+	h.tb.Helper()
+	wantSum, wantCount := h.Acked()
+	primary := h.authoritative()
+
+	if !h.poll(10*time.Second, func() bool {
+		bal, ops := h.Servant(primary).Snapshot()
+		return bal == wantSum && ops == wantCount
+	}) {
+		bal, ops := h.Servant(primary).Snapshot()
+		h.tb.Fatalf("seed %d: exactly-once violated: primary %s has balance=%d ops=%d, acked sum=%d count=%d",
+			h.opts.Seed, primary, bal, ops, wantSum, wantCount)
+	}
+
+	var track []string
+	switch h.Def.Style {
+	case replication.ColdPassive:
+		track = []string{primary}
+	default:
+		track = h.LiveReplicas()
+	}
+	if !h.poll(10*time.Second, func() bool {
+		for _, n := range track {
+			bal, ops := h.Servant(n).Snapshot()
+			if bal != wantSum || ops != wantCount {
+				return false
+			}
+		}
+		return true
+	}) {
+		for _, n := range track {
+			bal, ops := h.Servant(n).Snapshot()
+			h.tb.Logf("replica %s: balance=%d ops=%d", n, bal, ops)
+		}
+		h.tb.Fatalf("seed %d: replicas did not converge to acked sum=%d count=%d",
+			h.opts.Seed, wantSum, wantCount)
+	}
+}
+
+// CheckWALConsistency verifies crash-recovery consistency for passive
+// styles: replaying each live member's write-ahead log into a fresh servant
+// must reproduce the authoritative state exactly — so a crash at this
+// instant, followed by recovery from the log, loses nothing.
+func (h *Harness) CheckWALConsistency() {
+	h.tb.Helper()
+	if !h.Def.Style.IsPassive() {
+		return
+	}
+	wantSum, wantCount := h.Acked()
+	for _, n := range h.LiveReplicas() {
+		n := n
+		h.waitFor(10*time.Second, fmt.Sprintf("WAL of %s replays to acked state", n), func() bool {
+			ghost := &Account{}
+			log, release := h.openLogForRead(n)
+			_, _, err := replication.ReplayLog(h.Def, log, ghost)
+			release()
+			if err != nil {
+				return false
+			}
+			bal, ops := ghost.Snapshot()
+			return bal == wantSum && ops == wantCount
+		})
+	}
+}
+
+// CheckGoroutines verifies the whole run leaked no goroutines: after Close,
+// the count must return to (near) the pre-harness baseline. The small slack
+// absorbs runtime-internal goroutines and netsim deliveries still draining.
+func (h *Harness) CheckGoroutines() {
+	h.tb.Helper()
+	h.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	var n int
+	for time.Now().Before(deadline) {
+		n = runtime.NumGoroutine()
+		if n <= h.baseGoroutine+4 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<16)
+	buf = buf[:runtime.Stack(buf, true)]
+	h.tb.Fatalf("seed %d: goroutine leak: %d running, baseline %d\n%s",
+		h.opts.Seed, n, h.baseGoroutine, buf)
+}

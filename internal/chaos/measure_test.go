@@ -1,0 +1,77 @@
+package chaos
+
+import (
+	"os"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/replication"
+)
+
+// TestMeasureFaultTimings measures the fault-tolerance latency
+// distributions reported in EXPERIMENTS.md (E5–E8): fault-detection time
+// (crash to fault report at a survivor), failover time (primary crash to
+// the first successfully acknowledged invocation), and recovery time
+// (restart to full membership with state synchronized). Gated behind
+// CHAOS_MEASURE because it is a measurement run, not a correctness test.
+func TestMeasureFaultTimings(t *testing.T) {
+	if os.Getenv("CHAOS_MEASURE") == "" {
+		t.Skip("set CHAOS_MEASURE=1 to run timing measurements")
+	}
+	const trials = 10
+	for _, style := range []replication.Style{replication.Active, replication.WarmPassive, replication.ColdPassive} {
+		style := style
+		t.Run(style.String(), func(t *testing.T) {
+			var detect, failover, rejoin []time.Duration
+			for i := 0; i < trials; i++ {
+				h := New(t, Options{Style: style, Seed: int64(100 + i)})
+				h.drive(2)
+
+				// Crash the primary — the worst case for failover.
+				victim := h.authoritative()
+				ch, cancel := h.Faults.Subscribe(func(r fault.Report) bool {
+					return (r.Kind == fault.NodeCrash || r.Kind == fault.ObjectCrash) && r.Node == victim
+				})
+				t0 := time.Now()
+				h.Crash(victim)
+				select {
+				case <-ch:
+					detect = append(detect, time.Since(t0))
+				case <-time.After(10 * time.Second):
+					t.Fatalf("trial %d: crash of %s never reported", i, victim)
+				}
+				cancel()
+
+				tf := time.Now()
+				h.Invoke(1) // blocks (with retransmission) until a new primary answers
+				failover = append(failover, time.Since(tf))
+				h.WaitMembers(h.LiveReplicas())
+
+				tr := time.Now()
+				h.Restart(victim)
+				h.WaitMembers(h.Nodes)
+				rejoin = append(rejoin, time.Since(tr))
+
+				h.drive(1)
+				h.CheckAll()
+				h.Close()
+			}
+			reportDist(t, "detection (crash -> fault report)", detect)
+			reportDist(t, "failover (crash -> next acked invoke)", failover)
+			reportDist(t, "recovery (restart -> synced membership)", rejoin)
+		})
+	}
+}
+
+func reportDist(t *testing.T, what string, ds []time.Duration) {
+	t.Helper()
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	pct := func(p float64) time.Duration {
+		idx := int(p * float64(len(ds)-1))
+		return ds[idx]
+	}
+	t.Logf("%-40s n=%d min=%v p50=%v p90=%v max=%v",
+		what, len(ds), ds[0], pct(0.5), pct(0.9), ds[len(ds)-1])
+}

@@ -1,0 +1,37 @@
+package chaos
+
+import (
+	"testing"
+
+	"repro/internal/replication"
+)
+
+// TestFileLogCrashRestart exercises durable crash-restart recovery: a
+// FileLog-backed replica fail-stops (its in-memory state is gone; only the
+// on-disk WAL survives), operations continue on the survivors, and the
+// restarted incarnation recovers from wal.Recover + rejoin. Its state must
+// match the survivors exactly — no acked operation lost or doubled — and
+// replaying any member's log must reproduce the acked state.
+func TestFileLogCrashRestart(t *testing.T) {
+	for _, style := range []replication.Style{replication.WarmPassive, replication.ColdPassive} {
+		style := style
+		t.Run(style.String(), func(t *testing.T) {
+			h := New(t, Options{Style: style, Seed: 21, FileLogs: true, CheckpointEvery: 4})
+			h.drive(6) // spans a checkpoint, so recovery replays checkpoint + tail
+
+			// Crash the current primary: the worst case — failover AND the
+			// restarted node recovering from disk.
+			primary := h.authoritative()
+			h.Crash(primary)
+			h.WaitMembers(h.LiveReplicas())
+			h.drive(5)
+
+			h.Restart(primary)
+			h.WaitMembers(h.Nodes)
+			h.drive(3)
+
+			h.CheckAll()
+			h.CheckGoroutines()
+		})
+	}
+}

@@ -1,0 +1,199 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/totem"
+)
+
+// EpisodeKind enumerates the fault episodes a schedule is built from.
+type EpisodeKind int
+
+// Episode kinds.
+const (
+	// EpCrashRestart crashes a replica, runs traffic without it, then
+	// restarts it (recovery from its WAL) and runs more traffic.
+	EpCrashRestart EpisodeKind = iota
+	// EpPartitionHeal isolates one replica from the rest (the client stays
+	// with the majority), runs traffic, then heals.
+	EpPartitionHeal
+	// EpLossBurst raises fabric-wide datagram loss while traffic flows.
+	EpLossBurst
+	// EpDelaySpike raises fabric latency/jitter while traffic flows.
+	EpDelaySpike
+	// EpSlowNode adds a per-node delay to one replica (a GC pause or an
+	// overloaded host) while traffic flows.
+	EpSlowNode
+	// EpTokenDrop drops the next N totem token packets sent by one replica
+	// — targeted protocol-state loss forcing token-retransmission or ring
+	// reformation.
+	EpTokenDrop
+
+	episodeKinds = 6
+)
+
+var episodeNames = map[EpisodeKind]string{
+	EpCrashRestart:  "crash-restart",
+	EpPartitionHeal: "partition-heal",
+	EpLossBurst:     "loss-burst",
+	EpDelaySpike:    "delay-spike",
+	EpSlowNode:      "slow-node",
+	EpTokenDrop:     "token-drop",
+}
+
+func (k EpisodeKind) String() string { return episodeNames[k] }
+
+// Episode is one fault event plus the traffic driven under it.
+type Episode struct {
+	Kind    EpisodeKind
+	Victim  string        // target replica (crash/partition/slow/token kinds)
+	Loss    float64       // EpLossBurst
+	Delay   time.Duration // EpDelaySpike / EpSlowNode
+	Drops   int           // EpTokenDrop
+	Invokes int           // acknowledged operations driven during the episode
+}
+
+// Schedule is a deterministic fault-injection plan.
+type Schedule struct {
+	Seed     int64
+	Episodes []Episode
+}
+
+// Generate derives a schedule from the rng: episodes in random order with
+// random victims and intensities. Invariant by construction: at most one
+// replica is faulty at a time, and the client always stays with a majority.
+func Generate(rng *rand.Rand, replicas []string, episodes int) Schedule {
+	s := Schedule{}
+	for i := 0; i < episodes; i++ {
+		ep := Episode{
+			Kind:    EpisodeKind(rng.Intn(episodeKinds)),
+			Victim:  replicas[rng.Intn(len(replicas))],
+			Invokes: 2 + rng.Intn(3),
+		}
+		switch ep.Kind {
+		case EpLossBurst:
+			ep.Loss = 0.02 + 0.10*rng.Float64()
+		case EpDelaySpike:
+			ep.Delay = time.Duration(200+rng.Intn(1500)) * time.Microsecond
+		case EpSlowNode:
+			ep.Delay = time.Duration(1+rng.Intn(3)) * time.Millisecond
+		case EpTokenDrop:
+			ep.Drops = 2 + rng.Intn(6)
+		}
+		s.Episodes = append(s.Episodes, ep)
+	}
+	return s
+}
+
+// Run executes the schedule: each episode applies its fault, drives
+// acknowledged traffic under it, and clears it; the finale restores every
+// node, drives final traffic, and runs the full invariant check.
+func (h *Harness) Run(s Schedule) {
+	h.tb.Helper()
+	for i, ep := range s.Episodes {
+		h.runEpisode(i, ep)
+	}
+	// Finale: heal everything, restart the dead, converge, check.
+	h.Fabric.Heal()
+	h.Fabric.SetLoss(0)
+	h.Fabric.SetDropFilter(nil)
+	h.Fabric.SetLatency(50*time.Microsecond, 100*time.Microsecond)
+	for _, n := range h.DownNodes() {
+		h.Restart(n)
+	}
+	h.WaitMembers(h.Nodes)
+	for i := 0; i < 3; i++ {
+		h.Invoke(1)
+	}
+	h.CheckAll()
+}
+
+func (h *Harness) runEpisode(i int, ep Episode) {
+	h.tb.Helper()
+	if t, ok := h.tb.(interface{ Logf(string, ...any) }); ok {
+		t.Logf("episode %d: %s victim=%s", i, ep.Kind, ep.Victim)
+	}
+	switch ep.Kind {
+	case EpCrashRestart:
+		h.Crash(ep.Victim)
+		h.WaitMembers(h.LiveReplicas())
+		h.drive(ep.Invokes)
+		h.Restart(ep.Victim)
+		h.WaitMembers(h.Nodes)
+		h.drive(ep.Invokes)
+	case EpPartitionHeal:
+		rest := []string{h.Client}
+		for _, n := range h.Nodes {
+			if n != ep.Victim {
+				rest = append(rest, n)
+			}
+		}
+		h.Fabric.Partition(rest, []string{ep.Victim})
+		h.WaitMembers(h.LiveMajority(ep.Victim))
+		h.drive(ep.Invokes)
+		h.Fabric.Heal()
+		h.WaitMembers(h.Nodes)
+		h.drive(ep.Invokes)
+	case EpLossBurst:
+		h.Fabric.SetLoss(ep.Loss)
+		h.drive(ep.Invokes)
+		h.Fabric.SetLoss(0)
+	case EpDelaySpike:
+		h.Fabric.SetLatency(ep.Delay, ep.Delay/2)
+		h.drive(ep.Invokes)
+		h.Fabric.SetLatency(50*time.Microsecond, 100*time.Microsecond)
+	case EpSlowNode:
+		h.Fabric.SetNodeDelay(ep.Victim, ep.Delay)
+		h.drive(ep.Invokes)
+		h.Fabric.SetNodeDelay(ep.Victim, 0)
+	case EpTokenDrop:
+		var dropped atomic.Int64
+		limit := int64(ep.Drops)
+		h.Fabric.SetDropFilter(func(from, to string, payload []byte) bool {
+			if from == ep.Victim && totem.Classify(payload) == totem.ClassToken {
+				if dropped.Add(1) <= limit {
+					return true
+				}
+			}
+			return false
+		})
+		h.drive(ep.Invokes)
+		h.Fabric.SetDropFilter(nil)
+	default:
+		h.tb.Fatalf("unknown episode kind %d", ep.Kind)
+	}
+}
+
+// LiveMajority is the replica set with one victim excluded (used while the
+// victim is partitioned away but not crashed).
+func (h *Harness) LiveMajority(excluded string) []string {
+	var out []string
+	for _, n := range h.LiveReplicas() {
+		if n != excluded {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// drive issues n acknowledged operations with small deterministic pauses so
+// traffic interleaves with the fault in progress.
+func (h *Harness) drive(n int) {
+	h.tb.Helper()
+	for i := 0; i < n; i++ {
+		h.Invoke(1)
+		time.Sleep(time.Duration(1+h.Rng.Intn(4)) * time.Millisecond)
+	}
+}
+
+// Describe renders the schedule for failure logs.
+func (s Schedule) Describe() string {
+	out := fmt.Sprintf("seed=%d:", s.Seed)
+	for _, ep := range s.Episodes {
+		out += fmt.Sprintf(" [%s %s]", ep.Kind, ep.Victim)
+	}
+	return out
+}

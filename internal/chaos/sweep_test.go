@@ -1,0 +1,49 @@
+package chaos
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+
+	"repro/internal/replication"
+)
+
+// seedsPerStyle reads CHAOS_SEEDS (default 2 for the quick tier-1 run; CI
+// and `make chaos` raise it for the full sweep).
+func seedsPerStyle() int {
+	if v := os.Getenv("CHAOS_SEEDS"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 2
+}
+
+// TestChaosSweep runs seeded fault schedules against every replication
+// style and checks the full invariant suite after each: virtual-synchrony
+// order consistency, exactly-once accounting, state convergence, WAL
+// recovery consistency, and goroutine-leak freedom.
+func TestChaosSweep(t *testing.T) {
+	styles := []replication.Style{
+		replication.Active,
+		replication.WarmPassive,
+		replication.ColdPassive,
+	}
+	seeds := seedsPerStyle()
+	for _, style := range styles {
+		for seed := int64(1); seed <= int64(seeds); seed++ {
+			style, seed := style, seed
+			// Sequential on purpose: the goroutine-leak check compares
+			// against a per-harness baseline of the whole process.
+			t.Run(fmt.Sprintf("%s/seed%d", style, seed), func(t *testing.T) {
+				h := New(t, Options{Style: style, Seed: seed})
+				s := Generate(h.Rng, h.Nodes, 4)
+				s.Seed = seed
+				t.Logf("schedule %s", s.Describe())
+				h.Run(s)
+				h.CheckGoroutines()
+			})
+		}
+	}
+}

@@ -185,6 +185,33 @@ func (d *Domain) CrashNode(name string) {
 	delete(d.nodes, name)
 }
 
+// RestartNode brings a crashed node back: network reattachment, a fresh
+// protocol stack, and re-registration with the Replication Manager (which
+// replaces the dead incarnation's engine but keeps the node's servant
+// factories, so the manager can recruit it again).
+func (d *Domain) RestartNode(name string) error {
+	if _, ok := d.nodes[name]; ok {
+		return fmt.Errorf("core: node %s is already running", name)
+	}
+	known := false
+	for _, n := range d.order {
+		if n == name {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return fmt.Errorf("core: unknown node %s", name)
+	}
+	d.Fabric.RestartNode(name)
+	node, err := d.startNode(name)
+	if err != nil {
+		return err
+	}
+	d.nodes[name] = node
+	return nil
+}
+
 // Partition splits the network (see netsim.Fabric.Partition).
 func (d *Domain) Partition(groups ...[]string) { d.Fabric.Partition(groups...) }
 

@@ -28,12 +28,18 @@ const (
 	ObjectCrash Kind = iota + 1
 	ProcessCrash
 	NodeCrash
+	// InvariantViolation reports a broken protocol invariant detected at
+	// runtime (e.g. a non-contiguous delivery or an unencodable message).
+	// In strict-invariant builds these abort instead; in production they
+	// are reported here and the protocol recovers by reformation.
+	InvariantViolation
 )
 
 var kindNames = map[Kind]string{
-	ObjectCrash:  "object-crash",
-	ProcessCrash: "process-crash",
-	NodeCrash:    "node-crash",
+	ObjectCrash:        "object-crash",
+	ProcessCrash:       "process-crash",
+	NodeCrash:          "node-crash",
+	InvariantViolation: "invariant-violation",
 }
 
 // String names the kind.
@@ -55,6 +61,8 @@ type Report struct {
 	GroupID uint64
 	// Member identifies the failed member/target within its scope.
 	Member string
+	// Detail describes the fault (invariant violations).
+	Detail string
 	// Detected is when the detector declared the fault.
 	Detected time.Time
 }

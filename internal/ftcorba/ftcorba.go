@@ -164,13 +164,19 @@ func (rm *ReplicationManager) Stop() {
 	rm.wg.Wait()
 }
 
-// RegisterNode makes a host available for replica placement.
+// RegisterNode makes a host available for replica placement. Re-registering
+// an existing node replaces its engine — the crash-restart case, where the
+// node returns with a fresh engine but its factory registrations (and any
+// group memberships the manager assigns next) remain valid.
 func (rm *ReplicationManager) RegisterNode(node string, engine *replication.Engine, orbPort uint16) {
 	rm.mu.Lock()
 	defer rm.mu.Unlock()
-	if _, ok := rm.nodes[node]; !ok {
-		rm.nodes[node] = &nodeRec{engine: engine, orbPort: orbPort, factories: make(map[string]Factory)}
+	if rec, ok := rm.nodes[node]; ok {
+		rec.engine = engine
+		rec.orbPort = orbPort
+		return
 	}
+	rm.nodes[node] = &nodeRec{engine: engine, orbPort: orbPort, factories: make(map[string]Factory)}
 }
 
 // RegisterFactory installs a servant factory for a type on a node (the

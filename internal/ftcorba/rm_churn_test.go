@@ -1,0 +1,116 @@
+package ftcorba_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ftcorba"
+	"repro/internal/orb"
+	"repro/internal/replication"
+)
+
+// TestChurnMemberReplacement drives ReplicationManager-managed member
+// replacement through repeated crash/recruit/restart churn: each round
+// fail-stops the group's senior member, waits for the manager to recruit a
+// spare (with state transfer), verifies exactly-once continuity of the
+// replicated counter through the transition, and then restarts the crashed
+// node so it re-registers and rejoins the spare pool for later rounds.
+func TestChurnMemberReplacement(t *testing.T) {
+	for _, style := range []replication.Style{replication.Active, replication.WarmPassive} {
+		style := style
+		t.Run(style.String(), func(t *testing.T) {
+			d, err := core.NewDomain(core.Options{
+				Nodes:     []string{"n1", "n2", "n3", "n4", "client"},
+				Heartbeat: 4 * time.Millisecond,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(d.Stop)
+			if err := d.WaitReady(5 * time.Second); err != nil {
+				t.Fatal(err)
+			}
+			// The client node has no factory, so the manager never
+			// recruits it and the proxy's host survives every round.
+			err = d.RegisterFactory(tallyType, func() orb.Servant { return &tally{} }, "n1", "n2", "n3", "n4")
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			_, gid, err := d.Create("churn", tallyType, &ftcorba.Properties{
+				ReplicationStyle:      style,
+				InitialNumberReplicas: 2,
+				MinimumNumberReplicas: 2,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := d.WaitGroupReady(gid, 2, 5*time.Second); err != nil {
+				t.Fatal(err)
+			}
+			proxy, err := d.Proxy("client", gid)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := proxy.Invoke("bump"); err != nil {
+				t.Fatal(err)
+			}
+
+			const rounds = 3
+			for r := 0; r < rounds; r++ {
+				members, err := d.RM.Members(gid)
+				if err != nil {
+					t.Fatal(err)
+				}
+				victim := members[0]
+				t.Logf("round %d: crashing %s (members %v)", r, victim, members)
+				d.CrashNode(victim)
+
+				// The manager must notice the crash and recruit a spare.
+				deadline := time.Now().Add(10 * time.Second)
+				for {
+					cur, _ := d.RM.Members(gid)
+					if len(cur) >= 2 && !containsStr(cur, victim) {
+						break
+					}
+					if time.Now().After(deadline) {
+						t.Fatalf("round %d: no recruitment after crash of %s: members=%v", r, victim, cur)
+					}
+					time.Sleep(5 * time.Millisecond)
+				}
+				if err := d.WaitGroupReady(gid, 2, 10*time.Second); err != nil {
+					cur, _ := d.RM.Members(gid)
+					for _, m := range cur {
+						if n := d.Node(m); n != nil {
+							st, hosted := n.Engine.GroupStatus(gid)
+							t.Logf("member %s: hosted=%v status=%+v", m, hosted, st)
+						} else {
+							t.Logf("member %s: node not running", m)
+						}
+					}
+					t.Fatalf("round %d: %v (members=%v)", r, err, cur)
+				}
+
+				// Exactly-once continuity across the replacement.
+				out, err := proxy.Invoke("bump")
+				if err != nil {
+					t.Fatalf("round %d: bump: %v", r, err)
+				}
+				if got, want := out[0].AsLongLong(), int64(r+2); got != want {
+					t.Fatalf("round %d: counter = %d, want %d (op lost or doubled in churn)", r, got, want)
+				}
+
+				// Bring the victim back; it re-registers and becomes a
+				// spare candidate for the next round.
+				if err := d.RestartNode(victim); err != nil {
+					t.Fatalf("round %d: restart %s: %v", r, victim, err)
+				}
+			}
+
+			if v, _ := d.RM.Version(gid); v < uint32(1+2*rounds) {
+				t.Errorf("IOGR version = %d after %d churn rounds, want >= %d", v, rounds, 1+2*rounds)
+			}
+		})
+	}
+}

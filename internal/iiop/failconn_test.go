@@ -1,0 +1,133 @@
+package iiop
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/giop"
+)
+
+// silentConn models a TCP connection whose peer died without FIN/RST: writes
+// are swallowed successfully and reads block until the local side closes.
+type silentConn struct {
+	closed    chan struct{}
+	closeOnce sync.Once
+}
+
+func newSilentConn() *silentConn { return &silentConn{closed: make(chan struct{})} }
+
+func (c *silentConn) Read(p []byte) (int, error) {
+	<-c.closed
+	return 0, net.ErrClosed
+}
+
+func (c *silentConn) Write(p []byte) (int, error) {
+	select {
+	case <-c.closed:
+		return 0, net.ErrClosed
+	default:
+		return len(p), nil
+	}
+}
+
+func (c *silentConn) Close() error {
+	c.closeOnce.Do(func() { close(c.closed) })
+	return nil
+}
+
+func (c *silentConn) LocalAddr() net.Addr                { return &net.TCPAddr{} }
+func (c *silentConn) RemoteAddr() net.Addr               { return &net.TCPAddr{} }
+func (c *silentConn) SetDeadline(t time.Time) error      { return nil }
+func (c *silentConn) SetReadDeadline(t time.Time) error  { return nil }
+func (c *silentConn) SetWriteDeadline(t time.Time) error { return nil }
+
+// TestFailConnWakesUnboundedWait reproduces the silently-dead-peer hang: an
+// Invoke with no timeout blocks on a connection whose read loop will never
+// observe an error. FailConn must wake the waiter and force the next Invoke
+// to re-dial.
+func TestFailConnWakesUnboundedWait(t *testing.T) {
+	var dials atomic.Int32
+	tr := NewTransport(func(host string, port uint16) (net.Conn, error) {
+		dials.Add(1)
+		return newSilentConn(), nil
+	})
+	defer tr.Close()
+
+	cause := errors.New("peer declared dead by fault detector")
+	done := make(chan error, 1)
+	go func() {
+		req := &giop.Request{
+			RequestID:     tr.NextRequestID(),
+			ResponseFlags: giop.ResponseExpected,
+			Operation:     "ping",
+		}
+		_, err := tr.Invoke("dead-host", 4000, req, 0)
+		done <- err
+	}()
+
+	// Let the invocation reach its unbounded wait, then declare the peer dead.
+	time.Sleep(20 * time.Millisecond)
+	select {
+	case err := <-done:
+		t.Fatalf("Invoke returned before FailConn: %v", err)
+	default:
+	}
+	tr.FailConn("dead-host", 4000, cause)
+
+	select {
+	case err := <-done:
+		if !errors.Is(err, cause) {
+			t.Fatalf("Invoke error = %v, want the FailConn cause", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Invoke still blocked after FailConn — unbounded wait has no failure wakeup")
+	}
+
+	// The invalidated connection must not be reused.
+	before := dials.Load()
+	req := &giop.Request{
+		RequestID:     tr.NextRequestID(),
+		ResponseFlags: giop.ResponseExpected,
+		Operation:     "ping",
+	}
+	if _, err := tr.Invoke("dead-host", 4000, req, 30*time.Millisecond); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("post-FailConn Invoke error = %v, want timeout on fresh dead conn", err)
+	}
+	if dials.Load() != before+1 {
+		t.Fatalf("dials = %d, want %d (FailConn should force a re-dial)", dials.Load(), before+1)
+	}
+}
+
+// TestFailConnWakesBoundedWait covers the timed wait path: the connection
+// failure must win over the (much later) deadline.
+func TestFailConnWakesBoundedWait(t *testing.T) {
+	tr := NewTransport(func(host string, port uint16) (net.Conn, error) {
+		return newSilentConn(), nil
+	})
+	defer tr.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		req := &giop.Request{
+			RequestID:     tr.NextRequestID(),
+			ResponseFlags: giop.ResponseExpected,
+			Operation:     "ping",
+		}
+		_, err := tr.Invoke("dead-host", 4000, req, time.Hour)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	tr.FailConn("dead-host", 4000, nil)
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("Invoke error = %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("timed Invoke still blocked after FailConn")
+	}
+}

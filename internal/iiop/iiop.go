@@ -69,6 +69,8 @@ type clientConn struct {
 	wmu  sync.Mutex
 	w    *giop.Writer
 
+	done chan struct{} // closed once the connection is declared dead
+
 	mu      sync.Mutex
 	pending map[uint32]chan *giop.Reply
 	err     error
@@ -94,6 +96,7 @@ func (t *Transport) getConn(host string, port uint16) (*clientConn, error) {
 	cc := &clientConn{
 		conn:    nc,
 		w:       giop.NewWriter(nc),
+		done:    make(chan struct{}),
 		pending: make(map[uint32]chan *giop.Reply),
 	}
 
@@ -168,16 +171,30 @@ func (c *clientConn) fail(err error) {
 		err = ErrClosed
 	}
 	c.mu.Lock()
-	if c.err == nil {
+	first := c.err == nil
+	if first {
 		c.err = err
 	}
 	pend := c.pending
 	c.pending = make(map[uint32]chan *giop.Reply)
 	c.mu.Unlock()
+	if first {
+		close(c.done)
+	}
 	for _, ch := range pend {
 		close(ch)
 	}
 	c.conn.Close()
+}
+
+// deadErr returns the recorded failure cause (ErrClosed if none was set).
+func (c *clientConn) deadErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return c.err
+	}
+	return ErrClosed
 }
 
 func (c *clientConn) register(id uint32) (chan *giop.Reply, error) {
@@ -228,20 +245,29 @@ func (t *Transport) Invoke(host string, port uint16, req *giop.Request, timeout 
 	}
 
 	if timeout <= 0 {
-		rep, ok := <-ch
-		if !ok {
-			return nil, ErrClosed
+		// Even an unbounded wait must have a connection-failure wakeup path:
+		// over real TCP a peer can die without FIN/RST, leaving the read loop
+		// blocked forever. FailConn (or Close) closes done and frees us.
+		select {
+		case rep, ok := <-ch:
+			if !ok {
+				return nil, cc.deadErr()
+			}
+			return rep, nil
+		case <-cc.done:
+			return cc.drainOrDead(ch, req.RequestID)
 		}
-		return rep, nil
 	}
 	timer := time.NewTimer(timeout)
 	defer timer.Stop()
 	select {
 	case rep, ok := <-ch:
 		if !ok {
-			return nil, ErrClosed
+			return nil, cc.deadErr()
 		}
 		return rep, nil
+	case <-cc.done:
+		return cc.drainOrDead(ch, req.RequestID)
 	case <-timer.C:
 		cc.unregister(req.RequestID)
 		// Best-effort cancel so the server can drop the work.
@@ -250,6 +276,45 @@ func (t *Transport) Invoke(host string, port uint16, req *giop.Request, timeout 
 		cc.wmu.Unlock()
 		return nil, ErrTimeout
 	}
+}
+
+// drainOrDead resolves a wait that lost the race between a reply landing and
+// the connection being declared dead: a reply already buffered (or a closed
+// channel) wins, otherwise the failure cause is returned.
+func (c *clientConn) drainOrDead(ch chan *giop.Reply, id uint32) (*giop.Reply, error) {
+	select {
+	case rep, ok := <-ch:
+		if ok {
+			return rep, nil
+		}
+	default:
+	}
+	c.unregister(id)
+	return nil, c.deadErr()
+}
+
+// FailConn invalidates the cached connection to host:port: every invocation
+// blocked on it — including unbounded waits — wakes with the given cause,
+// and the next Invoke re-dials. This is the external recovery hook for
+// silently dead peers: real TCP delivers no reader-side error when the
+// remote host vanishes without FIN/RST, so the read loop alone can never
+// notice. Fault detectors above the transport call this when they declare
+// the endpoint dead. No-op if no connection is cached.
+func (t *Transport) FailConn(host string, port uint16, cause error) {
+	key := fmt.Sprintf("%s:%d", host, port)
+	t.mu.Lock()
+	cc, ok := t.conns[key]
+	if ok {
+		delete(t.conns, key)
+	}
+	t.mu.Unlock()
+	if !ok {
+		return
+	}
+	if cause == nil {
+		cause = ErrClosed
+	}
+	cc.fail(cause)
 }
 
 // Close shuts down all cached connections.

@@ -69,7 +69,15 @@ type Fabric struct {
 	rng       *rand.Rand
 	nodes     map[string]*nodeState
 	component map[string]int // node -> partition component id; all 0 = healed
+	nodeDelay map[string]time.Duration
+	filter    DropFilter
 }
+
+// DropFilter decides whether one datagram should be dropped (return true to
+// drop). It runs with the fabric lock held and must not call back into the
+// fabric; payload must not be retained or mutated. Chaos schedules use it
+// for targeted drops (e.g. token or batch frames).
+type DropFilter func(from, to string, payload []byte) bool
 
 type nodeState struct {
 	name      string
@@ -90,7 +98,43 @@ func NewFabric(cfg Config) *Fabric {
 		rng:       rand.New(rand.NewSource(seed)),
 		nodes:     make(map[string]*nodeState),
 		component: make(map[string]int),
+		nodeDelay: make(map[string]time.Duration),
 	}
+}
+
+// SetLoss changes the datagram loss probability at runtime (loss bursts).
+func (f *Fabric) SetLoss(p float64) {
+	f.mu.Lock()
+	f.cfg.Loss = p
+	f.mu.Unlock()
+}
+
+// SetLatency changes the base latency and jitter at runtime (delay spikes).
+func (f *Fabric) SetLatency(latency, jitter time.Duration) {
+	f.mu.Lock()
+	f.cfg.Latency = latency
+	f.cfg.Jitter = jitter
+	f.mu.Unlock()
+}
+
+// SetNodeDelay adds extra one-way delay to every message sent from or to the
+// node (a slow or paused node). Zero removes the penalty.
+func (f *Fabric) SetNodeDelay(node string, d time.Duration) {
+	f.mu.Lock()
+	if d <= 0 {
+		delete(f.nodeDelay, node)
+	} else {
+		f.nodeDelay[node] = d
+	}
+	f.mu.Unlock()
+}
+
+// SetDropFilter installs (or, with nil, removes) a targeted datagram drop
+// filter applied after the probabilistic loss check.
+func (f *Fabric) SetDropFilter(fn DropFilter) {
+	f.mu.Lock()
+	f.filter = fn
+	f.mu.Unlock()
 }
 
 // AddNode registers a node. Adding an existing node is a no-op.
@@ -123,11 +167,12 @@ func (f *Fabric) Nodes() []string {
 }
 
 // delay computes the one-way delivery delay for one message.
-func (f *Fabric) delayLocked() time.Duration {
+func (f *Fabric) delayLocked(from, to string) time.Duration {
 	d := f.cfg.Latency
 	if f.cfg.Jitter > 0 {
 		d += time.Duration(f.rng.Int63n(int64(f.cfg.Jitter)))
 	}
+	d += f.nodeDelay[from] + f.nodeDelay[to]
 	return d
 }
 
@@ -389,7 +434,7 @@ func (c *conn) Write(p []byte) (int, error) {
 		c.fabric.mu.Unlock()
 		return 0, ErrConnBroken
 	}
-	due := time.Now().Add(c.fabric.delayLocked())
+	due := time.Now().Add(c.fabric.delayLocked(c.local.Node, c.remote.Node))
 	c.fabric.mu.Unlock()
 	if err := c.wr.push(p, due); err != nil {
 		return 0, err
@@ -624,13 +669,17 @@ func (d *DGram) Send(host string, port uint16, payload []byte) error {
 		f.mu.Unlock()
 		return nil // silently lost, like UDP
 	}
+	if f.filter != nil && f.filter(d.addr.Node, host, payload) {
+		f.mu.Unlock()
+		return nil // targeted drop (chaos injection)
+	}
 	dst := f.nodes[host]
 	tgt, ok := dst.dgrams[port]
 	if !ok {
 		f.mu.Unlock()
 		return nil // no such port: dropped
 	}
-	due := time.Now().Add(f.delayLocked())
+	due := time.Now().Add(f.delayLocked(d.addr.Node, host))
 	f.mu.Unlock()
 
 	tgt.mu.Lock()

@@ -3,6 +3,8 @@ package orb
 import (
 	"errors"
 	"fmt"
+	"math/rand"
+	"time"
 
 	"repro/internal/cdr"
 	"repro/internal/giop"
@@ -59,28 +61,43 @@ func (p *ObjectRef) invoke(op string, args []cdr.Value, twoway bool) ([]cdr.Valu
 	var lastErr error
 	for forwards := 0; forwards <= maxForwards; forwards++ {
 		// Try the primary profile first, then the others in order — the
-		// standard IOGR failover walk.
+		// standard IOGR failover walk. A walk that fails on every profile is
+		// repeated up to FailoverRetries times with jittered exponential
+		// backoff: transient faults (a failing-over group, a node mid-restart)
+		// often resolve within a walk or two, and the backoff keeps a herd of
+		// retrying clients from hammering the recovering endpoints in
+		// lockstep.
 		order := profileOrder(ref)
-		for _, idx := range order {
-			prof := &ref.Profiles[idx]
-			rep, err := p.invokeProfile(prof, op, args, twoway)
-			switch {
-			case err == nil && !twoway:
-				return nil, nil
-			case err == nil && rep.Status == giop.ReplyLocationForward:
-				fwd, ferr := ior.Unmarshal(rep.Body)
-				if ferr != nil {
-					return nil, fmt.Errorf("orb: bad forward reference: %w", ferr)
+		for walk := 0; ; walk++ {
+			for _, idx := range order {
+				prof := &ref.Profiles[idx]
+				rep, err := p.invokeProfile(prof, op, args, twoway)
+				switch {
+				case err == nil && !twoway:
+					return nil, nil
+				case err == nil && rep.Status == giop.ReplyLocationForward:
+					fwd, ferr := ior.Unmarshal(rep.Body)
+					if ferr != nil {
+						return nil, fmt.Errorf("orb: bad forward reference: %w", ferr)
+					}
+					ref = fwd
+					p.ref = fwd // cache the fresher reference
+					goto forwarded
+				case err == nil:
+					return ReplyOutcome(rep)
+				default:
+					// Communication failure: declare the profile's cached
+					// connection dead (so any later attempt re-dials instead
+					// of reusing a wedged stream) and fail over to the next
+					// profile.
+					lastErr = err
+					p.orb.transport.FailConn(prof.Host, prof.Port, err)
 				}
-				ref = fwd
-				p.ref = fwd // cache the fresher reference
-				goto forwarded
-			case err == nil:
-				return ReplyOutcome(rep)
-			default:
-				// Communication failure: fail over to the next profile.
-				lastErr = err
 			}
+			if walk >= p.orb.cfg.FailoverRetries {
+				break
+			}
+			time.Sleep(failoverBackoff(p.orb.cfg.FailoverBackoff, walk))
 		}
 		if lastErr != nil {
 			return nil, fmt.Errorf("%w: %s: last error: %v", ErrAllProfilesFailed, op, lastErr)
@@ -90,6 +107,17 @@ func (p *ObjectRef) invoke(op string, args []cdr.Value, twoway bool) ([]cdr.Valu
 		continue
 	}
 	return nil, fmt.Errorf("orb: too many forwards invoking %s", op)
+}
+
+// failoverBackoff is the wait before retry walk number walk+1: base doubled
+// per walk, capped at 8× base, with ±25% jitter.
+func failoverBackoff(base time.Duration, walk int) time.Duration {
+	d := base << uint(walk)
+	if max := 8 * base; d <= 0 || d > max {
+		d = max
+	}
+	jitter := time.Duration(rand.Int63n(int64(d)/2+1)) - d/4
+	return d + jitter
 }
 
 func profileOrder(ref *ior.Ref) []int {

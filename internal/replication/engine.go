@@ -48,6 +48,13 @@ type Config struct {
 	// SyncRetryInterval is how often a replica stuck awaiting state
 	// transfer re-requests a snapshot (default 150ms).
 	SyncRetryInterval time.Duration
+	// MaxRetryInterval caps the exponential client-retransmission backoff
+	// (default 8 × RetryInterval).
+	MaxRetryInterval time.Duration
+	// LogFactory builds the per-replica write-ahead log. The default is an
+	// in-memory log; deployments that need crash-restart recovery supply
+	// file-backed logs (wal.OpenFileLog) here.
+	LogFactory func(def GroupDef) wal.Log
 }
 
 func (c *Config) fill() {
@@ -59,6 +66,12 @@ func (c *Config) fill() {
 	}
 	if c.SyncRetryInterval <= 0 {
 		c.SyncRetryInterval = 150 * time.Millisecond
+	}
+	if c.MaxRetryInterval <= 0 {
+		c.MaxRetryInterval = 8 * c.RetryInterval
+	}
+	if c.LogFactory == nil {
+		c.LogFactory = func(GroupDef) wal.Log { return &wal.MemLog{} }
 	}
 }
 
@@ -163,10 +176,9 @@ func (e *Engine) syncRetryLoop() {
 			}
 		}
 		for _, gid := range stuck {
-			_ = e.cfg.Ring.Multicast(invGroupName(gid), encodeWire(&msgStateReq{
-				GroupID: gid,
-				From:    e.cfg.Node,
-			}))
+			if payload := e.encodeOrReport(&msgStateReq{GroupID: gid, From: e.cfg.Node}); payload != nil {
+				_ = e.cfg.Ring.Multicast(invGroupName(gid), payload)
+			}
 		}
 	}
 }
@@ -222,19 +234,53 @@ func (e *Engine) Stats() Stats {
 // member.
 func (e *Engine) HostReplica(def GroupDef, servant orb.Servant, initial bool) error {
 	def.fill()
+	r := newReplica(e, def, servant, !initial, e.cfg.LogFactory(def))
+	if err := e.addHosted(def, r); err != nil {
+		return err
+	}
+	return e.startHosting(def, r)
+}
+
+// HostReplicaFromLog hosts a replica whose state is first recovered from a
+// write-ahead log — the crash-restart rejoin path. The servant is rebuilt by
+// ReplayLog (checkpoint + logged updates), the replica's duplicate table is
+// seeded with the replayed operations, and the member then rejoins the group
+// marked syncing: a surviving member answers with a checkpoint, and the
+// adoptState freshness guard keeps the recovered state when the offered
+// snapshot is older. If *all* members crashed and restart from logs, the
+// msgStateReq/selfPromote path elects the senior recovered state.
+func (e *Engine) HostReplicaFromLog(def GroupDef, servant orb.Servant, log wal.Log) error {
+	def.fill()
+	lastMsgID, replayed, err := ReplayLog(def, log, servant)
+	if err != nil {
+		return err
+	}
+	r := newReplica(e, def, servant, true, log)
+	r.lastExec = lastMsgID
+	for _, k := range replayed {
+		r.dedup[k] = &opRecord{deliveredInv: true, answered: true, executedLocal: true}
+		r.dedupFIFO = append(r.dedupFIFO, k)
+	}
+	if err := e.addHosted(def, r); err != nil {
+		return err
+	}
+	return e.startHosting(def, r)
+}
+
+func (e *Engine) addHosted(def GroupDef, r *replica) error {
 	e.mu.Lock()
+	defer e.mu.Unlock()
 	if e.stopped {
-		e.mu.Unlock()
 		return ErrEngineStopped
 	}
 	if _, ok := e.hosted[def.ID]; ok {
-		e.mu.Unlock()
 		return fmt.Errorf("%w: %d", ErrAlreadyHosted, def.ID)
 	}
-	r := newReplica(e, def, servant, !initial)
 	e.hosted[def.ID] = r
-	e.mu.Unlock()
+	return nil
+}
 
+func (e *Engine) startHosting(def GroupDef, r *replica) error {
 	if err := e.cfg.Ring.JoinGroup(invGroupName(def.ID)); err != nil {
 		return fmt.Errorf("replication: join group: %w", err)
 	}
@@ -483,6 +529,20 @@ func (e *Engine) nextRootSeq() uint64 {
 	return e.rootSeq
 }
 
-// newLogFor builds the per-replica log; kept as a hook so experiments can
-// swap in file-backed logs.
-func newLogFor(def GroupDef) wal.Log { return &wal.MemLog{} }
+// encodeOrReport marshals a wire message, reporting (rather than panicking
+// on) the impossible-by-construction unknown-type error. Callers drop the
+// message on nil.
+func (e *Engine) encodeOrReport(m any) []byte {
+	b, err := encodeWire(m)
+	if err != nil {
+		if e.cfg.Notifier != nil {
+			e.cfg.Notifier.Push(fault.Report{
+				Kind:   fault.InvariantViolation,
+				Node:   e.cfg.Node,
+				Detail: err.Error(),
+			})
+		}
+		return nil
+	}
+	return b
+}

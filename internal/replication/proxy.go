@@ -2,6 +2,7 @@ package replication
 
 import (
 	"fmt"
+	"math/rand"
 	"time"
 
 	"repro/internal/cdr"
@@ -42,11 +43,15 @@ func WithTimeout(d time.Duration) ProxyOption {
 	}
 }
 
-// WithRetryInterval overrides the retransmission interval.
+// WithRetryInterval overrides the base retransmission interval (the
+// backoff starting point).
 func WithRetryInterval(d time.Duration) ProxyOption {
 	return func(p *Proxy) {
 		if d > 0 {
 			p.retry = d
+			if p.maxRetry < d {
+				p.maxRetry = 8 * d
+			}
 		}
 	}
 }
@@ -54,27 +59,41 @@ func WithRetryInterval(d time.Duration) ProxyOption {
 // Proxy issues invocations to one object group. It is safe for concurrent
 // use.
 type Proxy struct {
-	eng     *Engine
-	gid     uint64
-	votes   int
-	timeout time.Duration
-	retry   time.Duration
-	ctx     *CallCtx // non-nil for nested (deterministic) proxies
+	eng      *Engine
+	gid      uint64
+	votes    int
+	timeout  time.Duration
+	retry    time.Duration // base retransmission interval
+	maxRetry time.Duration // backoff cap
+	ctx      *CallCtx      // non-nil for nested (deterministic) proxies
 }
 
 // Proxy creates a root (client-side) proxy for the group.
 func (e *Engine) Proxy(ref GroupRef, opts ...ProxyOption) *Proxy {
 	p := &Proxy{
-		eng:     e,
-		gid:     ref.ID,
-		votes:   1,
-		timeout: e.cfg.CallTimeout,
-		retry:   e.cfg.RetryInterval,
+		eng:      e,
+		gid:      ref.ID,
+		votes:    1,
+		timeout:  e.cfg.CallTimeout,
+		retry:    e.cfg.RetryInterval,
+		maxRetry: e.cfg.MaxRetryInterval,
 	}
 	for _, opt := range opts {
 		opt(p)
 	}
 	return p
+}
+
+// backoffAfter returns the wait before the next retransmission: the base
+// interval doubled per attempt, capped, with ±25% jitter so a herd of
+// retrying clients does not resynchronize on the recovering group.
+func (p *Proxy) backoffAfter(attempt int) time.Duration {
+	d := p.retry << uint(attempt)
+	if d <= 0 || d > p.maxRetry {
+		d = p.maxRetry
+	}
+	jitter := time.Duration(rand.Int63n(int64(d)/2+1)) - d/4
+	return d + jitter
 }
 
 // Nested creates a proxy for a nested invocation from inside a replica's
@@ -126,7 +145,10 @@ func (p *Proxy) call(op string, args []cdr.Value, oneway bool) ([]cdr.Value, err
 		Args:      orb.EncodeRequestBody(args),
 		Oneway:    oneway,
 	}
-	payload := encodeWire(inv)
+	payload, err := encodeWire(inv)
+	if err != nil {
+		return nil, err
+	}
 
 	if oneway {
 		return nil, p.eng.cfg.Ring.Multicast(invGroupName(p.gid), payload)
@@ -148,9 +170,9 @@ func (p *Proxy) call(op string, args []cdr.Value, oneway bool) ([]cdr.Value, err
 
 	deadline := time.NewTimer(p.timeout)
 	defer deadline.Stop()
-	retry := time.NewTicker(p.retry)
+	retry := time.NewTimer(p.backoffAfter(0))
 	defer retry.Stop()
-	for {
+	for attempt := 0; ; {
 		select {
 		case rep, ok := <-pc.ch:
 			if !ok {
@@ -161,10 +183,15 @@ func (p *Proxy) call(op string, args []cdr.Value, oneway bool) ([]cdr.Value, err
 			// Retransmit with the same operation identifier: the group
 			// suppresses the duplicate and re-sends the logged reply if the
 			// operation already executed (FT-CORBA request retention).
+			// Retransmissions back off exponentially (with jitter, bounded
+			// by MaxRetryInterval) so a partitioned or failing-over group is
+			// not hammered at a fixed rate by every blocked client.
 			p.eng.stat.retries.Add(1)
 			if err := p.eng.cfg.Ring.Multicast(invGroupName(p.gid), payload); err != nil {
 				return nil, err
 			}
+			attempt++
+			retry.Reset(p.backoffAfter(attempt))
 		case <-deadline.C:
 			return nil, fmt.Errorf("%w: %s on group %d", ErrCallTimeout, op, p.gid)
 		case <-p.eng.stopCh:

@@ -1,0 +1,102 @@
+package replication
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/nondet"
+	"repro/internal/orb"
+	"repro/internal/wal"
+)
+
+// Write-ahead-log record op conventions. A KindUpdate record carries either
+// a logged invocation (cold passive — Data is the encoded msgInvocation) or
+// a state update (warm passive — Data is a servant delta or full snapshot).
+const (
+	opRecInvoke     = "inv:" // prefix; remainder is the operation name
+	opRecUpdate     = "update"
+	opRecUpdateFull = "update-full"
+)
+
+func updateOp(full bool) string {
+	if full {
+		return opRecUpdateFull
+	}
+	return opRecUpdate
+}
+
+// ReplayLog rebuilds a servant's state from a write-ahead log: it installs
+// the latest checkpoint (if any) and then applies every subsequent update
+// record — re-executing logged invocations with the same deterministic
+// context the original execution used, or re-applying warm-passive state
+// updates. It returns the msg id of the last applied record and the
+// operation keys of the re-executed invocations (so a rejoining replica can
+// seed its duplicate-suppression table and not double-execute them).
+//
+// Nested invocations are not re-issued during replay (Caller is nil): the
+// operations already ran cluster-wide; replay restores local state only.
+func ReplayLog(def GroupDef, log wal.Log, servant orb.Servant) (lastMsgID uint64, replayed []opKey, err error) {
+	def.fill()
+	cp, updates, haveCp, err := log.Recover()
+	if err != nil {
+		return 0, nil, fmt.Errorf("replication: wal recover: %w", err)
+	}
+	ck, checkpointable := servant.(orb.Checkpointable)
+	if haveCp {
+		if !checkpointable {
+			return 0, nil, fmt.Errorf("replication: log has checkpoint but servant is not Checkpointable")
+		}
+		if serr := ck.SetState(cp.Data); serr != nil {
+			return 0, nil, fmt.Errorf("replication: install checkpoint: %w", serr)
+		}
+		lastMsgID = cp.MsgID
+	}
+	for _, rec := range updates {
+		if rec.MsgID <= lastMsgID {
+			continue // already covered by the checkpoint
+		}
+		switch {
+		case strings.HasPrefix(rec.Op, opRecInvoke):
+			m, derr := decodeWire(rec.Data)
+			if derr != nil {
+				continue
+			}
+			inv, isInv := m.(*msgInvocation)
+			if !isInv {
+				continue
+			}
+			args, aerr := orb.DecodeRequestBody(inv.Args)
+			if aerr != nil {
+				continue
+			}
+			det := nondet.NewContext(def.ID, rec.MsgID, epochAnchor)
+			// Dispatch errors (user exceptions) are outcomes, not replay
+			// failures: the original execution produced them too.
+			_, _ = servant.Dispatch(&orb.Invocation{
+				Operation: inv.Operation,
+				Args:      args,
+				Det:       det,
+			})
+			replayed = append(replayed, inv.Key)
+		case rec.Op == opRecUpdateFull:
+			if !checkpointable {
+				continue
+			}
+			if serr := ck.SetState(rec.Data); serr != nil {
+				continue
+			}
+		case rec.Op == opRecUpdate:
+			upd, updatable := servant.(orb.Updatable)
+			if !updatable {
+				continue
+			}
+			if uerr := upd.ApplyUpdate(rec.Data); uerr != nil {
+				continue
+			}
+		default:
+			continue // unknown record kind: skip, do not corrupt state
+		}
+		lastMsgID = rec.MsgID
+	}
+	return lastMsgID, replayed, nil
+}

@@ -103,7 +103,7 @@ func newChanMutex() chanMutex {
 func (m chanMutex) lock()   { <-m }
 func (m chanMutex) unlock() { m <- struct{}{} }
 
-func newReplica(e *Engine, def GroupDef, servant orb.Servant, syncing bool) *replica {
+func newReplica(e *Engine, def GroupDef, servant orb.Servant, syncing bool, log wal.Log) *replica {
 	if _, ok := servant.(orb.Checkpointable); !ok || def.Style == Stateless {
 		// Nothing to transfer: the replica is operational immediately.
 		syncing = false
@@ -113,7 +113,7 @@ func newReplica(e *Engine, def GroupDef, servant orb.Servant, syncing bool) *rep
 		def:     def,
 		servant: servant,
 		q:       newTaskQueue(),
-		log:     newLogFor(def),
+		log:     log,
 		mu:      newChanMutex(),
 		dedup:   make(map[opKey]*opRecord),
 		syncing: syncing,
@@ -249,6 +249,21 @@ func (r *replica) process(t taskInvoke, replay bool) {
 		return
 	}
 
+	// Cold passive: every member — primary included — logs the ordered
+	// invocation before acting on it, so a crashed-and-restarted replica can
+	// rebuild its state from its own write-ahead log (wal.Recover + replay)
+	// instead of requiring a full state transfer.
+	if r.def.Style == ColdPassive && !replay {
+		if data, err := encodeWire(t.m); err == nil {
+			_ = r.log.Append(wal.Record{
+				Kind:  wal.KindUpdate,
+				MsgID: t.msgID,
+				Op:    opRecInvoke + t.m.Operation,
+				Data:  data,
+			})
+		}
+	}
+
 	if r.def.Style.IsActive() || r.isPrimary() {
 		r.run(t, rec)
 		return
@@ -256,14 +271,6 @@ func (r *replica) process(t taskInvoke, replay bool) {
 
 	// Passive backup: hold the operation for possible failover replay.
 	r.pendingOps = append(r.pendingOps, t)
-	if r.def.Style == ColdPassive {
-		_ = r.log.Append(wal.Record{
-			Kind:  wal.KindUpdate,
-			MsgID: t.msgID,
-			Op:    t.m.Operation,
-			Data:  encodeWire(t.m),
-		})
-	}
 }
 
 // shouldAnswerDuplicates limits who re-sends logged replies for duplicate
@@ -311,7 +318,9 @@ func (r *replica) run(t taskInvoke, rec *opRecord) {
 				}
 			}
 		}
-		_ = r.log.Append(wal.Record{Kind: wal.KindUpdate, MsgID: t.msgID, Op: t.m.Operation, Data: rep.Update})
+		if rep.Update != nil {
+			_ = r.log.Append(wal.Record{Kind: wal.KindUpdate, MsgID: t.msgID, Op: updateOp(rep.UpdateFull), Data: rep.Update})
+		}
 	}
 
 	r.mu.lock()
@@ -367,16 +376,20 @@ func (r *replica) sendCheckpoint(reason uint8) {
 	upTo := r.lastExec
 	r.mu.unlock()
 	r.eng.stat.checkpoints.Add(1)
-	_ = r.eng.cfg.Ring.Multicast(invGroupName(r.def.ID), encodeWire(&msgCheckpoint{
+	if payload := r.eng.encodeOrReport(&msgCheckpoint{
 		GroupID:   r.def.ID,
 		Reason:    reason,
 		UpToMsgID: upTo,
 		State:     state,
-	}))
+	}); payload != nil {
+		_ = r.eng.cfg.Ring.Multicast(invGroupName(r.def.ID), payload)
+	}
 }
 
 func (r *replica) multicastReply(rep *msgReply) {
-	_ = r.eng.cfg.Ring.Multicast(repGroupName(r.def.ID), encodeWire(rep))
+	if payload := r.eng.encodeOrReport(rep); payload != nil {
+		_ = r.eng.cfg.Ring.Multicast(repGroupName(r.def.ID), payload)
+	}
 }
 
 // onReply applies passive state updates and clears covered pending
@@ -410,7 +423,7 @@ func (r *replica) onReply(t taskReply) {
 				r.mu.lock()
 				r.lastExec = m.ExecMsgID
 				r.mu.unlock()
-				_ = r.log.Append(wal.Record{Kind: wal.KindUpdate, MsgID: m.ExecMsgID, Op: "update", Data: m.Update})
+				_ = r.log.Append(wal.Record{Kind: wal.KindUpdate, MsgID: m.ExecMsgID, Op: updateOp(m.UpdateFull), Data: m.Update})
 			}
 		}
 	}
@@ -442,6 +455,21 @@ func (r *replica) onCheckpoint(t taskCheckpoint) {
 		return
 	}
 
+	// Gap repair: a checkpoint covering operations beyond this member's
+	// execution horizon means those operations were ordered in a ring
+	// lineage this member was silently absent from (e.g. a reformation it
+	// never noticed — its own view diff was empty, so no remerge logic ran
+	// here). The checkpoint is the primary component's authoritative state;
+	// adopt it. Cold-passive backups are exempt: their servants lag by
+	// design, and the log append below repairs their recovery channel.
+	r.mu.lock()
+	lastExec := r.lastExec
+	r.mu.unlock()
+	if m.UpToMsgID > lastExec && r.def.Style != ColdPassive {
+		r.adoptState(m)
+		return
+	}
+
 	// Operational members: persist and compact the log (the cold passive
 	// truncation point), and drop covered pending operations.
 	_ = r.log.Append(wal.Record{Kind: wal.KindCheckpoint, MsgID: m.UpToMsgID, Data: m.State})
@@ -458,6 +486,37 @@ func (r *replica) onCheckpoint(t taskCheckpoint) {
 // adoptState installs a transferred state snapshot and replays buffered
 // invocations past it — the join/remerge synchronization point.
 func (r *replica) adoptState(m *msgCheckpoint) {
+	r.mu.lock()
+	// A former secondary always adopts: its msgIDs come from a divergent
+	// ring lineage and don't compare against the primary component's, and
+	// its own partition-era operations return via fulfillment replay.
+	behind := m.UpToMsgID < r.lastExec && !r.secondary
+	r.mu.unlock()
+	if behind {
+		// This replica's state is already *newer* than the offered snapshot —
+		// typical for a crash-restarted member that recovered from its own
+		// write-ahead log and was then offered a stale periodic checkpoint.
+		// Keep the recovered state; just leave the syncing phase and replay
+		// anything buffered past it.
+		r.mu.lock()
+		upTo := r.lastExec
+		r.syncing = false
+		r.secondary = false
+		r.mu.unlock()
+		buffered := r.buffer
+		r.buffer = nil
+		for _, item := range buffered {
+			switch t := item.(type) {
+			case taskInvoke:
+				if t.msgID > upTo {
+					r.process(t, false)
+				}
+			case taskReply:
+				r.onReply(t)
+			}
+		}
+		return
+	}
 	ck, ok := r.servant.(orb.Checkpointable)
 	if ok {
 		if err := ck.SetState(m.State); err != nil {
@@ -467,6 +526,14 @@ func (r *replica) adoptState(m *msgCheckpoint) {
 	r.eng.stat.stateTransfers.Add(1)
 	_ = r.log.Append(wal.Record{Kind: wal.KindCheckpoint, MsgID: m.UpToMsgID, Data: m.State})
 	_ = r.log.TruncateAtCheckpoint()
+	// Operations the adopted state covers must not replay at failover.
+	kept := r.pendingOps[:0]
+	for _, p := range r.pendingOps {
+		if p.msgID > m.UpToMsgID {
+			kept = append(kept, p)
+		}
+	}
+	r.pendingOps = kept
 
 	r.mu.lock()
 	r.lastExec = m.UpToMsgID
@@ -525,14 +592,16 @@ func (r *replica) sendFulfillments() {
 		}
 		r.fulfillSeq++
 		r.eng.stat.fulfillments.Add(1)
-		_ = r.eng.cfg.Ring.Multicast(invGroupName(r.def.ID), encodeWire(&msgInvocation{
+		if payload := r.eng.encodeOrReport(&msgInvocation{
 			GroupID:     r.def.ID,
 			Key:         opKey{ClientID: "f:" + r.eng.cfg.Node, ParentSeq: 0, OpSeq: r.fulfillSeq},
 			Operation:   op,
 			Args:        args,
 			Oneway:      true,
 			Fulfillment: true,
-		}))
+		}); payload != nil {
+			_ = r.eng.cfg.Ring.Multicast(invGroupName(r.def.ID), payload)
+		}
 	}
 }
 
@@ -598,13 +667,29 @@ func (r *replica) onView(t taskView) {
 			}
 			delete(r.former, n)
 		}
-		if secondary && remerge {
-			// The partition healed and the primary component is back: wait
-			// for its state, then send fulfillments (adoptState does both).
-			r.preSplit = old
-			r.mu.lock()
-			r.syncing = true
-			r.mu.unlock()
+		if secondary {
+			// A remerge — for a secondary — means a member of the view we
+			// split from is back: its component may hold the primary state,
+			// so wait for it, then send fulfillments (adoptState does
+			// both). Membership in preSplit is the test, NOT r.former: a
+			// crashed member recruited back by the Replication Manager is a
+			// fresh incarnation with no state, and going syncing for it
+			// would strand both of us (the stateReq rescue handles that
+			// case instead).
+			back := false
+			for _, n := range added {
+				for _, p := range r.preSplit {
+					if n == p {
+						back = true
+					}
+				}
+			}
+			if back {
+				r.preSplit = old
+				r.mu.lock()
+				r.syncing = true
+				r.mu.unlock()
+			}
 			return
 		}
 		if !secondary && !syncing {
@@ -645,13 +730,28 @@ func (r *replica) onStateReq(t taskStateReq) {
 		}
 		return
 	}
-	if len(members) == 0 || members[0] != r.eng.cfg.Node {
+	if len(members) == 0 {
 		return
 	}
+	// Stranded: this replica is syncing or secondary, so no healthy
+	// primary-component member answered above. Rescue falls to the senior
+	// member that has NOT itself requested state — a stuck member is a
+	// joiner with nothing to offer, while a non-stuck one (typically a
+	// secondary survivor) still holds usable state. Only when every member
+	// is stuck does plain seniority decide. The stateReq stream is totally
+	// ordered, so every member computes the same rescuer.
+	rescuer := ""
 	for _, m := range members {
 		if !r.stuck[m] {
-			return // someone may still answer; keep waiting
+			rescuer = m
+			break
 		}
+	}
+	if rescuer == "" {
+		rescuer = members[0]
+	}
+	if rescuer != r.eng.cfg.Node {
+		return
 	}
 	r.selfPromote()
 }

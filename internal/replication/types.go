@@ -209,8 +209,9 @@ func decodeOpKey(d *cdr.Decoder) (opKey, error) {
 // encodeWire marshals an engine message into a caller-owned buffer. The
 // buffer comes from the shared encoder pool and is handed to
 // Ring.Multicast, which takes ownership (no defensive copies anywhere on
-// the path).
-func encodeWire(m any) []byte {
+// the path). An unknown message type is a local programming error reported
+// to the caller instead of panicking on the invocation path.
+func encodeWire(m any) ([]byte, error) {
 	e := cdr.GetEncoder(cdr.BigEndian)
 	switch v := m.(type) {
 	case *msgInvocation:
@@ -242,11 +243,12 @@ func encodeWire(m any) []byte {
 		e.WriteULongLong(v.GroupID)
 		e.WriteString(v.From)
 	default:
-		panic(fmt.Sprintf("replication: encodeWire: unknown message %T", m))
+		e.Release()
+		return nil, fmt.Errorf("replication: encodeWire: unknown message %T", m)
 	}
 	out := e.TakeBytes()
 	e.Release()
-	return out
+	return out, nil
 }
 
 func decodeWire(b []byte) (any, error) {

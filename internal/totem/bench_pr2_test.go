@@ -20,7 +20,7 @@ func BenchmarkPR2EncodeData(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		raw := encodePacket(d)
+		raw := mustEncodePacket(b, d)
 		if len(raw) == 0 {
 			b.Fatal("empty packet")
 		}
@@ -39,7 +39,7 @@ func BenchmarkPR2PacketRoundTrip(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := decodePacket(encodePacket(d)); err != nil {
+		if _, err := decodePacket(mustEncodePacket(b, d)); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -26,7 +26,7 @@ func TestDataBatchRoundTrip(t *testing.T) {
 			bytes.Repeat([]byte{0xAB}, 8192),
 		},
 	}
-	got, err := decodePacket(encodePacket(in))
+	got, err := decodePacket(mustEncodePacket(t, in))
 	if err != nil {
 		t.Fatalf("decode: %v", err)
 	}

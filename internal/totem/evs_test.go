@@ -33,11 +33,10 @@ func perRing(ds []Deliver) map[RingID][]Deliver {
 //	    stops at unrecoverable holes instead of skipping them, so lists
 //	    stay dense).
 //
-// The deliverMsg contiguity assertion (debugContiguity) additionally
-// panics on any non-contiguous delivery inside the protocol itself.
+// The deliverMsg contiguity check (Config.StrictInvariants, set by the
+// test cluster) additionally panics on any non-contiguous delivery inside
+// the protocol itself.
 func TestEVSInvariantUnderRandomFaults(t *testing.T) {
-	debugContiguity = true
-	defer func() { debugContiguity = false }()
 	for seed := int64(1); seed <= 4; seed++ {
 		seed := seed
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {

@@ -215,11 +215,48 @@ func decodeStoredMsgs(d *cdr.Decoder) ([]storedMsg, error) {
 	return out, nil
 }
 
+// PacketClass coarsely classifies an encoded ring datagram payload without
+// decoding it, so fault-injection filters can target specific traffic (the
+// circulating token, coalesced batch frames) from outside the package.
+type PacketClass uint8
+
+// Packet classes.
+const (
+	ClassUnknown PacketClass = iota
+	ClassHello
+	ClassMembership // propose / accept / install
+	ClassToken
+	ClassData
+	ClassDataBatch
+)
+
+// Classify inspects the leading type octet of an encoded ring datagram.
+func Classify(payload []byte) PacketClass {
+	if len(payload) == 0 {
+		return ClassUnknown
+	}
+	switch pktType(payload[0]) {
+	case pktHello:
+		return ClassHello
+	case pktPropose, pktAccept, pktInstall:
+		return ClassMembership
+	case pktToken:
+		return ClassToken
+	case pktData:
+		return ClassData
+	case pktDataBatch:
+		return ClassDataBatch
+	default:
+		return ClassUnknown
+	}
+}
+
 // encodePacket marshals any protocol packet into a datagram payload. The
 // buffer comes from the shared encoder pool and its ownership transfers to
 // the caller (and onward to the fabric, which retains datagram payloads
-// without copying).
-func encodePacket(p any) []byte {
+// without copying). An unknown packet type is a local programming error and
+// is reported as such rather than panicking on the network path.
+func encodePacket(p any) ([]byte, error) {
 	e := cdr.GetEncoder(cdr.BigEndian)
 	switch v := p.(type) {
 	case *hello:
@@ -285,11 +322,12 @@ func encodePacket(p any) []byte {
 			e.WriteOctetSeq(p)
 		}
 	default:
-		panic(fmt.Sprintf("totem: encodePacket: unknown packet %T", p))
+		e.Release()
+		return nil, fmt.Errorf("totem: encodePacket: unknown packet %T", p)
 	}
 	out := e.TakeBytes()
 	e.Release()
-	return out
+	return out, nil
 }
 
 // decodePacket unmarshals a datagram payload.

@@ -41,10 +41,9 @@ import (
 	"time"
 
 	"repro/internal/cdr"
+	"repro/internal/fault"
 	"repro/internal/netsim"
 )
-
-var debugContiguity = false
 
 // ctlGroup is the reserved process-group name used for membership control
 // messages (join/leave).
@@ -113,6 +112,23 @@ type Config struct {
 	// Promiscuous delivers every ordered message regardless of local group
 	// subscription (used by interceptors and tests).
 	Promiscuous bool
+	// MaxSendQueue bounds the number of locally queued multicasts; when the
+	// bound is reached Multicast blocks until the token drains the queue
+	// (backpressure), so overload degrades to throttling instead of
+	// unbounded memory growth (default 8192).
+	MaxSendQueue int
+	// StrictInvariants turns internal protocol invariant violations (e.g. a
+	// non-contiguous delivery) into panics. Tests run strict; production
+	// rings report the violation via Faults and recover by reformation.
+	StrictInvariants bool
+	// Faults, when set, receives InvariantViolation reports from the
+	// degrade (non-strict) path.
+	Faults *fault.Notifier
+	// Observer, when set, is called synchronously on the protocol goroutine
+	// for every ordered message delivered locally, before group-subscription
+	// filtering (chaos harnesses record per-node delivery sequences with
+	// it). It must be fast and must not call back into the Ring.
+	Observer func(Deliver)
 }
 
 func (c *Config) fill() {
@@ -142,6 +158,9 @@ func (c *Config) fill() {
 	}
 	if c.MaxFrameBytes <= 0 {
 		c.MaxFrameBytes = 60 << 10
+	}
+	if c.MaxSendQueue <= 0 {
+		c.MaxSendQueue = 8192
 	}
 }
 
@@ -180,10 +199,11 @@ type Ring struct {
 	evCh   chan Event
 
 	// Application-facing state, guarded by mu.
-	mu      sync.Mutex
-	sendQ   []outMsg
-	subs    map[string]bool
-	stopped bool
+	mu       sync.Mutex
+	sendCond *sync.Cond // signaled when sendQ shrinks or the ring stops
+	sendQ    []outMsg
+	subs     map[string]bool
+	stopped  bool
 	// Published snapshots, updated by the protocol loop.
 	pubRing    RingID
 	pubMembers []string
@@ -211,10 +231,11 @@ type Ring struct {
 	idleRounds   int           // consecutive workless rounds (coordinator only)
 	paceCancel   chan struct{} // closes to release a held idle token early
 
-	packetCh chan any
-	stopCh   chan struct{}
-	wg       sync.WaitGroup
-	dbgLast  map[RingID]uint64 // contiguity assertion state (tests only)
+	packetCh   chan any
+	stopCh     chan struct{}
+	wg         sync.WaitGroup
+	lastSeq    map[RingID]uint64 // per-ring delivery contiguity tracking
+	needReform bool              // degrade-mode invariant recovery pending
 
 	// Stats counters (read via Stats).
 	statMu        sync.Mutex
@@ -259,7 +280,9 @@ func NewRing(fabric *netsim.Fabric, cfg Config) (*Ring, error) {
 		state:        stForming,
 		formingFrom:  time.Now(),
 		pubGroups:    make(map[string][]string),
+		lastSeq:      make(map[RingID]uint64),
 	}
+	r.sendCond = sync.NewCond(&r.mu)
 	return r, nil
 }
 
@@ -279,6 +302,7 @@ func (r *Ring) Stop() {
 		return
 	}
 	r.stopped = true
+	r.sendCond.Broadcast()
 	r.mu.Unlock()
 	close(r.stopCh)
 	r.port.Close()
@@ -301,8 +325,15 @@ func (r *Ring) Events() <-chan Event { return r.evCh }
 // message log and fabric datagrams as-is); the caller must not mutate it
 // after Multicast returns. Reusing the same immutable buffer across calls
 // (e.g. for retransmissions) is fine.
+//
+// When MaxSendQueue messages are already queued, Multicast blocks until the
+// token drains the queue (or the ring stops): overload applies backpressure
+// to producers instead of growing memory without bound.
 func (r *Ring) Multicast(group string, payload []byte) error {
 	r.mu.Lock()
+	for !r.stopped && len(r.sendQ) >= r.cfg.MaxSendQueue {
+		r.sendCond.Wait()
+	}
 	if r.stopped {
 		r.mu.Unlock()
 		return ErrStopped
@@ -453,6 +484,22 @@ func (r *Ring) run() {
 
 // --- Protocol ------------------------------------------------------------
 
+// reportInvariant handles a broken internal invariant: fatal under
+// StrictInvariants (tests), otherwise reported to the fault notifier so the
+// layers above can react while the ring recovers.
+func (r *Ring) reportInvariant(detail string) {
+	if r.cfg.StrictInvariants {
+		panic(detail)
+	}
+	if r.cfg.Faults != nil {
+		r.cfg.Faults.Push(fault.Report{
+			Kind:   fault.InvariantViolation,
+			Node:   r.cfg.Node,
+			Detail: detail,
+		})
+	}
+}
+
 func (r *Ring) send(to string, pkt any) {
 	if to == r.cfg.Node {
 		// Loopback: handle inline to avoid a needless trip through the
@@ -460,11 +507,23 @@ func (r *Ring) send(to string, pkt any) {
 		r.handlePacket(pkt)
 		return
 	}
-	_ = r.port.Send(to, r.cfg.Port, encodePacket(pkt))
+	raw, err := encodePacket(pkt)
+	if err != nil {
+		r.reportInvariant(err.Error())
+		return
+	}
+	_ = r.port.Send(to, r.cfg.Port, raw)
 }
 
 func (r *Ring) broadcastMembers(pkt any, includeSelf bool) {
-	raw := encodePacket(pkt)
+	raw, err := encodePacket(pkt)
+	if err != nil {
+		r.reportInvariant(err.Error())
+		if includeSelf {
+			r.handlePacket(pkt)
+		}
+		return
+	}
 	for _, m := range r.members {
 		if m == r.cfg.Node {
 			continue
@@ -506,11 +565,21 @@ func (r *Ring) tick() {
 	now := time.Now()
 	// Gossip a heartbeat to the whole universe.
 	h := &hello{From: r.cfg.Node, Alive: r.aliveSet(now), MaxEpoch: r.maxEpoch, Ring: r.ring}
-	raw := encodePacket(h)
-	for _, n := range r.cfg.Universe {
-		if n != r.cfg.Node {
-			_ = r.port.Send(n, r.cfg.Port, raw)
+	if raw, err := encodePacket(h); err == nil {
+		for _, n := range r.cfg.Universe {
+			if n != r.cfg.Node {
+				_ = r.port.Send(n, r.cfg.Port, raw)
+			}
 		}
+	}
+
+	// A degrade-mode invariant violation was detected since the last tick:
+	// recover by reforming the ring (EVS recovery plus the state-transfer
+	// machinery above re-synchronize the members).
+	if r.needReform && r.state == stOperational {
+		r.needReform = false
+		r.enterForming(now)
+		return
 	}
 
 	alive := r.aliveSet(now)
@@ -718,7 +787,11 @@ func (r *Ring) finishFormation() {
 		Recovery: recovery,
 		Subs:     subs,
 	}
-	raw := encodePacket(ins)
+	raw, err := encodePacket(ins)
+	if err != nil {
+		r.reportInvariant(err.Error())
+		return
+	}
 	for _, m := range r.formMembers {
 		if m != r.cfg.Node {
 			_ = r.port.Send(m, r.cfg.Port, raw)
@@ -760,6 +833,13 @@ func (r *Ring) handleInstall(ins *install) {
 	}
 
 	wasCoordinator := ins.Ring.Coord == r.cfg.Node
+	// Old-ring contiguity tracking is no longer needed once its EVS
+	// recovery (above) has run; drop it so the map stays bounded.
+	for rid := range r.lastSeq {
+		if rid != ins.Ring {
+			delete(r.lastSeq, rid)
+		}
+	}
 	r.ring = ins.Ring
 	r.members = append([]string(nil), ins.Members...)
 	r.state = stOperational
@@ -900,6 +980,9 @@ func (r *Ring) handleToken(t *token) {
 		r.sendQ = append([]outMsg(nil), r.sendQ[take:]...)
 	}
 	leftover := len(r.sendQ)
+	if take > 0 {
+		r.sendCond.Broadcast() // queue shrank: release backpressured senders
+	}
 	r.mu.Unlock()
 	if len(batch) > 0 {
 		r.sendBatch(t, batch)
@@ -1132,19 +1215,32 @@ func (r *Ring) advanceDelivery() {
 // deliverMsg hands one ordered message to the application layer (or applies
 // it, for control messages). Called both in steady state and during EVS
 // recovery (with the old ring id).
+//
+// The delivery-contiguity invariant (every ring's messages delivered with
+// consecutive sequence numbers) is checked on every delivery. A violation is
+// a protocol bug, not a recoverable network condition: strict rings abort;
+// production rings skip the offending delivery, report the violation, and
+// schedule a ring reformation so state transfer re-synchronizes the member.
 func (r *Ring) deliverMsg(rid RingID, m storedMsg) {
-	if debugContiguity {
-		if last, ok := r.dbgLast[rid]; ok && m.Seq != last+1 {
-			panic(fmt.Sprintf("%s: non-contiguous delivery ring %v: %d after %d", r.cfg.Node, rid, m.Seq, last))
-		}
-		if r.dbgLast == nil {
-			r.dbgLast = make(map[RingID]uint64)
-		}
-		r.dbgLast[rid] = m.Seq
+	if last, ok := r.lastSeq[rid]; ok && m.Seq != last+1 {
+		r.reportInvariant(fmt.Sprintf("%s: non-contiguous delivery ring %v: %d after %d", r.cfg.Node, rid, m.Seq, last))
+		r.needReform = true
+		return
 	}
+	r.lastSeq[rid] = m.Seq
 	r.statMu.Lock()
 	r.statDelivered++
 	r.statMu.Unlock()
+	if r.cfg.Observer != nil {
+		r.cfg.Observer(Deliver{
+			MsgID:   MsgIDFor(rid.Epoch, m.Seq),
+			Ring:    rid,
+			Seq:     m.Seq,
+			Group:   m.Group,
+			Sender:  m.Sender,
+			Payload: m.Payload,
+		})
+	}
 	if m.Group == ctlGroup {
 		op, node, group, err := decodeCtl(m.Payload)
 		if err != nil {

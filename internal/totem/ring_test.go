@@ -83,6 +83,7 @@ func testConfig(node string, universe []string) Config {
 		SettleDelay:       12 * time.Millisecond,
 		AcceptTimeout:     60 * time.Millisecond,
 		MaxBatch:          64,
+		StrictInvariants:  true,
 	}
 }
 
@@ -503,7 +504,7 @@ func TestPacketRoundTrips(t *testing.T) {
 		&data{Ring: RingID{Epoch: 4, Coord: "b"}, Seq: 101, Group: "g", Sender: "a", Payload: []byte("p"), Resend: true},
 	}
 	for _, p := range pkts {
-		got, err := decodePacket(encodePacket(p))
+		got, err := decodePacket(mustEncodePacket(t, p))
 		if err != nil {
 			t.Fatalf("%T: %v", p, err)
 		}
@@ -517,4 +518,14 @@ func TestPacketRoundTrips(t *testing.T) {
 	if _, err := decodePacket(nil); err == nil {
 		t.Error("empty packet must error")
 	}
+}
+
+// mustEncodePacket encodes a packet, failing the test on error.
+func mustEncodePacket(t testing.TB, p any) []byte {
+	t.Helper()
+	raw, err := encodePacket(p)
+	if err != nil {
+		t.Fatalf("encodePacket: %v", err)
+	}
+	return raw
 }
