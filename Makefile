@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check race bench test build vet chaos
+.PHONY: check race bench benchcmp test build vet chaos
 
 ## check: vet + build + full test suite (the tier-1 gate)
 check: vet build test
@@ -18,12 +18,19 @@ test:
 race:
 	$(GO) test -race ./internal/totem ./internal/replication
 
-## chaos: the full seeded fault-injection sweep under the race detector
-## (7 seeds x 3 replication styles = 21 schedules, plus the targeted
-## coalescing/recovery fault tests)
+## chaos: the full seeded fault-injection sweep under the race detector —
+## single-ring (7 seeds x 3 replication styles = 21 schedules) plus the
+## sharded sweep (R=2, shard-partition episodes included) and the targeted
+## coalescing/recovery fault tests
 chaos:
 	CHAOS_SEEDS=7 $(GO) test -race -count=1 ./internal/chaos
 
-## bench: run the PR2 hot-path benchmarks and snapshot them to BENCH_pr2.json
+## bench: run the PR2 hot-path + PR5 sharded-transport benchmarks and
+## snapshot them to BENCH_pr5.json (BENCH_pr2.json stays the frozen PR2
+## baseline that benchcmp gates against)
 bench:
-	$(GO) test -run '^$$' -bench 'PR2' -benchmem ./... | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_pr2.json
+	$(GO) test -run '^$$' -bench 'PR2|PR5' -benchmem -timeout 30m ./... | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_pr5.json
+
+## benchcmp: fail on >20% ns/op regression vs the PR2 baseline snapshot
+benchcmp:
+	$(GO) run ./cmd/benchcmp -threshold 20 BENCH_pr2.json BENCH_pr5.json

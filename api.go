@@ -109,6 +109,11 @@ func Nested(inv *Invocation, ref GroupRef, opts ...replication.ProxyOption) *Pro
 // WithVotes makes a proxy wait for a majority of n replies.
 func WithVotes(n int) replication.ProxyOption { return replication.WithVotes(n) }
 
+// WithShard pins a proxy's target group to a transport shard (0-based) of
+// the domain's ring pool; Domain.Proxy applies it automatically for groups
+// created with an explicit Properties.Shard placement.
+func WithShard(shard int) replication.ProxyOption { return replication.WithShard(shard) }
+
 // Ref is an object (group) reference.
 type Ref = ior.Ref
 

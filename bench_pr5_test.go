@@ -1,0 +1,44 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// --- PR5 sharded-transport benchmarks ----------------------------------------
+//
+// These are the benchmark-scale version of experiment E2′ (see
+// internal/bench/e2prime.go and EXPERIMENTS.md): aggregate throughput of
+// independent ACTIVE/3 groups over R transport rings. ns/op is the wall
+// clock of one full workload run including domain setup; the headline
+// number is the ops/s metric, which times only the drive phase and is
+// directly comparable across shard counts. `make bench` snapshots both
+// into BENCH_pr5.json.
+
+func benchSharded(b *testing.B, shards, groups int) {
+	// PerClient is sized so the drive phase dominates domain setup;
+	// shorter runs are startup-transient noise.
+	w := bench.ShardedWorkload{
+		Shards: shards, Groups: groups, Replicas: 3,
+		Clients: 2, PerClient: 50,
+	}
+	var agg float64
+	for i := 0; i < b.N; i++ {
+		thr, err := bench.RunSharded(w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		agg += thr
+	}
+	b.ReportMetric(agg/float64(b.N), "ops/s")
+}
+
+func BenchmarkPR5ShardedAggregateR1(b *testing.B) { benchSharded(b, 1, 8) }
+func BenchmarkPR5ShardedAggregateR2(b *testing.B) { benchSharded(b, 2, 8) }
+func BenchmarkPR5ShardedAggregateR4(b *testing.B) { benchSharded(b, 4, 8) }
+
+// BenchmarkPR5SingleGroupR4 is the control row: one group rides one ring no
+// matter how many exist (per-group total order is the invariant), so this
+// must stay within noise of a single-ring run.
+func BenchmarkPR5SingleGroupR4(b *testing.B) { benchSharded(b, 4, 1) }

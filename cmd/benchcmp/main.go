@@ -1,0 +1,117 @@
+// Command benchcmp diffs two benchmark snapshots produced by cmd/benchjson
+// and exits non-zero on a regression:
+//
+//	go run ./cmd/benchcmp -threshold 20 BENCH_pr2.json BENCH_pr5.json
+//
+// The first file is the baseline, the second the candidate. Two gates run
+// over every benchmark present in both files:
+//
+//   - ns/op, for benchmarks matching -headline only. Headline benches are
+//     the end-to-end protocol paths, which reproduce within a few percent
+//     across runs; tight CPU-bound micro-loops drift far more than 20%
+//     with the shared VM's day-to-day performance and only gate via their
+//     allocation counts.
+//   - allocs/op, for every benchmark. Allocation counts are deterministic
+//     and host-independent, so any growth past the threshold is real.
+//
+// Benchmarks only present in one file are listed but never gate. The
+// Makefile's benchcmp target uses this to hold the PR2 hot-path results
+// while later PRs grow the suite.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+)
+
+type record struct {
+	Name     string             `json:"name"`
+	Iters    int64              `json:"iters"`
+	NsPerOp  float64            `json:"ns_op"`
+	BytesOp  *int64             `json:"bytes_op,omitempty"`
+	AllocsOp *int64             `json:"allocs_op,omitempty"`
+	Extra    map[string]float64 `json:"extra,omitempty"`
+}
+
+func load(path string) (map[string]record, []string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var recs []record
+	if err := json.Unmarshal(data, &recs); err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	m := make(map[string]record, len(recs))
+	order := make([]string, 0, len(recs))
+	for _, r := range recs {
+		if _, dup := m[r.Name]; !dup {
+			order = append(order, r.Name)
+		}
+		m[r.Name] = r
+	}
+	return m, order, nil
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 20, "max regression in percent before failing")
+	headline := flag.String("headline", "PR2(Pipelined|Serial|GIOPMarshal)",
+		"regexp of benchmarks whose ns/op gates (allocs/op always gates)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchcmp [-threshold pct] [-headline re] baseline.json candidate.json")
+		os.Exit(2)
+	}
+	headlineRe, err := regexp.Compile(*headline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp: bad -headline:", err)
+		os.Exit(2)
+	}
+	base, order, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+	cand, _, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+
+	failed := false
+	fmt.Printf("%-36s %12s %12s %8s %14s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs old→new")
+	for _, name := range order {
+		b := base[name]
+		c, ok := cand[name]
+		if !ok {
+			fmt.Printf("%-36s %12.1f %12s %8s %14s\n", name, b.NsPerOp, "missing", "-", "-")
+			continue
+		}
+		delta := (c.NsPerOp - b.NsPerOp) / b.NsPerOp * 100
+		mark := ""
+		if delta > *threshold {
+			if headlineRe.MatchString(name) {
+				mark = "  FAIL ns/op"
+				failed = true
+			} else {
+				mark = "  (host drift, not gated)"
+			}
+		}
+		allocs := "-"
+		if b.AllocsOp != nil && c.AllocsOp != nil {
+			allocs = fmt.Sprintf("%d→%d", *b.AllocsOp, *c.AllocsOp)
+			if float64(*c.AllocsOp) > float64(*b.AllocsOp)*(1+*threshold/100) {
+				mark += "  FAIL allocs/op"
+				failed = true
+			}
+		}
+		fmt.Printf("%-36s %12.1f %12.1f %+7.1f%% %14s%s\n", name, b.NsPerOp, c.NsPerOp, delta, allocs, mark)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchcmp: regression beyond %.0f%% against %s\n", *threshold, flag.Arg(0))
+		os.Exit(1)
+	}
+}

@@ -4,8 +4,9 @@
 //	go test -run '^$' -bench 'PR2' -benchmem ./... | go run ./cmd/benchjson
 //
 // Records carry the benchmark name (GOMAXPROCS suffix stripped), iteration
-// count, ns/op, and — when -benchmem was used — B/op and allocs/op. The
-// Makefile's bench target uses it to snapshot results into BENCH_pr2.json.
+// count, ns/op, when -benchmem was used B/op and allocs/op, and any custom
+// b.ReportMetric units under "extra". The Makefile's bench target uses it
+// to snapshot results into BENCH_pr*.json; cmd/benchcmp diffs snapshots.
 package main
 
 import (
@@ -23,6 +24,9 @@ type record struct {
 	NsPerOp  float64 `json:"ns_op"`
 	BytesOp  *int64  `json:"bytes_op,omitempty"`
 	AllocsOp *int64  `json:"allocs_op,omitempty"`
+	// Extra holds custom b.ReportMetric units (e.g. the sharded benches'
+	// "ops/s" aggregate throughput) keyed by unit name.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 func main() {
@@ -54,15 +58,26 @@ func main() {
 		}
 		r := record{Name: name, Iters: iters, NsPerOp: ns}
 		for i := 4; i+1 < len(f); i += 2 {
-			v, err := strconv.ParseInt(f[i], 10, 64)
-			if err != nil {
-				continue
-			}
 			switch f[i+1] {
-			case "B/op":
-				r.BytesOp = &v
-			case "allocs/op":
-				r.AllocsOp = &v
+			case "B/op", "allocs/op":
+				v, err := strconv.ParseInt(f[i], 10, 64)
+				if err != nil {
+					continue
+				}
+				if f[i+1] == "B/op" {
+					r.BytesOp = &v
+				} else {
+					r.AllocsOp = &v
+				}
+			default:
+				v, err := strconv.ParseFloat(f[i], 64)
+				if err != nil {
+					continue
+				}
+				if r.Extra == nil {
+					r.Extra = map[string]float64{}
+				}
+				r.Extra[f[i+1]] = v
 			}
 		}
 		out = append(out, r)

@@ -295,6 +295,7 @@ func All(scale Scale) ([]*Table, error) {
 	runs := []func(Scale) (*Table, error){
 		E1LatencyByStyle,
 		E2ReplicationDegree,
+		E2PrimeSharding,
 		E3Failover,
 		E4StateTransfer,
 		E5DuplicateSuppression,
@@ -316,13 +317,14 @@ func All(scale Scale) ([]*Table, error) {
 
 // ByID maps experiment ids to runners.
 var ByID = map[string]func(Scale) (*Table, error){
-	"e1": E1LatencyByStyle,
-	"e2": E2ReplicationDegree,
-	"e3": E3Failover,
-	"e4": E4StateTransfer,
-	"e5": E5DuplicateSuppression,
-	"e6": E6CheckpointInterval,
-	"e7": E7PartitionRemerge,
-	"e8": E8Approaches,
-	"t1": T1Totem,
+	"e1":  E1LatencyByStyle,
+	"e2":  E2ReplicationDegree,
+	"e2p": E2PrimeSharding,
+	"e3":  E3Failover,
+	"e4":  E4StateTransfer,
+	"e5":  E5DuplicateSuppression,
+	"e6":  E6CheckpointInterval,
+	"e7":  E7PartitionRemerge,
+	"e8":  E8Approaches,
+	"t1":  T1Totem,
 }

@@ -168,15 +168,22 @@ func (e *Encoder) WriteRaw(b []byte) { e.buf = append(e.buf, b...) }
 // Decoder unmarshals CDR data produced by an Encoder (or a foreign ORB).
 // The zero value decodes an empty big-endian buffer; use NewDecoder.
 type Decoder struct {
-	buf    []byte
-	pos    int
-	little bool
+	buf      []byte
+	pos      int
+	little   bool
+	zeroCopy bool
 }
 
 // NewDecoder returns a Decoder reading buf in the given byte order.
 func NewDecoder(buf []byte, order byte) *Decoder {
 	return &Decoder{buf: buf, little: order == LittleEndian}
 }
+
+// SetZeroCopy switches ReadOctetSeq and ReadRaw to return views into the
+// decode buffer instead of copies. Views share the buffer's lifetime: a
+// caller enabling this owns the discipline that nothing aliasing the buffer
+// outlives it (the giop pooled read path pairs this with ReleaseFrame).
+func (d *Decoder) SetZeroCopy(on bool) { d.zeroCopy = on }
 
 // Remaining returns the number of unread bytes.
 func (d *Decoder) Remaining() int { return len(d.buf) - d.pos }
@@ -337,7 +344,8 @@ func (d *Decoder) ReadString() (string, error) {
 }
 
 // ReadOctetSeq consumes a sequence<octet>. The returned slice is a copy,
-// safe to retain after further decoding.
+// safe to retain after further decoding — unless SetZeroCopy is on, in
+// which case it is a capped view into the decode buffer.
 func (d *Decoder) ReadOctetSeq() ([]byte, error) {
 	n, err := d.ReadULong()
 	if err != nil {
@@ -349,19 +357,30 @@ func (d *Decoder) ReadOctetSeq() ([]byte, error) {
 	if err := d.need(int(n)); err != nil {
 		return nil, err
 	}
+	if d.zeroCopy {
+		out := d.buf[d.pos : d.pos+int(n) : d.pos+int(n)]
+		d.pos += int(n)
+		return out, nil
+	}
 	out := make([]byte, n)
 	copy(out, d.buf[d.pos:])
 	d.pos += int(n)
 	return out, nil
 }
 
-// ReadRaw consumes exactly n bytes with no alignment, returning a copy.
+// ReadRaw consumes exactly n bytes with no alignment, returning a copy
+// (or a capped view when SetZeroCopy is on).
 func (d *Decoder) ReadRaw(n int) ([]byte, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("cdr: negative raw length %d", n)
 	}
 	if err := d.need(n); err != nil {
 		return nil, err
+	}
+	if d.zeroCopy {
+		out := d.buf[d.pos : d.pos+n : d.pos+n]
+		d.pos += n
+		return out, nil
 	}
 	out := make([]byte, n)
 	copy(out, d.buf[d.pos:])

@@ -16,7 +16,7 @@ import (
 func TestBatchFrameDrop(t *testing.T) {
 	h := New(t, Options{Style: replication.Active, Seed: 11})
 	var dropped atomic.Int64
-	h.Fabric.SetDropFilter(func(from, to string, payload []byte) bool {
+	h.Fabric.SetDropFilter(func(from, to string, port uint16, payload []byte) bool {
 		if totem.Classify(payload) == totem.ClassDataBatch && dropped.Load() < 8 {
 			dropped.Add(1)
 			return true
@@ -43,7 +43,7 @@ func TestTokenHolderCrash(t *testing.T) {
 	victim := h.Nodes[1]
 	holding := make(chan struct{})
 	var fired atomic.Bool
-	h.Fabric.SetDropFilter(func(from, to string, payload []byte) bool {
+	h.Fabric.SetDropFilter(func(from, to string, port uint16, payload []byte) bool {
 		if from == victim && totem.Classify(payload) == totem.ClassToken {
 			if fired.CompareAndSwap(false, true) {
 				close(holding)

@@ -38,6 +38,10 @@ type Options struct {
 	// NoCoalesceOn lists nodes whose rings run with coalescing disabled
 	// (mixed-ring fault tests).
 	NoCoalesceOn []string
+	// Shards is the number of transport rings per node (default 1). The
+	// group hash-routes onto one of them; the others run alongside so pool
+	// lifecycle (crash, restart, teardown) is exercised under faults.
+	Shards int
 }
 
 // ObsMsg is one recorded delivery: enough to check virtual-synchrony order
@@ -50,11 +54,14 @@ type ObsMsg struct {
 	Sender string
 }
 
-// Recorder captures one node incarnation's complete delivery sequence via
-// the totem Observer hook.
+// Recorder captures one shard of one node incarnation's complete delivery
+// sequence via the totem Observer hook. Shards record separately because
+// ring ids are only unique within a shard: two shards of the same pool can
+// both be on "epoch 3 at n1" while carrying unrelated sequence spaces.
 type Recorder struct {
-	Node string
-	Inc  int
+	Node  string
+	Inc   int
+	Shard int
 
 	mu   sync.Mutex
 	msgs []ObsMsg
@@ -94,7 +101,7 @@ type Harness struct {
 	Def    replication.GroupDef
 
 	mu        sync.Mutex
-	rings     map[string]*totem.Ring
+	rings     map[string][]*totem.Ring
 	engines   map[string]*replication.Engine
 	servants  map[string]*Account
 	logs      map[string]wal.Log
@@ -118,6 +125,9 @@ func New(tb testing.TB, opts Options) *Harness {
 	if opts.Replicas <= 0 {
 		opts.Replicas = 3
 	}
+	if opts.Shards <= 0 {
+		opts.Shards = 1
+	}
 	h := &Harness{
 		tb:            tb,
 		opts:          opts,
@@ -126,7 +136,7 @@ func New(tb testing.TB, opts Options) *Harness {
 		Client:        "client",
 		incarn:        make(map[string]int),
 		down:          make(map[string]bool),
-		rings:         make(map[string]*totem.Ring),
+		rings:         make(map[string][]*totem.Ring),
 		engines:       make(map[string]*replication.Engine),
 		servants:      make(map[string]*Account),
 		logs:          make(map[string]wal.Log),
@@ -219,28 +229,36 @@ func (h *Harness) startNode(node string, fromLog bool) {
 	h.tb.Helper()
 	h.mu.Lock()
 	h.incarn[node]++
-	rec := &Recorder{Node: node, Inc: h.incarn[node]}
-	h.recorders = append(h.recorders, rec)
+	inc := h.incarn[node]
 	h.mu.Unlock()
 
 	universe := append(append([]string(nil), h.Nodes...), h.Client)
-	ring, err := totem.NewRing(h.Fabric, totem.Config{
-		Node:              node,
-		Universe:          universe,
-		Port:              ringPort,
-		HeartbeatInterval: 4 * time.Millisecond,
-		StrictInvariants:  true,
-		Faults:            h.Faults,
-		Observer:          rec.observe,
-		NoCoalesce:        h.noCoalesce(node),
-	})
-	if err != nil {
-		h.tb.Fatalf("ring %s: %v", node, err)
+	rings := make([]*totem.Ring, 0, h.opts.Shards)
+	for shard := 0; shard < h.opts.Shards; shard++ {
+		rec := &Recorder{Node: node, Inc: inc, Shard: shard}
+		h.mu.Lock()
+		h.recorders = append(h.recorders, rec)
+		h.mu.Unlock()
+		ring, err := totem.NewRing(h.Fabric, totem.Config{
+			Node:              node,
+			Universe:          universe,
+			Port:              totem.ShardPort(ringPort, shard),
+			HeartbeatInterval: 4 * time.Millisecond,
+			StrictInvariants:  true,
+			Faults:            h.Faults,
+			Observer:          rec.observe,
+			NoCoalesce:        h.noCoalesce(node),
+		})
+		if err != nil {
+			totem.StopPool(rings)
+			h.tb.Fatalf("ring %s shard %d: %v", node, shard, err)
+		}
+		ring.Start()
+		rings = append(rings, ring)
 	}
-	ring.Start()
 	eng, err := replication.NewEngine(replication.Config{
 		Node:              node,
-		Ring:              ring,
+		Rings:             rings,
 		Notifier:          h.Faults,
 		CallTimeout:       10 * time.Second,
 		RetryInterval:     120 * time.Millisecond,
@@ -253,7 +271,7 @@ func (h *Harness) startNode(node string, fromLog bool) {
 	eng.Start()
 
 	h.mu.Lock()
-	h.rings[node] = ring
+	h.rings[node] = rings
 	h.engines[node] = eng
 	h.down[node] = false
 	h.mu.Unlock()
@@ -306,11 +324,11 @@ func (h *Harness) Crash(node string) {
 		return
 	}
 	h.down[node] = true
-	ring, eng := h.rings[node], h.engines[node]
+	rings, eng := h.rings[node], h.engines[node]
 	h.mu.Unlock()
 	h.Fabric.CrashNode(node)
 	eng.Stop()
-	ring.Stop()
+	totem.StopPool(rings)
 	if l, ok := h.logs[node]; ok && h.logDir != "" {
 		_ = l.Close() // file handle dies with the "process"
 	}
@@ -432,15 +450,13 @@ func (h *Harness) Close() {
 			continue
 		}
 		engines = append(engines, h.engines[n])
-		rings = append(rings, h.rings[n])
+		rings = append(rings, h.rings[n]...)
 	}
 	h.mu.Unlock()
 	for _, e := range engines {
 		e.Stop()
 	}
-	for _, r := range rings {
-		r.Stop()
-	}
+	totem.StopPool(rings)
 }
 
 func sortStrings(s []string) {

@@ -31,8 +31,9 @@ func (h *Harness) CheckAll() {
 func (h *Harness) CheckDeliveryInvariants() {
 	h.tb.Helper()
 	type slot struct {
-		ring totem.RingID
-		seq  uint64
+		shard int // ring ids are only unique within one shard of the pool
+		ring  totem.RingID
+		seq   uint64
 	}
 	type content struct {
 		hash   uint64
@@ -41,7 +42,7 @@ func (h *Harness) CheckDeliveryInvariants() {
 	}
 	seen := make(map[slot]content)
 	for _, rec := range h.Recorders() {
-		who := fmt.Sprintf("%s#%d", rec.Node, rec.Inc)
+		who := fmt.Sprintf("%s#%d/s%d", rec.Node, rec.Inc, rec.Shard)
 		msgs := rec.Msgs()
 		lastSeq := make(map[totem.RingID]uint64)
 		for k, m := range msgs {
@@ -54,7 +55,7 @@ func (h *Harness) CheckDeliveryInvariants() {
 					h.opts.Seed, who, m.Ring, m.Seq, last)
 			}
 			lastSeq[m.Ring] = m.Seq
-			k2 := slot{ring: m.Ring, seq: m.Seq}
+			k2 := slot{shard: rec.Shard, ring: m.Ring, seq: m.Seq}
 			if prev, ok := seen[k2]; ok {
 				if prev.hash != m.Hash || prev.sender != m.Sender {
 					h.tb.Fatalf("seed %d: ring %v seq %d diverges between %s and %s",

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/replication"
 	"repro/internal/totem"
 )
 
@@ -31,8 +32,14 @@ const (
 	// — targeted protocol-state loss forcing token-retransmission or ring
 	// reformation.
 	EpTokenDrop
+	// EpShardPartition severs exactly one shard's port at one replica (a
+	// port-targeted drop filter): that ring reforms without the victim while
+	// the node — and its other shards — stay up. Generated only for sharded
+	// harnesses.
+	EpShardPartition
 
-	episodeKinds = 6
+	episodeKinds        = 6 // kinds every harness generates
+	shardedEpisodeKinds = 7 // adds EpShardPartition when Shards > 1
 )
 
 var episodeNames = map[EpisodeKind]string{
@@ -40,8 +47,9 @@ var episodeNames = map[EpisodeKind]string{
 	EpPartitionHeal: "partition-heal",
 	EpLossBurst:     "loss-burst",
 	EpDelaySpike:    "delay-spike",
-	EpSlowNode:      "slow-node",
-	EpTokenDrop:     "token-drop",
+	EpSlowNode:       "slow-node",
+	EpTokenDrop:      "token-drop",
+	EpShardPartition: "shard-partition",
 }
 
 func (k EpisodeKind) String() string { return episodeNames[k] }
@@ -53,6 +61,7 @@ type Episode struct {
 	Loss    float64       // EpLossBurst
 	Delay   time.Duration // EpDelaySpike / EpSlowNode
 	Drops   int           // EpTokenDrop
+	Shard   int           // EpShardPartition: which ring of the pool is severed
 	Invokes int           // acknowledged operations driven during the episode
 }
 
@@ -66,10 +75,21 @@ type Schedule struct {
 // random victims and intensities. Invariant by construction: at most one
 // replica is faulty at a time, and the client always stays with a majority.
 func Generate(rng *rand.Rand, replicas []string, episodes int) Schedule {
+	return GenerateSharded(rng, replicas, 1, episodes)
+}
+
+// GenerateSharded is Generate for a pool of `shards` rings per node: with
+// more than one shard the episode space grows by EpShardPartition, which
+// targets a single ring of the pool.
+func GenerateSharded(rng *rand.Rand, replicas []string, shards, episodes int) Schedule {
+	kinds := episodeKinds
+	if shards > 1 {
+		kinds = shardedEpisodeKinds
+	}
 	s := Schedule{}
 	for i := 0; i < episodes; i++ {
 		ep := Episode{
-			Kind:    EpisodeKind(rng.Intn(episodeKinds)),
+			Kind:    EpisodeKind(rng.Intn(kinds)),
 			Victim:  replicas[rng.Intn(len(replicas))],
 			Invokes: 2 + rng.Intn(3),
 		}
@@ -82,6 +102,8 @@ func Generate(rng *rand.Rand, replicas []string, episodes int) Schedule {
 			ep.Delay = time.Duration(1+rng.Intn(3)) * time.Millisecond
 		case EpTokenDrop:
 			ep.Drops = 2 + rng.Intn(6)
+		case EpShardPartition:
+			ep.Shard = rng.Intn(shards)
 		}
 		s.Episodes = append(s.Episodes, ep)
 	}
@@ -152,7 +174,7 @@ func (h *Harness) runEpisode(i int, ep Episode) {
 	case EpTokenDrop:
 		var dropped atomic.Int64
 		limit := int64(ep.Drops)
-		h.Fabric.SetDropFilter(func(from, to string, payload []byte) bool {
+		h.Fabric.SetDropFilter(func(from, to string, port uint16, payload []byte) bool {
 			if from == ep.Victim && totem.Classify(payload) == totem.ClassToken {
 				if dropped.Add(1) <= limit {
 					return true
@@ -162,6 +184,20 @@ func (h *Harness) runEpisode(i int, ep Episode) {
 		})
 		h.drive(ep.Invokes)
 		h.Fabric.SetDropFilter(nil)
+	case EpShardPartition:
+		port := totem.ShardPort(ringPort, ep.Shard)
+		h.Fabric.SetDropFilter(func(from, to string, p uint16, payload []byte) bool {
+			return p == port && (from == ep.Victim || to == ep.Victim)
+		})
+		if replication.ShardFor(h.Def.ID, h.opts.Shards) == ep.Shard {
+			// The group's own shard lost the victim: wait for the survivor
+			// ring to reform so the traffic below flows without retry stalls.
+			h.WaitMembers(h.LiveMajority(ep.Victim))
+		}
+		h.drive(ep.Invokes)
+		h.Fabric.SetDropFilter(nil)
+		h.WaitMembers(h.Nodes)
+		h.drive(ep.Invokes)
 	default:
 		h.tb.Fatalf("unknown episode kind %d", ep.Kind)
 	}

@@ -47,3 +47,32 @@ func TestChaosSweep(t *testing.T) {
 		}
 	}
 }
+
+// TestChaosSweepSharded is the sweep over a two-shard transport pool: every
+// node runs two rings, the group hash-routes onto one of them, and the
+// episode space includes shard-partition faults that sever a single ring of
+// the pool. The invariant suite is unchanged — per-shard total order, exactly
+// once, convergence, WAL recovery, and no leaked goroutines from pool
+// teardown.
+func TestChaosSweepSharded(t *testing.T) {
+	styles := []replication.Style{
+		replication.Active,
+		replication.WarmPassive,
+		replication.ColdPassive,
+	}
+	const shards = 2
+	seeds := seedsPerStyle()
+	for _, style := range styles {
+		for seed := int64(1); seed <= int64(seeds); seed++ {
+			style, seed := style, seed
+			t.Run(fmt.Sprintf("%s/seed%d", style, seed), func(t *testing.T) {
+				h := New(t, Options{Style: style, Seed: seed, Shards: shards})
+				s := GenerateSharded(h.Rng, h.Nodes, shards, 4)
+				s.Seed = seed
+				t.Logf("schedule %s", s.Describe())
+				h.Run(s)
+				h.CheckGoroutines()
+			})
+		}
+	}
+}

@@ -33,6 +33,12 @@ type Options struct {
 	// Heartbeat is the Totem gossip interval; all protocol timeouts derive
 	// from it (default 5ms — laptop-scale; raise for slow machines).
 	Heartbeat time.Duration
+	// Shards is the number of independent Totem rings each node runs
+	// (default 1 — today's single-ring wire behaviour, byte for byte).
+	// With R>1, shard i occupies port baseRingPort+i on every node and
+	// each object group's traffic lives entirely on one shard, so
+	// independent groups stop sharing a token rotation.
+	Shards int
 	// ORBPort, when nonzero, additionally starts a plain ORB per node on
 	// this port (used by the interception and service approaches).
 	ORBPort uint16
@@ -52,6 +58,9 @@ func (o *Options) fill() {
 	if o.Heartbeat <= 0 {
 		o.Heartbeat = 5 * time.Millisecond
 	}
+	if o.Shards < 1 {
+		o.Shards = 1
+	}
 	if o.CallTimeout <= 0 {
 		o.CallTimeout = 10 * time.Second
 	}
@@ -60,10 +69,15 @@ func (o *Options) fill() {
 	}
 }
 
+// baseRingPort is the fabric port of shard 0; shard i listens on
+// baseRingPort+i (totem.ShardPort).
+const baseRingPort = 4000
+
 // Node bundles one host's protocol endpoints.
 type Node struct {
 	Name   string
-	Ring   *totem.Ring
+	Ring   *totem.Ring   // shard 0 (kept for single-ring callers)
+	Rings  []*totem.Ring // the full transport pool, Rings[0] == Ring
 	Engine *replication.Engine
 	ORB    *orb.ORB // nil unless Options.ORBPort was set
 }
@@ -106,29 +120,29 @@ func NewDomain(opts Options) (*Domain, error) {
 }
 
 func (d *Domain) startNode(name string) (*Node, error) {
-	ring, err := totem.NewRing(d.Fabric, totem.Config{
+	rings, err := totem.NewRingPool(d.Fabric, totem.Config{
 		Node:              name,
 		Universe:          d.opts.Nodes,
-		Port:              4000,
+		Port:              baseRingPort,
 		HeartbeatInterval: d.opts.Heartbeat,
-	})
+	}, d.opts.Shards)
 	if err != nil {
-		return nil, fmt.Errorf("core: ring on %s: %w", name, err)
+		return nil, fmt.Errorf("core: ring pool on %s: %w", name, err)
 	}
-	ring.Start()
+	totem.StartPool(rings)
 	engine, err := replication.NewEngine(replication.Config{
 		Node:          name,
-		Ring:          ring,
+		Rings:         rings,
 		Notifier:      d.Notifier,
 		CallTimeout:   d.opts.CallTimeout,
 		RetryInterval: d.opts.RetryInterval,
 	})
 	if err != nil {
-		ring.Stop()
+		totem.StopPool(rings)
 		return nil, fmt.Errorf("core: engine on %s: %w", name, err)
 	}
 	engine.Start()
-	node := &Node{Name: name, Ring: ring, Engine: engine}
+	node := &Node{Name: name, Ring: rings[0], Rings: rings, Engine: engine}
 	if d.opts.ORBPort != 0 {
 		node.ORB, err = orb.New(orb.Config{
 			Node:     name,
@@ -138,7 +152,7 @@ func (d *Domain) startNode(name string) (*Node, error) {
 		})
 		if err != nil {
 			engine.Stop()
-			ring.Stop()
+			totem.StopPool(rings)
 			return nil, fmt.Errorf("core: orb on %s: %w", name, err)
 		}
 	}
@@ -164,7 +178,7 @@ func (d *Domain) Stop() {
 			n.ORB.Shutdown()
 		}
 		n.Engine.Stop()
-		n.Ring.Stop()
+		totem.StopPool(n.Rings)
 	}
 }
 
@@ -181,7 +195,7 @@ func (d *Domain) CrashNode(name string) {
 		n.ORB.Shutdown()
 	}
 	n.Engine.Stop()
-	n.Ring.Stop()
+	totem.StopPool(n.Rings)
 	delete(d.nodes, name)
 }
 
@@ -240,11 +254,18 @@ func (d *Domain) Create(name, typeID string, props *ftcorba.Properties) (*ior.Re
 // ErrUnknownClientNode is returned by Proxy for an unregistered node.
 var ErrUnknownClientNode = errors.New("core: unknown client node")
 
-// Proxy builds a group proxy issuing invocations from the given node.
+// Proxy builds a group proxy issuing invocations from the given node. When
+// the Replication Manager records an explicit shard placement for the
+// group, the proxy is pinned to it so clients and replicas agree on the
+// transport ring (hash-routed groups need no pin: every engine computes
+// the same route).
 func (d *Domain) Proxy(fromNode string, gid uint64, opts ...replication.ProxyOption) (*replication.Proxy, error) {
 	n, ok := d.nodes[fromNode]
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownClientNode, fromNode)
+	}
+	if shard, pinned := d.RM.ShardOf(gid); pinned {
+		opts = append([]replication.ProxyOption{replication.WithShard(shard)}, opts...)
 	}
 	return n.Engine.Proxy(replication.GroupRef{ID: gid}, opts...), nil
 }
@@ -263,18 +284,22 @@ func (d *Domain) WaitReady(timeout time.Duration) error {
 }
 
 func (d *Domain) ringsAgree() bool {
-	var ref totem.RingID
-	first := true
-	for _, n := range d.nodes {
-		id, members := n.Ring.CurrentRing()
-		if id.IsZero() || len(members) != len(d.nodes) {
-			return false
-		}
-		if first {
-			ref = id
-			first = false
-		} else if id != ref {
-			return false
+	// Every shard must independently stabilize: for each shard index all
+	// nodes agree on one ring id containing every live node.
+	for shard := 0; shard < d.opts.Shards; shard++ {
+		var ref totem.RingID
+		first := true
+		for _, n := range d.nodes {
+			id, members := n.Rings[shard].CurrentRing()
+			if id.IsZero() || len(members) != len(d.nodes) {
+				return false
+			}
+			if first {
+				ref = id
+				first = false
+			} else if id != ref {
+				return false
+			}
 		}
 	}
 	return true

@@ -1,0 +1,141 @@
+package core_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cdr"
+	"repro/internal/core"
+	"repro/internal/ftcorba"
+	"repro/internal/orb"
+	"repro/internal/replication"
+)
+
+// TestShardedDomain drives several independent groups across a multi-ring
+// domain: hash-routed and explicitly pinned groups, invocations from a
+// non-hosting node, and a crash/restart cycle of a whole ring pool.
+func TestShardedDomain(t *testing.T) {
+	d, err := core.NewDomain(core.Options{
+		Nodes:     []string{"a", "b", "c", "cl"},
+		Heartbeat: 4 * time.Millisecond,
+		Shards:    3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Stop()
+	if err := d.WaitReady(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	workers := []string{"a", "b", "c"}
+	if err := d.RegisterFactory("IDL:repro/Slot:1.0", func() orb.Servant { return &slot{} }, workers...); err != nil {
+		t.Fatal(err)
+	}
+
+	// Group 1..4 hash-route; group 5 is pinned to shard 2 explicitly.
+	var gids []uint64
+	for i := 0; i < 4; i++ {
+		_, gid, err := d.Create(fmt.Sprintf("g%d", i), "IDL:repro/Slot:1.0", &ftcorba.Properties{
+			ReplicationStyle:      replication.Active,
+			InitialNumberReplicas: 3,
+			MembershipStyle:       ftcorba.MembershipApplication,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gids = append(gids, gid)
+	}
+	_, pinned, err := d.Create("pinned", "IDL:repro/Slot:1.0", &ftcorba.Properties{
+		ReplicationStyle:      replication.Active,
+		InitialNumberReplicas: 3,
+		MembershipStyle:       ftcorba.MembershipApplication,
+		Shard:                 3, // 1-based: ring index 2
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gids = append(gids, pinned)
+	if shard, ok := d.RM.ShardOf(pinned); !ok || shard != 2 {
+		t.Fatalf("ShardOf(pinned) = %d, %v; want 2, true", shard, ok)
+	}
+	if _, ok := d.RM.ShardOf(gids[0]); ok {
+		t.Fatal("hash-routed group should not report an explicit shard")
+	}
+	for _, gid := range gids {
+		if err := d.WaitGroupReady(gid, 3, 10*time.Second); err != nil {
+			t.Fatalf("group %d: %v", gid, err)
+		}
+	}
+
+	// Concurrent traffic to every group from the client node.
+	var wg sync.WaitGroup
+	errs := make(chan error, len(gids))
+	for i, gid := range gids {
+		wg.Add(1)
+		go func(i int, gid uint64) {
+			defer wg.Done()
+			p, err := d.Proxy("cl", gid)
+			if err != nil {
+				errs <- err
+				return
+			}
+			for k := 0; k < 5; k++ {
+				want := int64(100*i + k)
+				out, err := p.Invoke("set", cdr.Long(int32(want)))
+				if err != nil {
+					errs <- fmt.Errorf("group %d: %w", gid, err)
+					return
+				}
+				if got := out[0].AsLongLong(); got != want {
+					errs <- fmt.Errorf("group %d: got %d want %d", gid, got, want)
+					return
+				}
+			}
+		}(i, gid)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Crash and restart a whole pool; the domain must re-stabilize on
+	// every shard and keep serving all groups.
+	d.CrashNode("c")
+	if err := d.RestartNode("c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WaitReady(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	p, err := d.Proxy("cl", pinned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out, err := p.Invoke("set", cdr.Long(777)); err != nil || out[0].AsLongLong() != 777 {
+		t.Fatalf("post-restart invoke: %v %v", out, err)
+	}
+}
+
+// TestShardForDeterminism pins down the router contract: pure function,
+// full range, stable single-shard degenerate case.
+func TestShardForDeterminism(t *testing.T) {
+	for _, shards := range []int{1, 2, 3, 4, 7} {
+		seen := make(map[int]bool)
+		for gid := uint64(1); gid <= 64; gid++ {
+			s := replication.ShardFor(gid, shards)
+			if s < 0 || s >= shards {
+				t.Fatalf("ShardFor(%d, %d) = %d out of range", gid, shards, s)
+			}
+			if s != replication.ShardFor(gid, shards) {
+				t.Fatalf("ShardFor(%d, %d) unstable", gid, shards)
+			}
+			seen[s] = true
+		}
+		if len(seen) != shards {
+			t.Fatalf("ShardFor with %d shards only used %d of them over 64 gids", shards, len(seen))
+		}
+	}
+}

@@ -61,6 +61,12 @@ type Properties struct {
 	// FaultMonitoringInterval parameterizes detectors created for the
 	// group (default 50ms).
 	FaultMonitoringInterval time.Duration
+	// Shard explicitly places the group on one transport shard of the
+	// engines' ring pool. 1-based so the zero value means "route by hash"
+	// (replication.ShardFor): Shard=N pins the group to ring N-1. The
+	// manager records the placement and core.Domain.Proxy propagates it to
+	// clients; it is inert in single-ring domains.
+	Shard int
 }
 
 func (p *Properties) fill() {
@@ -259,6 +265,7 @@ func (rm *ReplicationManager) CreateObjectGroup(name, typeID string, props *Prop
 		TypeID:          typeID,
 		Style:           p.ReplicationStyle,
 		CheckpointEvery: p.CheckpointInterval,
+		Shard:           p.Shard,
 	}
 	for _, node := range chosen {
 		n := rm.nodes[node]
@@ -350,6 +357,19 @@ func (rm *ReplicationManager) RemoveMember(gid uint64, node string) (*ior.Ref, e
 	g.members = append(g.members[:idx], g.members[idx+1:]...)
 	g.version++
 	return rm.iogrLocked(g), nil
+}
+
+// ShardOf reports a group's explicit transport-shard placement (0-based),
+// or ok=false when the group routes by hash (or is unknown) — callers then
+// rely on the engines' deterministic ShardFor route.
+func (rm *ReplicationManager) ShardOf(gid uint64) (shard int, ok bool) {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	g, found := rm.groups[gid]
+	if !found || g.def.Shard <= 0 {
+		return 0, false
+	}
+	return g.def.Shard - 1, true
 }
 
 // Members returns the group's current hosting nodes.

@@ -309,8 +309,16 @@ func patchSize(buf []byte) {
 }
 
 // Unmarshal decodes a single complete frame produced by Marshal. Fragmented
-// streams must go through Reader instead.
+// streams must go through Reader instead. The decoded message owns copies
+// of its byte fields and is safe to retain past the frame.
 func Unmarshal(frame []byte) (Message, error) {
+	return unmarshal(frame, false)
+}
+
+// unmarshal decodes a frame; with zc the message's byte fields (Body,
+// ObjectKey, service context data) are views into frame and die with it —
+// the pooled read path pairs this with ReleaseFrame.
+func unmarshal(frame []byte, zc bool) (Message, error) {
 	if len(frame) < HeaderLen {
 		return nil, cdr.ErrTruncated
 	}
@@ -327,6 +335,7 @@ func Unmarshal(frame []byte) (Message, error) {
 	}
 	t := MsgType(frame[7])
 	d := cdr.NewDecoder(frame, order)
+	d.SetZeroCopy(zc)
 	if _, err := d.ReadRaw(HeaderLen); err != nil {
 		return nil, err
 	}

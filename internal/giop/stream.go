@@ -3,6 +3,7 @@ package giop
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"repro/internal/cdr"
 )
@@ -82,6 +83,36 @@ func (w *Writer) WriteMessage(m Message) error {
 	return nil
 }
 
+// --- read-side frame pool ----------------------------------------------------
+
+// framePool recycles read-side frame buffers, mirroring the encoder pool in
+// package cdr (GetEncoder/Release): a steady-state server reads every
+// request into a recycled buffer instead of allocating one per frame.
+// Buffers above maxPooledFrame are left to the GC so one huge state-transfer
+// frame does not stay pinned in the pool forever.
+const maxPooledFrame = 1 << 17
+
+var framePool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+
+func getFrame(n int) []byte {
+	bp := framePool.Get().(*[]byte)
+	if cap(*bp) < n {
+		*bp = make([]byte, n)
+	}
+	return (*bp)[:n]
+}
+
+// ReleaseFrame returns a frame obtained from ReadMessagePooled to the pool.
+// The message decoded from it — and every byte slice aliasing it (Body,
+// ObjectKey, service context data) — must be dead by then. nil is a no-op.
+func ReleaseFrame(frame []byte) {
+	if frame == nil || cap(frame) > maxPooledFrame {
+		return
+	}
+	frame = frame[:0]
+	framePool.Put(&frame)
+}
+
 // Reader decodes GIOP messages from a byte stream, reassembling fragments.
 type Reader struct {
 	r   io.Reader
@@ -92,32 +123,62 @@ type Reader struct {
 func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
 
 // ReadMessage reads the next complete message, transparently stitching
-// Fragment continuations onto their initial frame.
+// Fragment continuations onto their initial frame. The frame is heap
+// allocated and owned by the message: use this when the message escapes to
+// callers with no lifecycle (client replies). Dispatch loops with a clear
+// end-of-request point should prefer ReadMessagePooled.
 func (r *Reader) ReadMessage() (Message, error) {
-	frame, more, err := r.readFrame()
+	m, _, err := r.readMessage(func(n int) []byte { return make([]byte, n) }, false)
+	return m, err
+}
+
+// ReadMessagePooled is ReadMessage with the frame taken from the package
+// frame pool and decoded zero-copy: the message's byte fields are views
+// into the returned frame. The caller must hand the frame to ReleaseFrame
+// once the message and everything aliasing it are dead. On error no frame
+// is retained and there is nothing to release.
+func (r *Reader) ReadMessagePooled() (Message, []byte, error) {
+	return r.readMessage(getFrame, true)
+}
+
+func (r *Reader) readMessage(alloc func(int) []byte, zc bool) (Message, []byte, error) {
+	frame, more, err := r.readFrame(alloc)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	fail := func(err error) (Message, []byte, error) {
+		ReleaseFrame(frame)
+		return nil, nil, err
 	}
 	if MsgType(frame[7]) == MsgFragment {
-		return nil, ErrOrphanFrag
+		return fail(ErrOrphanFrag)
 	}
 	for more {
-		frag, m, err := r.readFrame()
+		// Fragment continuations append past the pooled buffer's capacity;
+		// the reallocation abandons it. Reassembly is the rare path — per
+		// frame pooling is aimed at the steady single-frame case.
+		frag, m, err := r.readFrame(getFrame)
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		if MsgType(frag[7]) != MsgFragment {
-			return nil, fmt.Errorf("giop: expected Fragment, got %v", MsgType(frag[7]))
+			ReleaseFrame(frag)
+			return fail(fmt.Errorf("giop: expected Fragment, got %v", MsgType(frag[7])))
 		}
 		frame = append(frame, frag[HeaderLen:]...)
+		ReleaseFrame(frag)
 		more = m
 	}
 	frame[6] &^= flagMoreFrags
 	patchSize(frame)
-	return Unmarshal(frame)
+	m, err := unmarshal(frame, zc)
+	if err != nil {
+		return fail(err)
+	}
+	return m, frame, nil
 }
 
-func (r *Reader) readFrame() (frame []byte, moreFrags bool, err error) {
+func (r *Reader) readFrame(alloc func(int) []byte) (frame []byte, moreFrags bool, err error) {
 	if _, err := io.ReadFull(r.r, r.hdr[:]); err != nil {
 		return nil, false, err
 	}
@@ -135,7 +196,7 @@ func (r *Reader) readFrame() (frame []byte, moreFrags bool, err error) {
 	if size > MaxMessageSize {
 		return nil, false, ErrTooLarge
 	}
-	frame = make([]byte, HeaderLen+int(size))
+	frame = alloc(HeaderLen + int(size))
 	copy(frame, r.hdr[:])
 	if _, err := io.ReadFull(r.r, frame[HeaderLen:]); err != nil {
 		return nil, false, err

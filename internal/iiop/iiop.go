@@ -33,6 +33,13 @@ type Dialer func(host string, port uint16) (net.Conn, error)
 
 // Handler processes inbound requests on a server endpoint. Implementations
 // must be safe for concurrent calls.
+//
+// Ownership: the request and every byte slice reachable from it (Body,
+// ObjectKey, service context data) are backed by a pooled frame that is
+// recycled after HandleRequest returns and the reply has been written. A
+// handler that wants any of those bytes past that point must copy them; the
+// reply it returns must not alias the request (building it with the cdr
+// encoder or orb.BuildReply always copies).
 type Handler interface {
 	// HandleRequest services one request. For oneway requests (response
 	// flags 0) the returned reply is discarded and may be nil.
@@ -395,15 +402,18 @@ func (s *Server) serveConn(conn net.Conn) {
 	var reqWG sync.WaitGroup
 	defer reqWG.Wait()
 	for {
-		m, err := r.ReadMessage()
+		// Requests read into pooled frames; each frame is recycled once its
+		// request is fully served (see the Handler ownership contract).
+		m, frame, err := r.ReadMessagePooled()
 		if err != nil {
 			return
 		}
 		switch v := m.(type) {
 		case *giop.Request:
 			reqWG.Add(1)
-			go func(req *giop.Request) {
+			go func(req *giop.Request, frame []byte) {
 				defer reqWG.Done()
+				defer giop.ReleaseFrame(frame)
 				rep := s.handler.HandleRequest(req)
 				if req.ResponseFlags == giop.ResponseNone || rep == nil {
 					return
@@ -412,7 +422,7 @@ func (s *Server) serveConn(conn net.Conn) {
 				wmu.Lock()
 				_ = w.WriteMessage(rep)
 				wmu.Unlock()
-			}(v)
+			}(v, frame)
 		case *giop.LocateRequest:
 			rep := s.handler.HandleLocate(v)
 			if rep == nil {
@@ -422,14 +432,19 @@ func (s *Server) serveConn(conn net.Conn) {
 			wmu.Lock()
 			_ = w.WriteMessage(rep)
 			wmu.Unlock()
+			giop.ReleaseFrame(frame)
 		case *giop.CancelRequest:
 			// Cancellation is advisory in GIOP; the handler may already be
 			// running. Nothing to do in this implementation.
+			giop.ReleaseFrame(frame)
 		case *giop.CloseConnection:
+			giop.ReleaseFrame(frame)
 			return
 		case *giop.MessageError:
+			giop.ReleaseFrame(frame)
 			return
 		default:
+			giop.ReleaseFrame(frame)
 			wmu.Lock()
 			_ = w.WriteMessage(&giop.MessageError{})
 			wmu.Unlock()

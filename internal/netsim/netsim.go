@@ -76,8 +76,10 @@ type Fabric struct {
 // DropFilter decides whether one datagram should be dropped (return true to
 // drop). It runs with the fabric lock held and must not call back into the
 // fabric; payload must not be retained or mutated. Chaos schedules use it
-// for targeted drops (e.g. token or batch frames).
-type DropFilter func(from, to string, payload []byte) bool
+// for targeted drops (e.g. token or batch frames); port identifies the
+// destination endpoint, which under the sharded transport distinguishes the
+// ring a frame belongs to (shard i lives on its own port on every node).
+type DropFilter func(from, to string, port uint16, payload []byte) bool
 
 type nodeState struct {
 	name      string
@@ -669,7 +671,7 @@ func (d *DGram) Send(host string, port uint16, payload []byte) error {
 		f.mu.Unlock()
 		return nil // silently lost, like UDP
 	}
-	if f.filter != nil && f.filter(d.addr.Node, host, payload) {
+	if f.filter != nil && f.filter(d.addr.Node, host, port, payload) {
 		f.mu.Unlock()
 		return nil // targeted drop (chaos injection)
 	}

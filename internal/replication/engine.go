@@ -36,6 +36,14 @@ type Config struct {
 	// Ring is the totem endpoint the engine communicates through. The
 	// caller retains ownership (and stops it after the engine).
 	Ring *totem.Ring
+	// Rings, when set, is the sharded transport pool: R independent totem
+	// rings (distinct ports, distinct tokens) that the engine fans in
+	// events from. Each object group lives entirely on one shard
+	// (ShardFor(gid, R), or its explicit pin), so per-group total order is
+	// preserved while independent groups proceed in parallel. Setting only
+	// Ring is equivalent to Rings = []*totem.Ring{Ring}; with both set,
+	// Rings wins and Ring is ignored.
+	Rings []*totem.Ring
 	// Notifier receives fault reports derived from membership changes
 	// (optional).
 	Notifier *fault.Notifier
@@ -58,6 +66,12 @@ type Config struct {
 }
 
 func (c *Config) fill() {
+	if len(c.Rings) == 0 && c.Ring != nil {
+		c.Rings = []*totem.Ring{c.Ring}
+	}
+	if len(c.Rings) > 0 {
+		c.Ring = c.Rings[0]
+	}
 	if c.CallTimeout <= 0 {
 		c.CallTimeout = 5 * time.Second
 	}
@@ -107,11 +121,18 @@ type Engine struct {
 	cfg  Config
 	stat engineStats
 
-	mu          sync.Mutex
+	// mu is a RWMutex because the delivery fan-in is read-dominated: every
+	// ordered message does a replicaFor lookup (and every proxy call an
+	// ensureReplyJoined check), while the map itself changes only on group
+	// creation/removal. With R shards delivering concurrently the old
+	// exclusive Mutex serialized the shards against each other
+	// (BenchmarkEngineLookupContention measures the difference).
+	mu          sync.RWMutex
 	hosted      map[uint64]*replica
 	pending     map[opKey]*pendingCall
 	replyJoined map[uint64]bool
-	rootSeq     uint64
+	shardPin    map[uint64]int // explicit gid→shard placements (0-based)
+	rootSeq     atomic.Uint64
 	ringMembers []string
 	stopped     bool
 
@@ -125,30 +146,79 @@ type pendingCall struct {
 	ch          chan *msgReply
 }
 
-// NewEngine creates an engine bound to a started ring.
+// NewEngine creates an engine bound to one started ring (Config.Ring) or a
+// sharded pool of them (Config.Rings).
 func NewEngine(cfg Config) (*Engine, error) {
 	cfg.fill()
-	if cfg.Ring == nil {
-		return nil, errors.New("replication: Config.Ring required")
+	if len(cfg.Rings) == 0 {
+		return nil, errors.New("replication: Config.Ring or Config.Rings required")
+	}
+	for _, r := range cfg.Rings {
+		if r == nil {
+			return nil, errors.New("replication: nil ring in Config.Rings")
+		}
 	}
 	if cfg.Node == "" {
-		cfg.Node = cfg.Ring.Node()
+		cfg.Node = cfg.Rings[0].Node()
 	}
 	e := &Engine{
 		cfg:         cfg,
 		hosted:      make(map[uint64]*replica),
 		pending:     make(map[opKey]*pendingCall),
 		replyJoined: make(map[uint64]bool),
+		shardPin:    make(map[uint64]int),
 		stopCh:      make(chan struct{}),
 	}
 	return e, nil
 }
 
-// Start launches the delivery loop and the sync-retry maintenance timer.
+// Start launches one delivery loop per transport shard and the sync-retry
+// maintenance timer.
 func (e *Engine) Start() {
-	e.wg.Add(2)
-	go e.run()
+	e.wg.Add(len(e.cfg.Rings) + 1)
+	for i, ring := range e.cfg.Rings {
+		go e.runRing(ring, i)
+	}
 	go e.syncRetryLoop()
+}
+
+// Shards returns the number of transport shards the engine fans in from.
+func (e *Engine) Shards() int { return len(e.cfg.Rings) }
+
+// PinShard records an explicit gid→shard placement so every subsequent
+// join, multicast, and reply subscription for the group uses that ring.
+// Out-of-range shards clamp into the pool (a domain restarted with fewer
+// shards must still reach groups pinned under the old layout).
+func (e *Engine) PinShard(gid uint64, shard int) {
+	if shard < 0 {
+		shard = 0
+	}
+	if shard >= len(e.cfg.Rings) {
+		shard = len(e.cfg.Rings) - 1
+	}
+	e.mu.Lock()
+	e.shardPin[gid] = shard
+	e.mu.Unlock()
+}
+
+// shardOf resolves a group's transport shard: explicit pin first, then the
+// deterministic hash route.
+func (e *Engine) shardOf(gid uint64) int {
+	if len(e.cfg.Rings) == 1 {
+		return 0
+	}
+	e.mu.RLock()
+	pin, ok := e.shardPin[gid]
+	e.mu.RUnlock()
+	if ok {
+		return pin
+	}
+	return ShardFor(gid, len(e.cfg.Rings))
+}
+
+// ringFor returns the totem ring carrying the group's traffic.
+func (e *Engine) ringFor(gid uint64) *totem.Ring {
+	return e.cfg.Rings[e.shardOf(gid)]
 }
 
 // syncRetryLoop re-requests state transfer for replicas stuck syncing —
@@ -177,7 +247,7 @@ func (e *Engine) syncRetryLoop() {
 		}
 		for _, gid := range stuck {
 			if payload := e.encodeOrReport(&msgStateReq{GroupID: gid, From: e.cfg.Node}); payload != nil {
-				_ = e.cfg.Ring.Multicast(invGroupName(gid), payload)
+				_ = e.ringFor(gid).Multicast(invGroupName(gid), payload)
 			}
 		}
 	}
@@ -281,10 +351,14 @@ func (e *Engine) addHosted(def GroupDef, r *replica) error {
 }
 
 func (e *Engine) startHosting(def GroupDef, r *replica) error {
-	if err := e.cfg.Ring.JoinGroup(invGroupName(def.ID)); err != nil {
+	if def.Shard > 0 {
+		e.PinShard(def.ID, def.Shard-1)
+	}
+	ring := e.ringFor(def.ID)
+	if err := ring.JoinGroup(invGroupName(def.ID)); err != nil {
 		return fmt.Errorf("replication: join group: %w", err)
 	}
-	if err := e.cfg.Ring.JoinGroup(repGroupName(def.ID)); err != nil {
+	if err := ring.JoinGroup(repGroupName(def.ID)); err != nil {
 		return fmt.Errorf("replication: join reply group: %w", err)
 	}
 	e.mu.Lock()
@@ -311,7 +385,7 @@ func (e *Engine) RemoveReplica(gid uint64) {
 		return
 	}
 	r.q.close()
-	_ = e.cfg.Ring.LeaveGroup(invGroupName(gid))
+	_ = e.ringFor(gid).LeaveGroup(invGroupName(gid))
 	// Stay in the reply group: this node may still act as a client.
 }
 
@@ -326,9 +400,9 @@ type GroupStatus struct {
 
 // GroupStatus returns the replica's status, or false if not hosted here.
 func (e *Engine) GroupStatus(gid uint64) (GroupStatus, bool) {
-	e.mu.Lock()
+	e.mu.RLock()
 	r, ok := e.hosted[gid]
-	e.mu.Unlock()
+	e.mu.RUnlock()
 	if !ok {
 		return GroupStatus{}, false
 	}
@@ -336,28 +410,37 @@ func (e *Engine) GroupStatus(gid uint64) (GroupStatus, bool) {
 }
 
 func (e *Engine) replicaFor(gid uint64) *replica {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return e.hosted[gid]
 }
 
 func (e *Engine) ensureReplyJoined(gid uint64) {
-	e.mu.Lock()
+	e.mu.RLock()
 	joined := e.replyJoined[gid]
+	e.mu.RUnlock()
+	if joined {
+		return
+	}
+	e.mu.Lock()
+	joined = e.replyJoined[gid]
 	if !joined {
 		e.replyJoined[gid] = true
 	}
 	stopped := e.stopped
 	e.mu.Unlock()
 	if !joined && !stopped {
-		_ = e.cfg.Ring.JoinGroup(repGroupName(gid))
+		_ = e.ringFor(gid).JoinGroup(repGroupName(gid))
 	}
 }
 
-// run is the delivery loop: it demultiplexes the totally ordered event
-// stream to hosted replicas and pending client calls. It must never block
-// on servant execution — that happens in per-replica executor goroutines.
-func (e *Engine) run() {
+// runRing is the per-shard delivery loop: it demultiplexes one ring's
+// totally ordered event stream to hosted replicas and pending client calls.
+// It must never block on servant execution — that happens in per-replica
+// executor goroutines. With R shards, R of these loops run concurrently;
+// per-group order is safe because a group's traffic arrives on exactly one
+// ring and its replica executes from a single FIFO taskQueue.
+func (e *Engine) runRing(ring *totem.Ring, shard int) {
 	defer e.wg.Done()
 	for {
 		var ev totem.Event
@@ -365,7 +448,7 @@ func (e *Engine) run() {
 		select {
 		case <-e.stopCh:
 			return
-		case ev, ok = <-e.cfg.Ring.Events():
+		case ev, ok = <-ring.Events():
 			if !ok {
 				return
 			}
@@ -376,7 +459,13 @@ func (e *Engine) run() {
 		case totem.GroupView:
 			e.onGroupView(v)
 		case totem.ViewChange:
-			e.onRingView(v)
+			// All shards share one fate domain (a node crash silences every
+			// ring it runs), so shard 0 alone feeds node-level fault
+			// reports — R near-simultaneous ViewChanges would otherwise
+			// push R duplicate crash reports per dead node.
+			if shard == 0 {
+				e.onRingView(v)
+			}
 		}
 	}
 }
@@ -409,7 +498,7 @@ func (e *Engine) onDeliver(d totem.Deliver) {
 }
 
 func (e *Engine) onGroupView(gv totem.GroupView) {
-	e.mu.Lock()
+	e.mu.RLock()
 	var target *replica
 	for gid, r := range e.hosted {
 		if gv.Group == invGroupName(gid) {
@@ -417,7 +506,7 @@ func (e *Engine) onGroupView(gv totem.GroupView) {
 			break
 		}
 	}
-	e.mu.Unlock()
+	e.mu.RUnlock()
 	if target != nil {
 		target.q.push(taskView{members: gv.Members})
 	}
@@ -523,10 +612,7 @@ func (e *Engine) unregisterCall(key opKey) {
 }
 
 func (e *Engine) nextRootSeq() uint64 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.rootSeq++
-	return e.rootSeq
+	return e.rootSeq.Add(1)
 }
 
 // encodeOrReport marshals a wire message, reporting (rather than panicking

@@ -1,0 +1,75 @@
+package replication
+
+import (
+	"sync"
+	"testing"
+)
+
+// The delivery fan-in does a replicaFor map lookup for every ordered
+// message on every shard. These benchmarks pin down why the engine guards
+// its group map with a RWMutex: under multi-shard fan-in (R delivery loops
+// in parallel) read-locks proceed concurrently while an exclusive Mutex
+// serializes the shards against each other. Compare:
+//
+//	go test -bench 'EngineLookup' -cpu 1,4,8 ./internal/replication
+//
+// The mutex baseline flatlines (or regresses) with more CPUs; the RWMutex
+// path scales with them.
+
+func benchEngine(groups int) *Engine {
+	e := &Engine{
+		hosted:      make(map[uint64]*replica),
+		pending:     make(map[opKey]*pendingCall),
+		replyJoined: make(map[uint64]bool),
+		shardPin:    make(map[uint64]int),
+	}
+	for gid := uint64(1); gid <= uint64(groups); gid++ {
+		e.hosted[gid] = &replica{}
+		e.replyJoined[gid] = true
+	}
+	return e
+}
+
+// BenchmarkEngineLookupContention exercises the real read path (replicaFor
+// + the ensureReplyJoined fast path) from parallel goroutines, as R shard
+// delivery loops would.
+func BenchmarkEngineLookupContention(b *testing.B) {
+	e := benchEngine(8)
+	b.RunParallel(func(pb *testing.PB) {
+		gid := uint64(1)
+		for pb.Next() {
+			gid = gid%8 + 1
+			if e.replicaFor(gid) == nil {
+				b.Fatal("missing replica")
+			}
+			e.ensureReplyJoined(gid)
+		}
+	})
+}
+
+// BenchmarkEngineLookupMutexBaseline is the pre-sharding discipline: the
+// same lookups behind one exclusive Mutex.
+func BenchmarkEngineLookupMutexBaseline(b *testing.B) {
+	hosted := make(map[uint64]*replica)
+	replyJoined := make(map[uint64]bool)
+	for gid := uint64(1); gid <= 8; gid++ {
+		hosted[gid] = &replica{}
+		replyJoined[gid] = true
+	}
+	var mu sync.Mutex
+	b.RunParallel(func(pb *testing.PB) {
+		gid := uint64(1)
+		for pb.Next() {
+			gid = gid%8 + 1
+			mu.Lock()
+			r := hosted[gid]
+			mu.Unlock()
+			if r == nil {
+				b.Fatal("missing replica")
+			}
+			mu.Lock()
+			_ = replyJoined[gid]
+			mu.Unlock()
+		}
+	})
+}

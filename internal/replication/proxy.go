@@ -34,6 +34,20 @@ func WithVotes(n int) ProxyOption {
 	}
 }
 
+// WithShard pins the target group to the given transport shard (0-based)
+// instead of the deterministic hash route. Clients need this only for
+// groups created with an explicit ftcorba.Properties.Shard placement —
+// core.Domain.Proxy applies it automatically from the Replication
+// Manager's record. The pin is recorded engine-wide so retransmissions and
+// the reply subscription use the same ring.
+func WithShard(shard int) ProxyOption {
+	return func(p *Proxy) {
+		if shard >= 0 {
+			p.shard = shard + 1
+		}
+	}
+}
+
 // WithTimeout overrides the engine's call timeout for this proxy.
 func WithTimeout(d time.Duration) ProxyOption {
 	return func(p *Proxy) {
@@ -62,6 +76,7 @@ type Proxy struct {
 	eng      *Engine
 	gid      uint64
 	votes    int
+	shard    int // 1-based explicit shard pin; 0 = engine routing
 	timeout  time.Duration
 	retry    time.Duration // base retransmission interval
 	maxRetry time.Duration // backoff cap
@@ -80,6 +95,9 @@ func (e *Engine) Proxy(ref GroupRef, opts ...ProxyOption) *Proxy {
 	}
 	for _, opt := range opts {
 		opt(p)
+	}
+	if p.shard > 0 {
+		e.PinShard(p.gid, p.shard-1)
 	}
 	return p
 }
@@ -151,7 +169,7 @@ func (p *Proxy) call(op string, args []cdr.Value, oneway bool) ([]cdr.Value, err
 	}
 
 	if oneway {
-		return nil, p.eng.cfg.Ring.Multicast(invGroupName(p.gid), payload)
+		return nil, p.eng.ringFor(p.gid).Multicast(invGroupName(p.gid), payload)
 	}
 
 	// Subscribe to the group's reply stream before sending, so the reply
@@ -164,7 +182,7 @@ func (p *Proxy) call(op string, args []cdr.Value, oneway bool) ([]cdr.Value, err
 	}
 	defer p.eng.unregisterCall(key)
 
-	if err := p.eng.cfg.Ring.Multicast(invGroupName(p.gid), payload); err != nil {
+	if err := p.eng.ringFor(p.gid).Multicast(invGroupName(p.gid), payload); err != nil {
 		return nil, err
 	}
 
@@ -187,7 +205,7 @@ func (p *Proxy) call(op string, args []cdr.Value, oneway bool) ([]cdr.Value, err
 			// by MaxRetryInterval) so a partitioned or failing-over group is
 			// not hammered at a fixed rate by every blocked client.
 			p.eng.stat.retries.Add(1)
-			if err := p.eng.cfg.Ring.Multicast(invGroupName(p.gid), payload); err != nil {
+			if err := p.eng.ringFor(p.gid).Multicast(invGroupName(p.gid), payload); err != nil {
 				return nil, err
 			}
 			attempt++

@@ -382,13 +382,13 @@ func (r *replica) sendCheckpoint(reason uint8) {
 		UpToMsgID: upTo,
 		State:     state,
 	}); payload != nil {
-		_ = r.eng.cfg.Ring.Multicast(invGroupName(r.def.ID), payload)
+		_ = r.eng.ringFor(r.def.ID).Multicast(invGroupName(r.def.ID), payload)
 	}
 }
 
 func (r *replica) multicastReply(rep *msgReply) {
 	if payload := r.eng.encodeOrReport(rep); payload != nil {
-		_ = r.eng.cfg.Ring.Multicast(repGroupName(r.def.ID), payload)
+		_ = r.eng.ringFor(r.def.ID).Multicast(repGroupName(r.def.ID), payload)
 	}
 }
 
@@ -600,7 +600,7 @@ func (r *replica) sendFulfillments() {
 			Oneway:      true,
 			Fulfillment: true,
 		}); payload != nil {
-			_ = r.eng.cfg.Ring.Multicast(invGroupName(r.def.ID), payload)
+			_ = r.eng.ringFor(r.def.ID).Multicast(invGroupName(r.def.ID), payload)
 		}
 	}
 }

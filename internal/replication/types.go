@@ -84,6 +84,11 @@ type GroupDef struct {
 	// checkpoints (cold passive log truncation and warm passive full-state
 	// refresh). Zero means 16.
 	CheckpointEvery int
+	// Shard pins the group to a transport shard, 1-based so the Go zero
+	// value keeps today's meaning: 0 selects the deterministic hash route
+	// (ShardFor), N>0 pins the group to ring N-1 of the engine's pool.
+	// Ignored (treated as shard 0) when the engine runs a single ring.
+	Shard int
 }
 
 func (d *GroupDef) fill() {
@@ -95,6 +100,22 @@ func (d *GroupDef) fill() {
 // GroupRef identifies a target group for client invocations.
 type GroupRef struct {
 	ID uint64
+}
+
+// ShardFor is the deterministic group→shard router: a Fibonacci-hash of the
+// group id folded onto [0, shards). Every node computes the same value from
+// the same inputs, so all engines in a domain configured with the same ring
+// pool agree on each group's transport shard without coordination. Explicit
+// placement (GroupDef.Shard / ftcorba.Properties.Shard) overrides it.
+func ShardFor(gid uint64, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	// Multiplying by the 64-bit golden-ratio constant spreads consecutive
+	// gids (the RM hands them out sequentially) across shards; the high
+	// bits carry the mix, so fold them down before the modulus.
+	h := gid * 0x9e3779b97f4a7c15
+	return int((h >> 33) % uint64(shards))
 }
 
 // invGroupName is the totem process group carrying a group's invocations
