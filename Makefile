@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check race bench benchcmp test build vet chaos
+.PHONY: check race bench benchcmp test build vet chaos slo slo-smoke
 
 ## check: vet + build + full test suite (the tier-1 gate)
 check: vet build test
@@ -25,12 +25,26 @@ race:
 chaos:
 	CHAOS_SEEDS=7 $(GO) test -race -count=1 ./internal/chaos
 
-## bench: run the PR2 hot-path + PR5 sharded-transport benchmarks and
-## snapshot them to BENCH_pr5.json (BENCH_pr2.json stays the frozen PR2
-## baseline that benchcmp gates against)
+## bench: snapshot the PR2 hot-path + PR5 sharded-transport benchmarks and
+## the full-profile SLO workload percentiles (~10^6-client population over
+## 1024 groups plus a 6-episode chaos phase, ~75s) into BENCH_pr6.json
 bench:
-	$(GO) test -run '^$$' -bench 'PR2|PR5' -benchmem -timeout 30m ./... | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_pr5.json
+	$(GO) test -run '^$$' -bench 'PR2|PR5' -benchmem -timeout 30m ./... | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_pr6.json
+	$(GO) run ./cmd/ftbench -e slo -seed 1 -json BENCH_pr6.json
 
-## benchcmp: fail on >20% ns/op regression vs the PR2 baseline snapshot
+## benchcmp: fail on >20% adverse drift vs the frozen baselines, merged
+## first-match-wins — BENCH_pr2.json then BENCH_pr5.json for the
+## micro-benchmarks, BENCH_pr6_base.json for the SLO percentiles
+## (p99_us and goodput_ops gate; p50/p999/blackout are informational)
 benchcmp:
-	$(GO) run ./cmd/benchcmp -threshold 20 BENCH_pr2.json BENCH_pr5.json
+	$(GO) run ./cmd/benchcmp -threshold 20 BENCH_pr2.json,BENCH_pr5.json,BENCH_pr6_base.json BENCH_pr6.json
+
+## slo: re-run just the SLO evaluation, upserting into BENCH_pr6.json
+slo:
+	$(GO) run ./cmd/ftbench -e slo -seed 1 -json BENCH_pr6.json
+
+## slo-smoke: seconds-long tail-latency sanity gate (two seeds); fails if
+## the calm-phase p999 blows past 500ms
+slo-smoke:
+	$(GO) run ./cmd/ftbench -e slo -smoke -seed 1 -p999max 500ms
+	$(GO) run ./cmd/ftbench -e slo -smoke -seed 2 -p999max 500ms

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+func i64(v int64) *int64 { return &v }
+
+// pick returns the verdict for one metric name, failing the test if absent.
+func pick(t *testing.T, vs []verdict, metric string) verdict {
+	t.Helper()
+	for _, v := range vs {
+		if v.metric == metric {
+			return v
+		}
+	}
+	t.Fatalf("no verdict for %s in %+v", metric, vs)
+	return verdict{}
+}
+
+func TestCompareLowerIsBetter(t *testing.T) {
+	base := record{Name: "PR2Pipelined", NsPerOp: 1000, AllocsOp: i64(10)}
+	head := regexp.MustCompile("PR2")
+
+	// 30% slower on a headline bench: ns/op fails, allocs/op (unchanged) passes.
+	vs := compare(base, record{Name: "PR2Pipelined", NsPerOp: 1300, AllocsOp: i64(10)}, 20, head)
+	if v := pick(t, vs, "ns/op"); !v.fail || !v.gated || v.delta < 29 || v.delta > 31 {
+		t.Fatalf("ns/op verdict %+v", v)
+	}
+	if v := pick(t, vs, "allocs/op"); v.fail {
+		t.Fatalf("allocs/op verdict %+v", v)
+	}
+
+	// 30% faster must never fail.
+	vs = compare(base, record{Name: "PR2Pipelined", NsPerOp: 700, AllocsOp: i64(10)}, 20, head)
+	if v := pick(t, vs, "ns/op"); v.fail || v.delta > 0 {
+		t.Fatalf("improvement flagged: %+v", v)
+	}
+
+	// Allocation growth gates even off-headline.
+	base.Name = "MicroLoop"
+	vs = compare(base, record{Name: "MicroLoop", NsPerOp: 5000, AllocsOp: i64(13)}, 20, head)
+	if v := pick(t, vs, "ns/op"); v.fail || v.gated {
+		t.Fatalf("off-headline ns/op must not gate: %+v", v)
+	}
+	if v := pick(t, vs, "allocs/op"); !v.fail {
+		t.Fatalf("allocs/op 10→13 must fail at 20%%: %+v", v)
+	}
+}
+
+func TestCompareHigherIsBetter(t *testing.T) {
+	base := record{Name: "slo/calm", NsPerOp: 1, Extra: map[string]float64{"goodput_ops": 1000, "p99_us": 800}}
+	head := regexp.MustCompile("PR2")
+
+	// Goodput dropping 30% is an adverse drift of +30% and fails.
+	vs := compare(base, record{Name: "slo/calm", NsPerOp: 1,
+		Extra: map[string]float64{"goodput_ops": 700, "p99_us": 800}}, 20, head)
+	if v := pick(t, vs, "goodput_ops"); !v.fail || v.delta < 29 || v.delta > 31 {
+		t.Fatalf("goodput verdict %+v", v)
+	}
+	// Goodput rising must not fail.
+	vs = compare(base, record{Name: "slo/calm", NsPerOp: 1,
+		Extra: map[string]float64{"goodput_ops": 1400, "p99_us": 800}}, 20, head)
+	if v := pick(t, vs, "goodput_ops"); v.fail || v.delta > 0 {
+		t.Fatalf("goodput improvement flagged: %+v", v)
+	}
+	// p99 latency regression fails; p999 never gates.
+	vs = compare(base, record{Name: "slo/calm", NsPerOp: 1,
+		Extra: map[string]float64{"p99_us": 1200, "p999_us": 9999, "goodput_ops": 1000}}, 20, head)
+	if v := pick(t, vs, "p99_us"); !v.fail {
+		t.Fatalf("p99 regression must fail: %+v", v)
+	}
+	for _, v := range vs {
+		if v.metric == "p999_us" && (v.gated || v.fail) {
+			t.Fatalf("p999_us must never gate: %+v", v)
+		}
+	}
+}
+
+func TestCompareMissingMetrics(t *testing.T) {
+	// Metrics absent on either side are skipped, not failed.
+	base := record{Name: "x", NsPerOp: 100}
+	cand := record{Name: "x", NsPerOp: 100, AllocsOp: i64(50),
+		Extra: map[string]float64{"p99_us": 1}}
+	vs := compare(base, cand, 20, nil)
+	if len(vs) != 1 || vs[0].metric != "ns/op" {
+		t.Fatalf("want only ns/op compared, got %+v", vs)
+	}
+	// A zero baseline with a nonzero candidate is an infinite adverse drift.
+	base.Extra = map[string]float64{"p99_us": 0}
+	cand.Extra["p99_us"] = 5
+	vs = compare(base, cand, 20, nil)
+	if v := pick(t, vs, "p99_us"); !v.fail {
+		t.Fatalf("0→5 p99 must fail: %+v", v)
+	}
+}
+
+func TestLoadMergedFirstWins(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.json")
+	b := filepath.Join(dir, "b.json")
+	os.WriteFile(a, []byte(`[{"name":"shared","iters":1,"ns_op":100},{"name":"onlyA","iters":1,"ns_op":1}]`), 0o644)
+	os.WriteFile(b, []byte(`[{"name":"shared","iters":1,"ns_op":999},{"name":"onlyB","iters":1,"ns_op":2}]`), 0o644)
+	m, order, err := loadMerged(a + "," + b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["shared"].NsPerOp != 100 {
+		t.Fatalf("first file must win: shared ns/op %v", m["shared"].NsPerOp)
+	}
+	want := []string{"shared", "onlyA", "onlyB"}
+	if len(order) != len(want) {
+		t.Fatalf("order %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order %v, want %v", order, want)
+		}
+	}
+	if _, _, err := loadMerged(a + ",missing.json"); err == nil {
+		t.Fatal("missing file must error")
+	}
+}

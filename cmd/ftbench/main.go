@@ -1,15 +1,20 @@
-// Command ftbench runs the evaluation experiments (E1–E8, T1) and prints
-// their tables. See DESIGN.md for the experiment index and EXPERIMENTS.md
-// for recorded results.
+// Command ftbench runs the evaluation experiments (E1–E8, T1, SLO) and
+// prints their tables. See DESIGN.md for the experiment index and
+// EXPERIMENTS.md for recorded results.
 //
 // Usage:
 //
-//	ftbench               # run everything at full scale
-//	ftbench -quick        # smaller run sizes
-//	ftbench -e e3,e7      # selected experiments
+//	ftbench                    # run everything at full scale
+//	ftbench -quick             # smaller run sizes
+//	ftbench -e e3,e7           # selected experiments
+//	ftbench -e slo -json BENCH_pr6.json
+//	                           # SLO workload; upsert percentile records
+//	ftbench -e slo -smoke -seed 2 -p999max 2s
+//	                           # CI smoke: seconds-long run, tail sanity gate
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,48 +26,117 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "use reduced run sizes")
-	exps := flag.String("e", "all", "comma-separated experiment ids (e1..e8,t1) or 'all'")
+	smoke := flag.Bool("smoke", false, "use seconds-long smoke run sizes (implies -quick)")
+	exps := flag.String("e", "all", "comma-separated experiment ids (e1..e8,t1,slo) or 'all'")
+	seed := flag.Int64("seed", 1, "workload seed for the slo experiment")
+	jsonOut := flag.String("json", "", "upsert the slo experiment's records into this benchjson snapshot")
+	p999max := flag.Duration("p999max", 0, "fail if the slo calm-phase p999 exceeds this (0 disables)")
 	flag.Parse()
 
 	scale := bench.FullScale
-	if *quick {
+	switch {
+	case *smoke:
+		scale = bench.Scale{Invocations: 8, Warmup: 2}
+	case *quick:
 		scale = bench.QuickScale
 	}
 
-	var runs []struct {
-		id string
-		fn func(bench.Scale) (*bench.Table, error)
-	}
-	if *exps == "all" {
-		for _, id := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "t1"} {
-			runs = append(runs, struct {
-				id string
-				fn func(bench.Scale) (*bench.Table, error)
-			}{id, bench.ByID[id]})
-		}
-	} else {
+	ids := []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "t1", "slo"}
+	if *exps != "all" {
+		ids = nil
 		for _, id := range strings.Split(*exps, ",") {
 			id = strings.TrimSpace(strings.ToLower(id))
-			fn, ok := bench.ByID[id]
-			if !ok {
-				fmt.Fprintf(os.Stderr, "ftbench: unknown experiment %q (have e1..e8, t1)\n", id)
+			if _, ok := bench.ByID[id]; !ok && id != "slo" {
+				fmt.Fprintf(os.Stderr, "ftbench: unknown experiment %q (have e1..e8, t1, slo)\n", id)
 				os.Exit(2)
 			}
-			runs = append(runs, struct {
-				id string
-				fn func(bench.Scale) (*bench.Table, error)
-			}{id, fn})
+			ids = append(ids, id)
 		}
 	}
 
-	for _, r := range runs {
+	for _, id := range ids {
 		start := time.Now()
-		table, err := r.fn(scale)
+		var table *bench.Table
+		var err error
+		if id == "slo" {
+			table, err = runSLO(scale, *seed, *jsonOut, *p999max)
+		} else {
+			table, err = bench.ByID[id](scale)
+		}
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "ftbench: %s failed: %v\n", r.id, err)
+			fmt.Fprintf(os.Stderr, "ftbench: %s failed: %v\n", id, err)
 			os.Exit(1)
 		}
 		table.Fprint(os.Stdout)
-		fmt.Printf("  (%s completed in %v)\n", r.id, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("  (%s completed in %v)\n", id, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// runSLO drives the SLO experiment with its extra plumbing: live progress,
+// the p999 sanity gate, and the snapshot upsert.
+func runSLO(scale bench.Scale, seed int64, jsonOut string, p999max time.Duration) (*bench.Table, error) {
+	progress := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+	table, recs, err := bench.SLOWorkloadSeeded(scale, seed, progress)
+	if err != nil {
+		return nil, err
+	}
+	if p999max > 0 {
+		for _, r := range recs {
+			if r.Name != "slo/calm" {
+				continue
+			}
+			if p999 := time.Duration(r.Extra["p999_us"] * 1e3); p999 > p999max {
+				return nil, fmt.Errorf("calm p999 %v exceeds -p999max %v", p999, p999max)
+			}
+		}
+	}
+	if jsonOut != "" {
+		if err := upsertRecords(jsonOut, recs); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "ftbench: wrote %d slo records to %s\n", len(recs), jsonOut)
+	}
+	return table, nil
+}
+
+// upsertRecords merges the records into a benchjson snapshot: existing
+// entries with the same name are replaced, everything else is preserved,
+// new names append at the end.
+func upsertRecords(path string, recs []bench.Record) error {
+	var out []json.RawMessage
+	byName := map[string]int{}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &out); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		for i, raw := range out {
+			var peek struct {
+				Name string `json:"name"`
+			}
+			if json.Unmarshal(raw, &peek) == nil {
+				byName[peek.Name] = i
+			}
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	for _, r := range recs {
+		raw, err := json.Marshal(r)
+		if err != nil {
+			return err
+		}
+		if i, ok := byName[r.Name]; ok {
+			out[i] = raw
+		} else {
+			byName[r.Name] = len(out)
+			out = append(out, raw)
+		}
+	}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
 }

@@ -327,4 +327,5 @@ var ByID = map[string]func(Scale) (*Table, error){
 	"e7":  E7PartitionRemerge,
 	"e8":  E8Approaches,
 	"t1":  T1Totem,
+	"slo": SLOWorkload,
 }

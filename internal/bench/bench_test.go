@@ -153,6 +153,38 @@ func TestT1Smoke(t *testing.T) {
 	checkTable(t, tab, 12) // 2 protocols x 3 sizes x 2 payloads
 }
 
+func TestSLOSmoke(t *testing.T) {
+	tab, recs, err := SLOWorkloadSeeded(smokeScale, 1, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// calm: all + 2 styles; chaos: all + calm-windows + per-kind rows (the
+	// 2-episode smoke schedule hits 1 or 2 distinct kinds) + 2 styles.
+	if len(tab.Rows) < 8 || len(tab.Rows) > 10 {
+		t.Fatalf("unexpected row count %d:\n%v", len(tab.Rows), tab.Rows)
+	}
+	checkTable(t, tab, len(tab.Rows))
+	if len(recs) != 2 || recs[0].Name != "slo/calm" || recs[1].Name != "slo/chaos" {
+		t.Fatalf("records: %+v", recs)
+	}
+	for _, r := range recs {
+		if r.Iters == 0 || r.NsPerOp <= 0 {
+			t.Fatalf("degenerate record %+v", r)
+		}
+		for _, key := range []string{"p50_us", "p99_us", "p999_us", "goodput_ops", "errors"} {
+			if _, ok := r.Extra[key]; !ok {
+				t.Fatalf("record %s missing %s: %+v", r.Name, key, r.Extra)
+			}
+		}
+	}
+	if recs[0].Extra["errors"] != 0 {
+		t.Fatalf("calm phase had %v errors", recs[0].Extra["errors"])
+	}
+	if _, ok := recs[1].Extra["blackout_p99_ms"]; !ok {
+		t.Fatalf("chaos record missing blackout_p99_ms: %+v", recs[1].Extra)
+	}
+}
+
 func TestTablePrinting(t *testing.T) {
 	tab := &Table{
 		ID:      "X",
@@ -172,7 +204,7 @@ func TestTablePrinting(t *testing.T) {
 }
 
 func TestByIDComplete(t *testing.T) {
-	for _, id := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "t1"} {
+	for _, id := range []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "t1", "slo"} {
 		if ByID[id] == nil {
 			t.Errorf("ByID missing %s", id)
 		}

@@ -82,14 +82,26 @@ func Generate(rng *rand.Rand, replicas []string, episodes int) Schedule {
 // more than one shard the episode space grows by EpShardPartition, which
 // targets a single ring of the pool.
 func GenerateSharded(rng *rand.Rand, replicas []string, shards, episodes int) Schedule {
-	kinds := episodeKinds
-	if shards > 1 {
-		kinds = shardedEpisodeKinds
+	kinds := make([]EpisodeKind, episodeKinds)
+	for k := range kinds {
+		kinds[k] = EpisodeKind(k)
 	}
+	if shards > 1 {
+		kinds = append(kinds, EpShardPartition)
+	}
+	return GenerateFrom(rng, replicas, shards, episodes, kinds)
+}
+
+// GenerateFrom derives a schedule whose episodes draw only from the given
+// kinds — the composition seam for harnesses (like internal/slo) that want
+// a specific fault mix rather than the full sweep. Victims and intensities
+// come from the rng exactly as in Generate, so a (seed, kinds) pair always
+// yields the same schedule.
+func GenerateFrom(rng *rand.Rand, replicas []string, shards, episodes int, kinds []EpisodeKind) Schedule {
 	s := Schedule{}
 	for i := 0; i < episodes; i++ {
 		ep := Episode{
-			Kind:    EpisodeKind(rng.Intn(kinds)),
+			Kind:    kinds[rng.Intn(len(kinds))],
 			Victim:  replicas[rng.Intn(len(replicas))],
 			Invokes: 2 + rng.Intn(3),
 		}
@@ -103,7 +115,9 @@ func GenerateSharded(rng *rand.Rand, replicas []string, shards, episodes int) Sc
 		case EpTokenDrop:
 			ep.Drops = 2 + rng.Intn(6)
 		case EpShardPartition:
-			ep.Shard = rng.Intn(shards)
+			if shards > 1 {
+				ep.Shard = rng.Intn(shards)
+			}
 		}
 		s.Episodes = append(s.Episodes, ep)
 	}

@@ -323,7 +323,13 @@ func (rm *ReplicationManager) AddMember(gid uint64, node string) (*ior.Ref, erro
 			return nil, fmt.Errorf("%w: %s", ErrMemberExists, node)
 		}
 	}
-	if err := n.engine.HostReplica(g.def, f(), false); err != nil {
+	// A replica that is still hosted means the manager's record and the
+	// engine diverged — typically a fault-detector false positive evicted
+	// the member while the replica lived on. Re-adding then just
+	// reconciles the membership record; the replica needs no state
+	// transfer because it never left the group's view.
+	if err := n.engine.HostReplica(g.def, f(), false); err != nil &&
+		!errors.Is(err, replication.ErrAlreadyHosted) {
 		return nil, fmt.Errorf("ftcorba: host replica: %w", err)
 	}
 	g.members = append(g.members, node)

@@ -374,6 +374,12 @@ func (r *replica) sendCheckpoint(reason uint8) {
 	}
 	r.mu.lock()
 	upTo := r.lastExec
+	covered := make([]opKey, 0, len(r.dedupFIFO))
+	for _, k := range r.dedupFIFO {
+		if rec, ok := r.dedup[k]; ok && rec.executedLocal {
+			covered = append(covered, k)
+		}
+	}
 	r.mu.unlock()
 	r.eng.stat.checkpoints.Add(1)
 	if payload := r.eng.encodeOrReport(&msgCheckpoint{
@@ -381,6 +387,7 @@ func (r *replica) sendCheckpoint(reason uint8) {
 		Reason:    reason,
 		UpToMsgID: upTo,
 		State:     state,
+		Covered:   covered,
 	}); payload != nil {
 		_ = r.eng.ringFor(r.def.ID).Multicast(invGroupName(r.def.ID), payload)
 	}
@@ -526,6 +533,25 @@ func (r *replica) adoptState(m *msgCheckpoint) {
 	r.eng.stat.stateTransfers.Add(1)
 	_ = r.log.Append(wal.Record{Kind: wal.KindCheckpoint, MsgID: m.UpToMsgID, Data: m.State})
 	_ = r.log.TruncateAtCheckpoint()
+	// Seed duplicate suppression with the operations the snapshot covers.
+	// An adopter that missed a delivery lineage (the gap-repair path) has
+	// no dedup records for them, and a recovery re-delivery would
+	// otherwise re-execute an operation whose effect the adopted state
+	// already includes. Replies stay with the original executor — the
+	// records are marked executed but not answered, so duplicate answers
+	// still come from the member that logged them.
+	r.mu.lock()
+	for _, k := range m.Covered {
+		rec, ok := r.dedup[k]
+		if !ok {
+			rec = &opRecord{}
+			r.dedup[k] = rec
+			r.dedupGCLocked(k)
+		}
+		rec.deliveredInv = true
+		rec.executedLocal = true
+	}
+	r.mu.unlock()
 	// Operations the adopted state covers must not replay at failover.
 	kept := r.pendingOps[:0]
 	for _, p := range r.pendingOps {

@@ -194,6 +194,14 @@ type msgCheckpoint struct {
 	Reason    uint8
 	UpToMsgID uint64 // state reflects ordered invocations up to this id
 	State     []byte
+	// Covered is the sender's duplicate-suppression window: keys of
+	// executed operations whose effects State already includes. Adopters
+	// seed their dedup tables from it, so an operation covered by the
+	// snapshot cannot re-execute on top of it if the recovery machinery
+	// re-delivers it — state transfer must carry this infrastructure
+	// state along with the application state, or exactly-once breaks for
+	// members that adopted across a delivery gap.
+	Covered []opKey
 }
 
 // msgStateReq is the self-healing sync retry: a replica stuck waiting for
@@ -259,6 +267,10 @@ func encodeWire(m any) ([]byte, error) {
 		e.WriteOctet(v.Reason)
 		e.WriteULongLong(v.UpToMsgID)
 		e.WriteOctetSeq(v.State)
+		e.WriteULong(uint32(len(v.Covered)))
+		for _, k := range v.Covered {
+			encodeOpKey(e, k)
+		}
 	case *msgStateReq:
 		e.WriteOctet(byte(wireStateReq))
 		e.WriteULongLong(v.GroupID)
@@ -340,6 +352,18 @@ func decodeWire(b []byte) (any, error) {
 		}
 		if v.State, err = d.ReadOctetSeq(); err != nil {
 			return nil, err
+		}
+		var n uint32
+		if n, err = d.ReadULong(); err != nil {
+			return nil, err
+		}
+		if n > 0 {
+			v.Covered = make([]opKey, n)
+			for i := range v.Covered {
+				if v.Covered[i], err = decodeOpKey(d); err != nil {
+					return nil, err
+				}
+			}
 		}
 		return v, nil
 	case wireStateReq:

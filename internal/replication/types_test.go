@@ -1,0 +1,45 @@
+package replication
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// The checkpoint message carries the sender's duplicate-suppression window
+// (Covered) so state-transfer adopters cannot re-execute covered
+// operations; the round trip must preserve it exactly, including the
+// empty-window case.
+func TestCheckpointWireRoundTrip(t *testing.T) {
+	cases := []*msgCheckpoint{
+		{GroupID: 7, Reason: ckptJoin, UpToMsgID: 42, State: []byte("state")},
+		{
+			GroupID: 9, Reason: ckptPeriodic, UpToMsgID: 1000, State: []byte{0, 1, 2},
+			Covered: []opKey{
+				{ClientID: "client-a", ParentSeq: 3, OpSeq: 17},
+				{ClientID: "client-b", OpSeq: 1},
+			},
+		},
+	}
+	for _, in := range cases {
+		raw, err := encodeWire(in)
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		got, err := decodeWire(raw)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		out, ok := got.(*msgCheckpoint)
+		if !ok {
+			t.Fatalf("decoded %T, want *msgCheckpoint", got)
+		}
+		if out.GroupID != in.GroupID || out.Reason != in.Reason ||
+			out.UpToMsgID != in.UpToMsgID || !bytes.Equal(out.State, in.State) {
+			t.Errorf("header mismatch: got %+v want %+v", out, in)
+		}
+		if !reflect.DeepEqual(out.Covered, in.Covered) {
+			t.Errorf("covered mismatch: got %+v want %+v", out.Covered, in.Covered)
+		}
+	}
+}

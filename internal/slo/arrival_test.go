@@ -1,0 +1,107 @@
+package slo
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestArrivalsDeterministic: the schedule is a pure function of the config.
+func TestArrivalsDeterministic(t *testing.T) {
+	cfg := ArrivalConfig{Seed: 1234, Rate: 5000, Duration: 2 * time.Second, Clients: 100000, Burst: 4}
+	a := GenArrivals(cfg)
+	b := GenArrivals(cfg)
+	if len(a) == 0 {
+		t.Fatal("empty schedule")
+	}
+	if HashArrivals(a) != HashArrivals(b) {
+		t.Fatal("same config produced different schedules")
+	}
+	cfg.Seed++
+	if HashArrivals(GenArrivals(cfg)) == HashArrivals(a) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// TestArrivalsPoissonRate: the pure Poisson process hits the configured
+// mean rate within statistical tolerance, and the schedule is time-ordered.
+func TestArrivalsPoissonRate(t *testing.T) {
+	const rate, secs = 20000.0, 5.0
+	a := GenArrivals(ArrivalConfig{Seed: 7, Rate: rate, Duration: 5 * time.Second, Clients: 1 << 20})
+	want := rate * secs
+	sigma := math.Sqrt(want)
+	if got := float64(len(a)); math.Abs(got-want) > 6*sigma {
+		t.Fatalf("arrival count %v outside %v ± 6·%.0f", got, want, sigma)
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i].Due < a[i-1].Due {
+			t.Fatalf("schedule not time-ordered at %d", i)
+		}
+	}
+	last := a[len(a)-1].Due
+	if last >= int64(5*time.Second) || last < int64(4*time.Second) {
+		t.Fatalf("last arrival at %v, want within the final second of the horizon", time.Duration(last))
+	}
+}
+
+// TestArrivalsBurstPreservesMean: burst modulation redistributes arrivals
+// into the ON phase without changing the overall mean rate.
+func TestArrivalsBurstPreservesMean(t *testing.T) {
+	const rate, secs, burst = 20000.0, 5.0, 5.0
+	a := GenArrivals(ArrivalConfig{Seed: 7, Rate: rate, Duration: 5 * time.Second, Clients: 1 << 20, Burst: burst})
+	want := rate * secs
+	sigma := math.Sqrt(want)
+	if got := float64(len(a)); math.Abs(got-want) > 6*sigma {
+		t.Fatalf("burst arrival count %v outside %v ± 6·%.0f", got, want, sigma)
+	}
+	// The ON phase (first 10%% of each 1s cycle) must carry burst·10%% of
+	// the arrivals.
+	on := 0
+	for i := range a {
+		sec := float64(a[i].Due) / float64(time.Second)
+		if sec-math.Floor(sec) < burstOnFraction {
+			on++
+		}
+	}
+	wantOn := burst * burstOnFraction * float64(len(a))
+	if math.Abs(float64(on)-wantOn) > 6*math.Sqrt(wantOn) {
+		t.Fatalf("ON-phase arrivals %d, want ≈ %.0f", on, wantOn)
+	}
+}
+
+// TestArrivalsClientPopulation: issuers draw from the whole population and
+// the distinct-client count is consistent.
+func TestArrivalsClientPopulation(t *testing.T) {
+	const clients = 1 << 20 // a million simulated clients
+	a := GenArrivals(ArrivalConfig{Seed: 3, Rate: 50000, Duration: 4 * time.Second, Clients: clients})
+	distinct := CountDistinctClients(a, clients)
+	if distinct > len(a) || distinct > clients {
+		t.Fatalf("distinct %d inconsistent with %d arrivals, %d population", distinct, len(a), clients)
+	}
+	// With n draws from m clients, E[distinct] = m(1-(1-1/m)^n); allow 2%.
+	n, m := float64(len(a)), float64(clients)
+	want := m * (1 - math.Pow(1-1/m, n))
+	if math.Abs(float64(distinct)-want) > 0.02*want {
+		t.Fatalf("distinct clients %d, want ≈ %.0f", distinct, want)
+	}
+	for i := range a {
+		if a[i].Client >= clients {
+			t.Fatalf("client %d outside population", a[i].Client)
+		}
+	}
+}
+
+// TestGroupOf: the client→group hash covers all groups roughly uniformly.
+func TestGroupOf(t *testing.T) {
+	const groups = 64
+	var counts [groups]int
+	for c := uint32(0); c < 100000; c++ {
+		counts[groupOf(c, groups)]++
+	}
+	want := 100000.0 / groups
+	for g, n := range counts {
+		if math.Abs(float64(n)-want) > want/2 {
+			t.Fatalf("group %d has %d clients, want ≈ %.0f", g, n, want)
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package slo
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/ftcorba"
+	"repro/internal/totem"
+)
+
+// The chaos driver composes internal/chaos episode schedules with the
+// open-loop load: where the chaos harness *alternates* faults and traffic,
+// here faults land while the arrival schedule keeps firing, so the latency
+// histograms capture what clients actually experience through a fault —
+// the blackout, the retransmission tail, and the recovery hump.
+
+// sloRingPort mirrors the core domain's base ring port (shard i is
+// ShardPort(base, i)); EpShardPartition's drop filter targets it.
+const sloRingPort = 4000
+
+// chaosSeedSalt decorrelates the chaos rng from the arrival rng, which
+// consumes the raw seed.
+const chaosSeedSalt = 0x510C4A05C4A05
+
+// chaosSchedule derives the run's fault schedule from its seed. The
+// schedule depends only on (Seed, Replicas, Shards, Kinds, Episodes), so a
+// rerun replays byte-identical faults.
+func (r *runner) chaosSchedule() chaos.Schedule {
+	p := r.cfg.Chaos
+	rng := rand.New(rand.NewSource(r.cfg.Seed ^ chaosSeedSalt))
+	replicas := make([]string, r.cfg.Replicas)
+	for i := range replicas {
+		replicas[i] = fmt.Sprintf("n%d", i+1)
+	}
+	s := chaos.GenerateFrom(rng, replicas, r.cfg.Shards, p.Episodes, p.Kinds)
+	s.Seed = r.cfg.Seed
+	return s
+}
+
+// applyChaos runs the episode schedule against the live domain: lead-in
+// calm, then per episode open a measurement window, apply the fault, hold,
+// clear it, close the window, and idle through the gap. It always restores
+// the domain (fabric settings, downed nodes, group membership) before
+// returning, even when the load finishes mid-episode.
+func (r *runner) applyChaos(s chaos.Schedule, stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	p := r.cfg.Chaos
+	defer func() {
+		r.dom.Fabric.SetDropFilter(nil)
+		r.dom.Fabric.SetLoss(0)
+		r.dom.Fabric.SetLatency(0, 0)
+		r.dom.Heal()
+	}()
+	if !r.sleepOrStop(p.Lead, stop) {
+		return
+	}
+	for i, ep := range s.Episodes {
+		r.progress("slo: episode %d/%d: %s victim=%s", i+1, len(s.Episodes), ep.Kind, ep.Victim)
+		widx := r.windows.open(ep.Kind.String(), int64(time.Since(r.t0)))
+		r.applyEpisode(ep)
+		r.sleepOrStop(p.Hold, stop) // hold even if the load drained: clear below must run
+		r.clearEpisode(ep)
+		r.windows.close(widx, int64(time.Since(r.t0)))
+		if !r.sleepOrStop(p.Gap, stop) {
+			return
+		}
+	}
+}
+
+// sleepOrStop sleeps d unless stop closes first; it reports whether the
+// full sleep elapsed.
+func (r *runner) sleepOrStop(d time.Duration, stop <-chan struct{}) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-stop:
+		return false
+	}
+}
+
+func (r *runner) applyEpisode(ep chaos.Episode) {
+	f := r.dom.Fabric
+	switch ep.Kind {
+	case chaos.EpCrashRestart:
+		r.dom.CrashNode(ep.Victim)
+	case chaos.EpPartitionHeal:
+		rest := []string{"client"}
+		for i := 1; i <= r.cfg.Replicas; i++ {
+			if n := fmt.Sprintf("n%d", i); n != ep.Victim {
+				rest = append(rest, n)
+			}
+		}
+		f.Partition(rest, []string{ep.Victim})
+	case chaos.EpLossBurst:
+		f.SetLoss(ep.Loss)
+	case chaos.EpDelaySpike:
+		f.SetLatency(ep.Delay, ep.Delay/2)
+	case chaos.EpSlowNode:
+		f.SetNodeDelay(ep.Victim, ep.Delay)
+	case chaos.EpTokenDrop:
+		var dropped atomic.Int64
+		limit := int64(ep.Drops)
+		f.SetDropFilter(func(from, to string, port uint16, payload []byte) bool {
+			return from == ep.Victim && totem.Classify(payload) == totem.ClassToken &&
+				dropped.Add(1) <= limit
+		})
+	case chaos.EpShardPartition:
+		port := totem.ShardPort(sloRingPort, ep.Shard)
+		f.SetDropFilter(func(from, to string, p uint16, payload []byte) bool {
+			return p == port && (from == ep.Victim || to == ep.Victim)
+		})
+	}
+}
+
+func (r *runner) clearEpisode(ep chaos.Episode) {
+	f := r.dom.Fabric
+	switch ep.Kind {
+	case chaos.EpCrashRestart:
+		if err := r.dom.RestartNode(ep.Victim); err != nil {
+			r.progress("slo: restart %s: %v", ep.Victim, err)
+			return
+		}
+		r.repairMembership(ep.Victim)
+	case chaos.EpPartitionHeal:
+		f.Heal()
+		r.repairMembership(ep.Victim)
+	case chaos.EpLossBurst:
+		f.SetLoss(0)
+	case chaos.EpDelaySpike:
+		f.SetLatency(0, 0)
+	case chaos.EpSlowNode:
+		f.SetNodeDelay(ep.Victim, 0)
+	case chaos.EpTokenDrop, chaos.EpShardPartition:
+		f.SetDropFilter(nil)
+	}
+}
+
+// repairMembership re-adds the victim to every group the fault evicted it
+// from. The groups run MembershipStyle APPLICATION, so the application —
+// this harness — owns re-recruitment after a failure (the RM already
+// shrank membership when the fault notifier reported the victim).
+func (r *runner) repairMembership(victim string) {
+	repaired := 0
+	for i := range r.groups {
+		members, err := r.dom.RM.Members(r.groups[i].gid)
+		if err != nil {
+			continue
+		}
+		present := false
+		for _, m := range members {
+			if m == victim {
+				present = true
+				break
+			}
+		}
+		if present {
+			continue
+		}
+		// AddMember state-transfers from a live member; retry briefly while
+		// the restarted node's rings re-form.
+		for attempt := 0; attempt < 50; attempt++ {
+			_, err = r.dom.RM.AddMember(r.groups[i].gid, victim)
+			if err == nil || errors.Is(err, ftcorba.ErrMemberExists) {
+				repaired++
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		if err != nil && !errors.Is(err, ftcorba.ErrMemberExists) {
+			r.progress("slo: re-add %s to group %d: %v", victim, i, err)
+		}
+	}
+	r.progress("slo: membership repaired: %s re-added to %d groups", victim, repaired)
+}

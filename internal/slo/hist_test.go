@@ -1,0 +1,211 @@
+package slo
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// TestHistBucketBoundaries checks the bucket layout invariants exhaustively
+// at every tier edge: indices are monotone, every value maps inside its
+// bucket's range, and adjacent buckets tile the value space with no gap.
+func TestHistBucketBoundaries(t *testing.T) {
+	// Tier 0 is exact.
+	for v := int64(0); v < histSubCount; v++ {
+		if got := bucketIdx(v); got != int(v) {
+			t.Fatalf("bucketIdx(%d) = %d, want exact", v, got)
+		}
+		if got := bucketHigh(int(v)); got != v {
+			t.Fatalf("bucketHigh(%d) = %d, want %d", v, got, v)
+		}
+	}
+	// Every bucket's reported upper bound must itself map into that bucket,
+	// and the next value must map into a later bucket (no overlap, no gap).
+	for idx := 0; idx < histBuckets; idx++ {
+		hi := bucketHigh(idx)
+		if hi < 0 {
+			// The top tier's bound overflows int64; Quantile clamps to the
+			// observed max so the wrap is unreachable in reports.
+			continue
+		}
+		if got := bucketIdx(hi); got != idx {
+			t.Fatalf("bucketIdx(bucketHigh(%d)=%d) = %d", idx, hi, got)
+		}
+		if got := bucketIdx(hi + 1); got != idx+1 {
+			t.Fatalf("bucketIdx(%d) = %d, want %d (next bucket)", hi+1, got, idx+1)
+		}
+	}
+	// Around every power of two, values must never land in an earlier
+	// bucket than smaller values (monotonicity at tier crossings).
+	for shift := uint(5); shift < 62; shift++ {
+		edge := int64(1) << shift
+		for _, v := range []int64{edge - 2, edge - 1, edge, edge + 1} {
+			for _, w := range []int64{v + 1, v + 2} {
+				if bucketIdx(w) < bucketIdx(v) {
+					t.Fatalf("bucketIdx not monotone: idx(%d)=%d > idx(%d)=%d",
+						v, bucketIdx(v), w, bucketIdx(w))
+				}
+			}
+		}
+	}
+}
+
+// TestHistRelativeError checks the quantization guarantee: a bucket's upper
+// bound overestimates any value in the bucket by at most 1/histSubCount.
+func TestHistRelativeError(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200000; i++ {
+		v := rng.Int63n(int64(10 * time.Minute))
+		hi := bucketHigh(bucketIdx(v))
+		if hi < v {
+			t.Fatalf("bucketHigh(%d) = %d underestimates", v, hi)
+		}
+		if v >= histSubCount {
+			if relErr := float64(hi-v) / float64(v); relErr > 1.0/histSubCount {
+				t.Fatalf("relative error %.4f > %.4f for %d (hi %d)",
+					relErr, 1.0/histSubCount, v, hi)
+			}
+		}
+	}
+}
+
+// TestHistQuantileOracle compares histogram percentiles against a sorted
+// slice of the same samples: the histogram answer must bound the exact
+// order statistic from above within the bucket-width error.
+func TestHistQuantileOracle(t *testing.T) {
+	dists := map[string]func(r *rand.Rand) int64{
+		"uniform": func(r *rand.Rand) int64 { return r.Int63n(int64(time.Second)) },
+		"exp": func(r *rand.Rand) int64 {
+			return int64(r.ExpFloat64() * float64(2*time.Millisecond))
+		},
+		"bimodal": func(r *rand.Rand) int64 {
+			if r.Intn(100) == 0 {
+				return int64(time.Second) + r.Int63n(int64(time.Second))
+			}
+			return r.Int63n(int64(time.Millisecond))
+		},
+	}
+	for name, gen := range dists {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			h := NewHist()
+			const n = 100000
+			samples := make([]int64, n)
+			for i := range samples {
+				samples[i] = gen(rng)
+				h.Record(time.Duration(samples[i]))
+			}
+			sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+			for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 0.999, 1} {
+				// The histogram reports the ceil(q·n)-th order statistic
+				// (1-indexed); index the oracle identically.
+				k := int(math.Ceil(q*float64(n))) - 1
+				if k < 0 {
+					k = 0
+				}
+				if k >= n {
+					k = n - 1
+				}
+				exact := samples[k]
+				got := int64(h.Quantile(q))
+				if got < exact {
+					t.Errorf("q%.3f: hist %d < exact %d (must bound from above)", q, got, exact)
+				}
+				slack := exact/histSubCount + 1
+				if got > exact+slack {
+					t.Errorf("q%.3f: hist %d > exact %d + slack %d", q, got, exact, slack)
+				}
+			}
+			if h.Count() != n {
+				t.Errorf("count %d, want %d", h.Count(), n)
+			}
+			if int64(h.Min()) != samples[0] || int64(h.Max()) != samples[n-1] {
+				t.Errorf("min/max %v/%v, want %d/%d", h.Min(), h.Max(), samples[0], samples[n-1])
+			}
+		})
+	}
+}
+
+// TestHistMergeAssociative checks that merging shard histograms is
+// order-independent: (a⊕b)⊕c and a⊕(b⊕c) agree on every count, the sum,
+// and the extrema.
+func TestHistMergeAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	mk := func(n int, scale int64) *Hist {
+		h := NewHist()
+		for i := 0; i < n; i++ {
+			h.Record(time.Duration(rng.Int63n(scale)))
+		}
+		return h
+	}
+	fill := []*Hist{mk(1000, int64(time.Millisecond)), mk(500, int64(time.Second)), mk(2000, 100)}
+
+	left := NewHist() // ((a ⊕ b) ⊕ c)
+	for _, h := range fill {
+		left.Merge(h)
+	}
+	right := NewHist() // (a ⊕ (b ⊕ c))
+	bc := NewHist()
+	bc.Merge(fill[1])
+	bc.Merge(fill[2])
+	right.Merge(bc)
+	rightFinal := NewHist()
+	rightFinal.Merge(fill[0])
+	rightFinal.Merge(right)
+
+	if left.Count() != rightFinal.Count() || left.sum.Load() != rightFinal.sum.Load() ||
+		left.Max() != rightFinal.Max() || left.Min() != rightFinal.Min() {
+		t.Fatalf("merge not associative: %+v vs %+v", left.Snap(), rightFinal.Snap())
+	}
+	for i := 0; i < histBuckets; i++ {
+		if left.counts[i].Load() != rightFinal.counts[i].Load() {
+			t.Fatalf("bucket %d: %d vs %d", i, left.counts[i].Load(), rightFinal.counts[i].Load())
+		}
+	}
+	// Merging an empty histogram is the identity.
+	before := left.Snap()
+	left.Merge(NewHist())
+	left.Merge(nil)
+	if left.Snap() != before {
+		t.Fatalf("empty merge changed the histogram: %+v vs %+v", left.Snap(), before)
+	}
+}
+
+// TestHistRecordNoAlloc pins the hot-path guarantee: Record and Quantile
+// never allocate, so the worker pool can hammer one histogram without GC
+// involvement.
+func TestHistRecordNoAlloc(t *testing.T) {
+	h := NewHist()
+	v := time.Duration(0)
+	if n := testing.AllocsPerRun(1000, func() {
+		h.Record(v)
+		v += 977 // sweep many buckets
+	}); n != 0 {
+		t.Fatalf("Record allocates %.1f per call", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		_ = h.Quantile(0.99)
+	}); n != 0 {
+		t.Fatalf("Quantile allocates %.1f per call", n)
+	}
+}
+
+// TestHistEmptyAndClamp covers the degenerate cases.
+func TestHistEmptyAndClamp(t *testing.T) {
+	h := NewHist()
+	if h.Quantile(0.99) != 0 || h.Mean() != 0 || h.Max() != 0 || h.Min() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	h.Record(-5 * time.Second) // clamps to zero
+	if h.Min() != 0 || h.Max() != 0 || h.Count() != 1 {
+		t.Fatalf("negative sample must clamp: %+v", h.Snap())
+	}
+	h2 := NewHist()
+	h2.Record(10 * time.Millisecond)
+	if got := h2.Quantile(0.5); got != 10*time.Millisecond {
+		// Single sample: every quantile must clamp to the observed extremum.
+		t.Fatalf("single-sample quantile = %v", got)
+	}
+}

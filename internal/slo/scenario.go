@@ -1,0 +1,254 @@
+package slo
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cdr"
+	"repro/internal/orb"
+)
+
+// The workload mixes the three application scenarios from examples/: bank
+// transfers, inventory reservations, and trader feeds. Each scenario is a
+// compact servant sharing one accounting convention so the harness can
+// check exactly-once semantics uniformly: every mutating operation bumps
+// `muts` and folds a deterministic function of its arguments into `acc`,
+// and the read operation "stats" returns both. Servants are Checkpointable
+// so every replication style (and RM-driven recovery under chaos) works.
+
+// Scenario repository ids.
+const (
+	BankType      = "IDL:repro/slo/Bank:1.0"
+	InventoryType = "IDL:repro/slo/Inventory:1.0"
+	TraderType    = "IDL:repro/slo/Trader:1.0"
+)
+
+// ScenarioTypes lists the scenario repository ids in placement order.
+var ScenarioTypes = []string{BankType, InventoryType, TraderType}
+
+// ScenarioName maps a repository id to its short name (report labels).
+func ScenarioName(typeID string) string {
+	switch typeID {
+	case BankType:
+		return "bank"
+	case InventoryType:
+		return "inventory"
+	case TraderType:
+		return "trader"
+	}
+	return "unknown"
+}
+
+// StallGate injects a server-side stall: while armed, every mutating
+// dispatch sleeps until the gate's deadline. The coordinated-omission tests
+// use it to freeze a group mid-run; a nil gate costs one atomic load per
+// dispatch.
+type StallGate struct {
+	until atomic.Int64 // UnixNano deadline; 0 = disarmed
+}
+
+// StallUntil arms the gate: dispatches before t sleep until t.
+func (g *StallGate) StallUntil(t time.Time) { g.until.Store(t.UnixNano()) }
+
+func (g *StallGate) wait() {
+	if g == nil {
+		return
+	}
+	u := g.until.Load()
+	if u == 0 {
+		return
+	}
+	if d := time.Until(time.Unix(0, u)); d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// scenarioState is the shared accounting core of every scenario servant.
+type scenarioState struct {
+	mu   sync.Mutex
+	muts int64 // mutating operations applied
+	acc  int64 // deterministic fold of mutating-op arguments
+}
+
+func (s *scenarioState) apply(amount int64) []cdr.Value {
+	s.mu.Lock()
+	s.muts++
+	s.acc += amount
+	muts, acc := s.muts, s.acc
+	s.mu.Unlock()
+	return []cdr.Value{cdr.LongLong(muts), cdr.LongLong(acc)}
+}
+
+func (s *scenarioState) stats() []cdr.Value {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return []cdr.Value{cdr.LongLong(s.muts), cdr.LongLong(s.acc)}
+}
+
+// GetState serializes the accounting core (orb.Checkpointable).
+func (s *scenarioState) GetState() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := cdr.NewEncoder(cdr.BigEndian)
+	e.WriteLongLong(s.muts)
+	e.WriteLongLong(s.acc)
+	out := make([]byte, e.Len())
+	copy(out, e.Bytes())
+	return out, nil
+}
+
+// SetState installs a snapshot (orb.Checkpointable).
+func (s *scenarioState) SetState(b []byte) error {
+	d := cdr.NewDecoder(b, cdr.BigEndian)
+	muts, err := d.ReadLongLong()
+	if err != nil {
+		return err
+	}
+	acc, err := d.ReadLongLong()
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.muts, s.acc = muts, acc
+	s.mu.Unlock()
+	return nil
+}
+
+// Bank models the bankidl example: deposits and transfers against one
+// replicated branch.
+type Bank struct {
+	scenarioState
+	gate *StallGate
+}
+
+// RepoID names the servant type.
+func (b *Bank) RepoID() string { return BankType }
+
+// Dispatch executes deposit(amount), transfer(amount), or stats().
+func (b *Bank) Dispatch(inv *orb.Invocation) ([]cdr.Value, error) {
+	switch inv.Operation {
+	case "deposit":
+		b.gate.wait()
+		return b.apply(int64(inv.Args[0].AsLong())), nil
+	case "transfer":
+		b.gate.wait()
+		// A transfer debits one account and credits another inside the
+		// branch: net acc delta is the fee-free amount, op-counted once.
+		return b.apply(int64(inv.Args[0].AsLong())), nil
+	case "stats":
+		return b.stats(), nil
+	}
+	return nil, &orb.UserException{Name: "IDL:repro/slo/BadOp:1.0"}
+}
+
+// Inventory models the inventory example: stock reservations.
+type Inventory struct {
+	scenarioState
+	gate *StallGate
+}
+
+// RepoID names the servant type.
+func (s *Inventory) RepoID() string { return InventoryType }
+
+// Dispatch executes reserve(n), restock(n), or stats().
+func (s *Inventory) Dispatch(inv *orb.Invocation) ([]cdr.Value, error) {
+	switch inv.Operation {
+	case "reserve":
+		s.gate.wait()
+		return s.apply(-int64(inv.Args[0].AsLong())), nil
+	case "restock":
+		s.gate.wait()
+		return s.apply(int64(inv.Args[0].AsLong())), nil
+	case "stats":
+		return s.stats(), nil
+	}
+	return nil, &orb.UserException{Name: "IDL:repro/slo/BadOp:1.0"}
+}
+
+// Trader models the trader example: a position feed.
+type Trader struct {
+	scenarioState
+	gate *StallGate
+}
+
+// RepoID names the servant type.
+func (t *Trader) RepoID() string { return TraderType }
+
+// Dispatch executes quote(px), settle(px), or stats().
+func (t *Trader) Dispatch(inv *orb.Invocation) ([]cdr.Value, error) {
+	switch inv.Operation {
+	case "quote":
+		t.gate.wait()
+		return t.apply(int64(inv.Args[0].AsLong())), nil
+	case "settle":
+		t.gate.wait()
+		return t.apply(int64(inv.Args[0].AsLong())), nil
+	case "stats":
+		return t.stats(), nil
+	}
+	return nil, &orb.UserException{Name: "IDL:repro/slo/BadOp:1.0"}
+}
+
+// NewScenarioServant builds a fresh servant of the given scenario type
+// wired to the (possibly nil) stall gate.
+func NewScenarioServant(typeID string, gate *StallGate) orb.Servant {
+	switch typeID {
+	case BankType:
+		return &Bank{gate: gate}
+	case InventoryType:
+		return &Inventory{gate: gate}
+	case TraderType:
+		return &Trader{gate: gate}
+	}
+	return nil
+}
+
+// scenarioOp maps an arrival's uniform op selector onto the scenario's
+// operation mix. It returns the operation name, its argument, and whether
+// the operation mutates state (reads are ~10% of each mix and are excluded
+// from the exactly-once accounting).
+func scenarioOp(typeID string, sel uint8) (op string, arg int32, mutating bool) {
+	// sel is uniform in [0,256). The argument is derived from the selector
+	// so replicas of a group fold identical values into acc.
+	amount := int32(sel%97) + 1
+	switch typeID {
+	case BankType:
+		switch {
+		case sel < 160:
+			return "deposit", amount, true
+		case sel < 230:
+			return "transfer", amount, true
+		default:
+			return "stats", 0, false
+		}
+	case InventoryType:
+		switch {
+		case sel < 180:
+			return "reserve", amount, true
+		case sel < 230:
+			return "restock", amount, true
+		default:
+			return "stats", 0, false
+		}
+	case TraderType:
+		switch {
+		case sel < 200:
+			return "quote", amount, true
+		case sel < 230:
+			return "settle", amount, true
+		default:
+			return "stats", 0, false
+		}
+	}
+	return "stats", 0, false
+}
+
+// opDelta is the acc delta a mutating op applies server-side (the client
+// folds the same function to predict the authoritative accumulator).
+func opDelta(typeID, op string, arg int32) int64 {
+	if typeID == InventoryType && op == "reserve" {
+		return -int64(arg)
+	}
+	return int64(arg)
+}
