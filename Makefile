@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check race bench benchcmp test build vet chaos slo slo-smoke
+.PHONY: check race bench benchcmp test build vet chaos slo slo-smoke mp-smoke
 
 ## check: vet + build + full test suite (the tier-1 gate)
 check: vet build test
@@ -14,9 +14,10 @@ build:
 test:
 	$(GO) test ./...
 
-## race: race-detect the concurrency-heavy layers
+## race: race-detect the concurrency-heavy layers, including the transport
+## conformance suite on both backends (netsim and loopback UDP)
 race:
-	$(GO) test -race ./internal/totem ./internal/replication
+	$(GO) test -race ./internal/totem ./internal/replication ./internal/netsim ./internal/transport/...
 
 ## chaos: the full seeded fault-injection sweep under the race detector —
 ## single-ring (7 seeds x 3 replication styles = 21 schedules) plus the
@@ -25,26 +26,38 @@ race:
 chaos:
 	CHAOS_SEEDS=7 $(GO) test -race -count=1 ./internal/chaos
 
-## bench: snapshot the PR2 hot-path + PR5 sharded-transport benchmarks and
+## bench: snapshot the PR2 hot-path + PR5 sharded-transport benchmarks,
 ## the full-profile SLO workload percentiles (~10^6-client population over
-## 1024 groups plus a 6-episode chaos phase, ~75s) into BENCH_pr6.json
+## 1024 groups plus a 6-episode chaos phase, ~75s), and the PR7
+## multi-process loopback-UDP throughput cells into BENCH_pr7.json
 bench:
-	$(GO) test -run '^$$' -bench 'PR2|PR5' -benchmem -timeout 30m ./... | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_pr6.json
-	$(GO) run ./cmd/ftbench -e slo -seed 1 -json BENCH_pr6.json
+	$(GO) test -run '^$$' -bench 'PR2|PR5' -benchmem -timeout 30m ./... | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_pr7.json
+	$(GO) run ./cmd/ftbench -e slo -seed 1 -json BENCH_pr7.json
+	$(GO) run ./cmd/ftbench -e e2mp -json BENCH_pr7.json
 
-## benchcmp: fail on >20% adverse drift vs the frozen baselines, merged
+## benchcmp: fail on adverse drift vs the frozen baselines, merged
 ## first-match-wins — BENCH_pr2.json then BENCH_pr5.json for the
 ## micro-benchmarks, BENCH_pr6_base.json for the SLO percentiles
-## (p99_us and goodput_ops gate; p50/p999/blackout are informational)
+## (p99_us and goodput_ops gate; p50/p999/blackout are informational),
+## BENCH_pr7_base.json for the multi-process throughput cells (ops_s
+## gates with a wide single-core-noise threshold; vs_baseline is
+## informational)
 benchcmp:
-	$(GO) run ./cmd/benchcmp -threshold 20 BENCH_pr2.json,BENCH_pr5.json,BENCH_pr6_base.json BENCH_pr6.json
+	$(GO) run ./cmd/benchcmp -threshold 20 BENCH_pr2.json,BENCH_pr5.json,BENCH_pr6_base.json,BENCH_pr7_base.json BENCH_pr7.json
 
-## slo: re-run just the SLO evaluation, upserting into BENCH_pr6.json
+## slo: re-run just the SLO evaluation, upserting into BENCH_pr7.json
 slo:
-	$(GO) run ./cmd/ftbench -e slo -seed 1 -json BENCH_pr6.json
+	$(GO) run ./cmd/ftbench -e slo -seed 1 -json BENCH_pr7.json
 
 ## slo-smoke: seconds-long tail-latency sanity gate (two seeds); fails if
 ## the calm-phase p999 blows past 500ms
 slo-smoke:
 	$(GO) run ./cmd/ftbench -e slo -smoke -seed 1 -p999max 500ms
 	$(GO) run ./cmd/ftbench -e slo -smoke -seed 2 -p999max 500ms
+
+## mp-smoke: seconds-long multi-process deployment smoke — every e2mp cell
+## spawns real replica-node child processes with ring traffic on loopback
+## UDP, so CI exercises spawn/readiness/teardown and the UDP backend
+## end-to-end without the full measurement run
+mp-smoke:
+	$(GO) run ./cmd/ftbench -e e2mp -smoke

@@ -105,6 +105,13 @@ var registry = []metric{
 	extraMetric("goodput_ops", true, 0, gateAll),
 	extraMetric("blackout_p99_ms", false, 0, gateNever),
 	extraMetric("errors", false, 0, gateNever),
+	// Multi-process throughput (cmd/ftbench -e e2mp): cells are best-of-3
+	// but still ride a single shared core, where scheduler phasing moves
+	// whole cells ±25%; the wide threshold catches real collapses (a cell
+	// halving) without tripping on host noise. The derived ratio is
+	// informational — its numerator and denominator gate separately.
+	extraMetric("ops_s", true, 40, gateAll),
+	extraMetric("vs_baseline", true, 0, gateNever),
 }
 
 // verdict is one (benchmark, metric) comparison.

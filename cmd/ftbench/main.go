@@ -1,5 +1,5 @@
-// Command ftbench runs the evaluation experiments (E1–E8, T1, SLO) and
-// prints their tables. See DESIGN.md for the experiment index and
+// Command ftbench runs the evaluation experiments (E1–E8, T1, SLO, E2mp)
+// and prints their tables. See DESIGN.md for the experiment index and
 // EXPERIMENTS.md for recorded results.
 //
 // Usage:
@@ -11,6 +11,12 @@
 //	                           # SLO workload; upsert percentile records
 //	ftbench -e slo -smoke -seed 2 -p999max 2s
 //	                           # CI smoke: seconds-long run, tail sanity gate
+//	ftbench -e e2mp -json BENCH_pr7.json
+//	                           # multi-process sharded throughput (spawns
+//	                           # replica-node child processes, loopback UDP)
+//	ftbench -e e2p -transport udp
+//	                           # in-process experiment, ring traffic on
+//	                           # real loopback sockets instead of netsim
 package main
 
 import (
@@ -22,16 +28,36 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/mproc"
+	"repro/internal/transport"
+	"repro/internal/transport/udp"
 )
+
+// fabricOnly lists experiments that inject faults through the netsim
+// fabric (partitions, targeted drops, chaos schedules) and therefore
+// cannot run with -transport udp: the faults would not touch the ring
+// traffic and the run would silently measure nothing.
+var fabricOnly = map[string]bool{"e3": true, "e7": true, "e8": true, "slo": true}
 
 func main() {
 	quick := flag.Bool("quick", false, "use reduced run sizes")
 	smoke := flag.Bool("smoke", false, "use seconds-long smoke run sizes (implies -quick)")
-	exps := flag.String("e", "all", "comma-separated experiment ids (e1..e8,t1,slo) or 'all'")
+	exps := flag.String("e", "all", "comma-separated experiment ids (e1..e8,t1,slo,e2mp) or 'all'")
 	seed := flag.Int64("seed", 1, "workload seed for the slo experiment")
-	jsonOut := flag.String("json", "", "upsert the slo experiment's records into this benchjson snapshot")
+	jsonOut := flag.String("json", "", "upsert the slo/e2mp experiments' records into this benchjson snapshot")
 	p999max := flag.Duration("p999max", 0, "fail if the slo calm-phase p999 exceeds this (0 disables)")
+	transp := flag.String("transport", "netsim", "ring transport for in-process experiments: netsim|udp")
+	role := flag.String("role", "", "internal: 'node' runs this process as a multi-process replica child")
 	flag.Parse()
+
+	if *role == "node" {
+		os.Exit(mproc.ChildMain(bench.MPServants))
+	}
+	if *role != "" {
+		fmt.Fprintf(os.Stderr, "ftbench: unknown -role %q\n", *role)
+		os.Exit(2)
+	}
 
 	scale := bench.FullScale
 	switch {
@@ -46,21 +72,43 @@ func main() {
 		ids = nil
 		for _, id := range strings.Split(*exps, ",") {
 			id = strings.TrimSpace(strings.ToLower(id))
-			if _, ok := bench.ByID[id]; !ok && id != "slo" {
-				fmt.Fprintf(os.Stderr, "ftbench: unknown experiment %q (have e1..e8, t1, slo)\n", id)
+			if _, ok := bench.ByID[id]; !ok {
+				fmt.Fprintf(os.Stderr, "ftbench: unknown experiment %q (have e1..e8, e2p, t1, slo, e2mp)\n", id)
 				os.Exit(2)
 			}
 			ids = append(ids, id)
 		}
 	}
 
+	switch *transp {
+	case "netsim":
+	case "udp":
+		for _, id := range ids {
+			if fabricOnly[id] {
+				fmt.Fprintf(os.Stderr, "ftbench: experiment %s injects faults through the netsim fabric and cannot run with -transport udp\n", id)
+				os.Exit(2)
+			}
+		}
+		bench.TransportFactory = func(nodes []string) (transport.Transport, error) {
+			// The logical window covers the ring pool (BaseRingPort+shard)
+			// and T1's sequencer port with headroom.
+			return udp.NewLoopbackCluster(nodes, core.BaseRingPort, core.BaseRingPort+1008)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "ftbench: unknown -transport %q (have netsim, udp)\n", *transp)
+		os.Exit(2)
+	}
+
 	for _, id := range ids {
 		start := time.Now()
 		var table *bench.Table
 		var err error
-		if id == "slo" {
+		switch id {
+		case "slo":
 			table, err = runSLO(scale, *seed, *jsonOut, *p999max)
-		} else {
+		case "e2mp":
+			table, err = runE2MP(scale, *jsonOut)
+		default:
 			table, err = bench.ByID[id](scale)
 		}
 		if err != nil {
@@ -70,6 +118,21 @@ func main() {
 		table.Fprint(os.Stdout)
 		fmt.Printf("  (%s completed in %v)\n", id, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// runE2MP drives the multi-process experiment and snapshots its records.
+func runE2MP(scale bench.Scale, jsonOut string) (*bench.Table, error) {
+	table, recs, err := bench.E2MPMultiProcRecords(scale)
+	if err != nil {
+		return nil, err
+	}
+	if jsonOut != "" {
+		if err := upsertRecords(jsonOut, recs); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "ftbench: wrote %d e2mp records to %s\n", len(recs), jsonOut)
+	}
+	return table, nil
 }
 
 // runSLO drives the SLO experiment with its extra plumbing: live progress,

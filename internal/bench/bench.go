@@ -19,6 +19,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/orb"
 	"repro/internal/replication"
+	"repro/internal/transport"
 )
 
 // Table is one experiment's output.
@@ -98,6 +99,50 @@ func netConfig() netsim.Config {
 
 // heartbeat is the default Totem gossip interval for experiments.
 const heartbeat = 3 * time.Millisecond
+
+// TransportFactory, when non-nil, supplies the ring transport for every
+// domain and ring set the experiments construct (cmd/ftbench sets it for
+// `-transport udp`: a fresh loopback udp.Cluster per construction). Nil
+// keeps the default: the deterministic netsim fabric. Experiments that
+// inject network faults through the fabric (partitions, targeted drops)
+// only make sense on the default transport; cmd/ftbench rejects the
+// combination rather than silently measuring an un-faulted run.
+var TransportFactory func(nodes []string) (transport.Transport, error)
+
+// optionalTransport resolves the factory for core.Options.Transport (nil
+// means core uses its own fabric).
+func optionalTransport(nodes []string) (transport.Transport, error) {
+	if TransportFactory == nil {
+		return nil, nil
+	}
+	return TransportFactory(nodes)
+}
+
+// transportIdleDelay is the idle-token pacing matched to the active ring
+// transport: totem's default hold on netsim (caps simulation CPU spin),
+// eager rotation on a real-socket transport (a timer hold would floor
+// idle-start latency at the host's ~1ms timer resolution — see
+// EXPERIMENTS.md "PR 7").
+func transportIdleDelay() time.Duration {
+	if TransportFactory != nil {
+		return -1 * time.Nanosecond
+	}
+	return 0
+}
+
+// benchTransport resolves a standalone ring transport for experiments
+// that build rings without a core.Domain (T1): the factory if set, else a
+// fresh fabric with the nodes added.
+func benchTransport(nodes []string) (transport.Transport, error) {
+	if TransportFactory != nil {
+		return TransportFactory(nodes)
+	}
+	fabric := netsim.NewFabric(netConfig())
+	for _, n := range nodes {
+		fabric.AddNode(n)
+	}
+	return fabric, nil
+}
 
 // --- Echo servant ------------------------------------------------------------
 
@@ -213,13 +258,19 @@ func buildDomain(nodes int, orbPort uint16) (*core.Domain, error) {
 		names = append(names, fmt.Sprintf("n%d", i))
 	}
 	names = append(names, "client")
+	tp, err := optionalTransport(names)
+	if err != nil {
+		return nil, err
+	}
 	d, err := core.NewDomain(core.Options{
-		Nodes:         names,
-		Net:           netConfig(),
-		Heartbeat:     heartbeat,
-		ORBPort:       orbPort,
-		CallTimeout:   20 * time.Second,
-		RetryInterval: 5 * time.Second,
+		Nodes:          names,
+		Net:            netConfig(),
+		Transport:      tp,
+		Heartbeat:      heartbeat,
+		IdleTokenDelay: transportIdleDelay(),
+		ORBPort:        orbPort,
+		CallTimeout:    20 * time.Second,
+		RetryInterval:  5 * time.Second,
 	})
 	if err != nil {
 		return nil, err
@@ -243,13 +294,19 @@ func buildDomainHB(nodes int, orbPort uint16, hbNanos int64) (*core.Domain, erro
 		names = append(names, fmt.Sprintf("n%d", i))
 	}
 	names = append(names, "client")
+	tp, err := optionalTransport(names)
+	if err != nil {
+		return nil, err
+	}
 	d, err := core.NewDomain(core.Options{
-		Nodes:         names,
-		Net:           netConfig(),
-		Heartbeat:     time.Duration(hbNanos),
-		ORBPort:       orbPort,
-		CallTimeout:   20 * time.Second,
-		RetryInterval: 5 * time.Second,
+		Nodes:          names,
+		Net:            netConfig(),
+		Transport:      tp,
+		Heartbeat:      time.Duration(hbNanos),
+		IdleTokenDelay: transportIdleDelay(),
+		ORBPort:        orbPort,
+		CallTimeout:    20 * time.Second,
+		RetryInterval:  5 * time.Second,
 	})
 	if err != nil {
 		return nil, err
@@ -317,15 +374,16 @@ func All(scale Scale) ([]*Table, error) {
 
 // ByID maps experiment ids to runners.
 var ByID = map[string]func(Scale) (*Table, error){
-	"e1":  E1LatencyByStyle,
-	"e2":  E2ReplicationDegree,
-	"e2p": E2PrimeSharding,
-	"e3":  E3Failover,
-	"e4":  E4StateTransfer,
-	"e5":  E5DuplicateSuppression,
-	"e6":  E6CheckpointInterval,
-	"e7":  E7PartitionRemerge,
-	"e8":  E8Approaches,
-	"t1":  T1Totem,
-	"slo": SLOWorkload,
+	"e1":   E1LatencyByStyle,
+	"e2":   E2ReplicationDegree,
+	"e2p":  E2PrimeSharding,
+	"e3":   E3Failover,
+	"e4":   E4StateTransfer,
+	"e5":   E5DuplicateSuppression,
+	"e6":   E6CheckpointInterval,
+	"e7":   E7PartitionRemerge,
+	"e8":   E8Approaches,
+	"t1":   T1Totem,
+	"slo":  SLOWorkload,
+	"e2mp": E2MPMultiProc,
 }

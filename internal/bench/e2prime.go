@@ -58,13 +58,19 @@ func RunSharded(w ShardedWorkload) (float64, error) {
 
 func newShardedDomain(w ShardedWorkload) (*core.Domain, error) {
 	names := []string{"n1", "n2", "n3", "n4", "client"}
+	tp, err := optionalTransport(names)
+	if err != nil {
+		return nil, err
+	}
 	d, err := core.NewDomain(core.Options{
-		Nodes:         names,
-		Net:           netConfig(),
-		Heartbeat:     heartbeat,
-		Shards:        w.Shards,
-		CallTimeout:   30 * time.Second,
-		RetryInterval: 5 * time.Second,
+		Nodes:          names,
+		Net:            netConfig(),
+		Transport:      tp,
+		Heartbeat:      heartbeat,
+		IdleTokenDelay: transportIdleDelay(),
+		Shards:         w.Shards,
+		CallTimeout:    30 * time.Second,
+		RetryInterval:  5 * time.Second,
 	})
 	if err != nil {
 		return nil, err
@@ -106,6 +112,16 @@ func createShardedGroups(d *core.Domain, w ShardedWorkload) ([]uint64, error) {
 // driveSharded runs clients×len(gids) concurrent invokers and returns
 // aggregate ops/s.
 func driveSharded(d *core.Domain, gids []uint64, clients, perClient int) (float64, error) {
+	return driveProxies(func(gid uint64) (*replication.Proxy, error) {
+		return d.Proxy("client", gid)
+	}, gids, clients, perClient)
+}
+
+// driveProxies is the transport-agnostic drive loop shared by the
+// in-process (E2′) and multi-process (E2mp) cells: clients×len(gids)
+// concurrent invokers against whatever proxy construction the deployment
+// provides, returning aggregate ops/s.
+func driveProxies(proxyFor func(gid uint64) (*replication.Proxy, error), gids []uint64, clients, perClient int) (float64, error) {
 	arg := cdr.OctetSeq(payloadOf(256))
 	errCh := make(chan error, len(gids)*clients)
 	var wg sync.WaitGroup
@@ -115,7 +131,7 @@ func driveSharded(d *core.Domain, gids []uint64, clients, perClient int) (float6
 			wg.Add(1)
 			go func(gid uint64) {
 				defer wg.Done()
-				proxy, err := d.Proxy("client", gid)
+				proxy, err := proxyFor(gid)
 				if err != nil {
 					errCh <- err
 					return

@@ -5,7 +5,6 @@ import (
 	"sync/atomic"
 	"time"
 
-	"repro/internal/netsim"
 	"repro/internal/totem"
 )
 
@@ -53,13 +52,13 @@ func T1Totem(scale Scale) (*Table, error) {
 }
 
 func ringTrial(nodes, size int, scale Scale) (summary, float64, error) {
-	fabric := netsim.NewFabric(netConfig())
 	names := make([]string, 0, nodes)
 	for i := 1; i <= nodes; i++ {
 		names = append(names, fmt.Sprintf("r%d", i))
 	}
-	for _, n := range names {
-		fabric.AddNode(n)
+	tp, err := benchTransport(names)
+	if err != nil {
+		return summary{}, 0, err
 	}
 	rings := make([]*totem.Ring, 0, nodes)
 	defer func() {
@@ -68,7 +67,7 @@ func ringTrial(nodes, size int, scale Scale) (summary, float64, error) {
 		}
 	}()
 	for _, n := range names {
-		r, err := totem.NewRing(fabric, totem.Config{
+		r, err := totem.NewRing(tp, totem.Config{
 			Node:              n,
 			Universe:          names,
 			Port:              4000,
@@ -133,13 +132,13 @@ func ringTrial(nodes, size int, scale Scale) (summary, float64, error) {
 }
 
 func sequencerTrial(nodes, size int, scale Scale) (summary, float64, error) {
-	fabric := netsim.NewFabric(netConfig())
 	names := make([]string, 0, nodes)
 	for i := 1; i <= nodes; i++ {
 		names = append(names, fmt.Sprintf("s%d", i))
 	}
-	for _, n := range names {
-		fabric.AddNode(n)
+	tp, err := benchTransport(names)
+	if err != nil {
+		return summary{}, 0, err
 	}
 	seqs := make([]*totem.Sequencer, 0, nodes)
 	defer func() {
@@ -148,7 +147,7 @@ func sequencerTrial(nodes, size int, scale Scale) (summary, float64, error) {
 		}
 	}()
 	for _, n := range names {
-		s, err := totem.NewSequencer(fabric, n, names, 5000)
+		s, err := totem.NewSequencer(tp, n, names, 5000)
 		if err != nil {
 			return summary{}, 0, err
 		}

@@ -1,0 +1,73 @@
+package cdr
+
+import "sync"
+
+// The protocol layers above CDR read the same small vocabulary of
+// strings over and over on their hot paths: node names, group names,
+// operation names, client identifiers. Decoding each occurrence
+// allocates a fresh string; across a token rotation or a coalesced data
+// batch those add up to a large share of the garbage the receive path
+// produces. The intern table maps each distinct spelling to one shared
+// string, so steady-state decoding allocates nothing for strings.
+//
+// The table is capped: an adversarial or merely unbounded vocabulary
+// (say, per-request identifiers routed through an interned field) must
+// not pin memory forever, so once full the table stops growing and
+// lookups that miss simply allocate like before.
+var internTab = struct {
+	sync.RWMutex
+	m map[string]string
+}{m: make(map[string]string)}
+
+// maxInterned bounds the table. Node, group, and operation vocabularies
+// are far smaller in practice; the cap only matters if a caller routes
+// high-cardinality data through an interned read by mistake.
+const maxInterned = 4096
+
+// Intern returns a canonical string equal to b. The fast path (the
+// spelling is already in the table) performs no allocation: the map
+// lookup with a byte-slice key conversion does not escape.
+func Intern(b []byte) string {
+	internTab.RLock()
+	s, ok := internTab.m[string(b)]
+	internTab.RUnlock()
+	if ok {
+		return s
+	}
+	internTab.Lock()
+	defer internTab.Unlock()
+	if s, ok = internTab.m[string(b)]; ok {
+		return s
+	}
+	s = string(b)
+	if len(internTab.m) < maxInterned {
+		internTab.m[s] = s
+	}
+	return s
+}
+
+// ReadStringInterned is ReadString through the intern table: use it for
+// fields drawn from a small fixed vocabulary (protocol names, node and
+// group identifiers), where it makes steady-state decoding allocation
+// free. Do not use it for unbounded user data.
+func (d *Decoder) ReadStringInterned() (string, error) {
+	n, err := d.ReadULong()
+	if err != nil {
+		return "", err
+	}
+	if n == 0 || n > MaxSeqLen {
+		if n == 0 {
+			return "", nil
+		}
+		return "", ErrSeqTooLong
+	}
+	if err := d.need(int(n)); err != nil {
+		return "", err
+	}
+	b := d.buf[d.pos : d.pos+int(n)]
+	d.pos += int(n)
+	if b[len(b)-1] != 0 {
+		return "", ErrBadString
+	}
+	return Intern(b[:len(b)-1]), nil
+}

@@ -31,6 +31,31 @@ func GetEncoder(order byte) *Encoder {
 	return e
 }
 
+// GetEncoderSized is GetEncoder with a capacity hint: the returned
+// encoder's buffer holds at least capHint bytes. A marshal whose size is
+// known up front costs one allocation of roughly that size — an
+// exact-size buffer for a large coalesced frame instead of a chain of
+// append doublings, a small buffer for a packet much smaller than the
+// 512-byte seed (the circulating token) instead of the seed. A hint of 0
+// behaves exactly like GetEncoder. Underestimated hints stay correct:
+// the buffer grows by append like any other.
+func GetEncoderSized(order byte, capHint int) *Encoder {
+	e := encPool.Get().(*Encoder)
+	e.little = order == LittleEndian
+	switch {
+	case capHint <= 0:
+		capHint = initialBufCap
+	case capHint < 64:
+		capHint = 64
+	}
+	if cap(e.buf) < capHint {
+		e.buf = make([]byte, 0, capHint)
+	} else {
+		e.buf = e.buf[:0]
+	}
+	return e
+}
+
 // Grow ensures capacity for at least n further bytes, so callers that know
 // the rough frame size up front (e.g. a GIOP message wrapping an existing
 // body) pay a single allocation instead of successive doublings.

@@ -43,10 +43,10 @@ const (
 )
 
 var episodeNames = map[EpisodeKind]string{
-	EpCrashRestart:  "crash-restart",
-	EpPartitionHeal: "partition-heal",
-	EpLossBurst:     "loss-burst",
-	EpDelaySpike:    "delay-spike",
+	EpCrashRestart:   "crash-restart",
+	EpPartitionHeal:  "partition-heal",
+	EpLossBurst:      "loss-burst",
+	EpDelaySpike:     "delay-spike",
 	EpSlowNode:       "slow-node",
 	EpTokenDrop:      "token-drop",
 	EpShardPartition: "shard-partition",

@@ -20,6 +20,7 @@ import (
 	"repro/internal/orb"
 	"repro/internal/replication"
 	"repro/internal/totem"
+	"repro/internal/transport"
 )
 
 // Options configures a Domain.
@@ -30,6 +31,20 @@ type Options struct {
 	Nodes []string
 	// Net configures the simulated network.
 	Net netsim.Config
+	// Transport, when set, carries the Totem ring traffic instead of the
+	// simulated fabric (e.g. a udp.Cluster for real loopback sockets). It
+	// must be able to open ports for every node name in Nodes. The fabric
+	// still exists for the ORB/IIOP side, and the fault-injection methods
+	// (Partition, Heal, CrashNode's network isolation) only affect fabric
+	// traffic — chaos experiments need the default netsim transport.
+	Transport transport.Transport
+	// IdleTokenDelay overrides totem's idle-token pacing on every ring
+	// the domain builds: 0 keeps totem's default hold (right for the
+	// simulated fabric, whose timers bound CPU spin), negative disables
+	// the hold so the token rotates continuously (right for real-socket
+	// transports, where any timer-based hold floors idle-start latency
+	// at the host's timer resolution).
+	IdleTokenDelay time.Duration
 	// Heartbeat is the Totem gossip interval; all protocol timeouts derive
 	// from it (default 5ms — laptop-scale; raise for slow machines).
 	Heartbeat time.Duration
@@ -69,9 +84,11 @@ func (o *Options) fill() {
 	}
 }
 
-// baseRingPort is the fabric port of shard 0; shard i listens on
-// baseRingPort+i (totem.ShardPort).
-const baseRingPort = 4000
+// BaseRingPort is the logical transport port of ring shard 0; shard i
+// listens on BaseRingPort+i (totem.ShardPort). Exported so out-of-process
+// deployments and real-socket backends can reserve the same logical
+// window without depending on this package's construction path.
+const BaseRingPort = 4000
 
 // Node bundles one host's protocol endpoints.
 type Node struct {
@@ -120,11 +137,16 @@ func NewDomain(opts Options) (*Domain, error) {
 }
 
 func (d *Domain) startNode(name string) (*Node, error) {
-	rings, err := totem.NewRingPool(d.Fabric, totem.Config{
+	var tp transport.Transport = d.Fabric
+	if d.opts.Transport != nil {
+		tp = d.opts.Transport
+	}
+	rings, err := totem.NewRingPool(tp, totem.Config{
 		Node:              name,
 		Universe:          d.opts.Nodes,
-		Port:              baseRingPort,
+		Port:              BaseRingPort,
 		HeartbeatInterval: d.opts.Heartbeat,
+		IdleTokenDelay:    d.opts.IdleTokenDelay,
 	}, d.opts.Shards)
 	if err != nil {
 		return nil, fmt.Errorf("core: ring pool on %s: %w", name, err)

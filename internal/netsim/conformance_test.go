@@ -1,0 +1,21 @@
+package netsim_test
+
+import (
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/transport"
+	"repro/internal/transport/conformance"
+)
+
+// TestTransportConformance runs the shared transport contract suite
+// against the fabric backend: one fabric serves every node name.
+func TestTransportConformance(t *testing.T) {
+	conformance.Run(t, func(t *testing.T, nodes []string) transport.Transport {
+		f := netsim.NewFabric(netsim.Config{Seed: 1})
+		for _, n := range nodes {
+			f.AddNode(n)
+		}
+		return f
+	})
+}

@@ -28,6 +28,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/transport"
 )
 
 // Errors reported by the fabric.
@@ -601,27 +603,74 @@ func (f *Fabric) Dial(from, host string, port uint16) (net.Conn, error) {
 
 // --- Datagrams -----------------------------------------------------------
 
-// Datagram is one received unreliable message.
-type Datagram struct {
-	From    string
-	Payload []byte
-}
+// Datagram is one received unreliable message (the transport seam's type;
+// the fabric is the seam's deterministic backend).
+type Datagram = transport.Datagram
 
 // DGram is an unreliable datagram port, the substrate for the group
 // communication protocol (which supplies its own reliability and ordering,
-// as Totem does over UDP).
+// as Totem does over UDP). It implements transport.Port.
 type DGram struct {
 	fabric *Fabric
 	addr   Addr
 	mu     sync.Mutex
 	cond   *sync.Cond
-	queue  []timedDatagram
+	queue  dgramRing
 	closed bool
+	waker  *time.Timer // reused wakeup for not-yet-due heads (see Recv)
+}
+
+var _ transport.Port = (*DGram)(nil)
+
+// Open binds a datagram port at host:port, implementing
+// transport.Transport. It is OpenPort behind the seam's interface: the
+// fabric plays the role of every simulated node's transport at once.
+func (f *Fabric) Open(host string, port uint16) (transport.Port, error) {
+	return f.OpenPort(host, port)
 }
 
 type timedDatagram struct {
 	dg  Datagram
 	due time.Time
+}
+
+// dgramRing is a growable circular queue of pending datagrams. The
+// previous plain-slice queue (append to push, reslice [1:] to pop) shed
+// its backing array every few hundred datagrams — popping from the front
+// strands capacity, so steady-state traffic reallocated and re-copied the
+// queue forever. The ring reuses its slots: pushes and pops on the hot
+// path allocate nothing once the queue has reached its high-water size.
+type dgramRing struct {
+	buf  []timedDatagram
+	head int
+	n    int
+}
+
+func (q *dgramRing) len() int { return q.n }
+
+func (q *dgramRing) push(td timedDatagram) {
+	if q.n == len(q.buf) {
+		grown := make([]timedDatagram, max(8, 2*len(q.buf)))
+		for i := 0; i < q.n; i++ {
+			grown[i] = q.buf[(q.head+i)%len(q.buf)]
+		}
+		q.buf = grown
+		q.head = 0
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = td
+	q.n++
+}
+
+// peek returns the head slot (valid only while the queue is non-empty).
+func (q *dgramRing) peek() *timedDatagram { return &q.buf[q.head] }
+
+func (q *dgramRing) pop() Datagram {
+	slot := &q.buf[q.head]
+	dg := slot.dg
+	*slot = timedDatagram{} // drop the payload reference: slots are reused
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return dg
 }
 
 // OpenPort binds a datagram port at host:port.
@@ -646,6 +695,9 @@ func (f *Fabric) OpenPort(host string, port uint16) (*DGram, error) {
 
 // Addr returns the bound address.
 func (d *DGram) Addr() Addr { return d.addr }
+
+// Local reports the port's node name and logical port (transport.Port).
+func (d *DGram) Local() (string, uint16) { return d.addr.Node, d.addr.Port }
 
 // Send transmits a datagram to host:port. Loss, latency, partitions, and
 // crashed destinations are applied; Send never blocks and never reports
@@ -686,7 +738,7 @@ func (d *DGram) Send(host string, port uint16, payload []byte) error {
 
 	tgt.mu.Lock()
 	if !tgt.closed {
-		tgt.queue = append(tgt.queue, timedDatagram{dg: Datagram{From: d.addr.Node, Payload: payload}, due: due})
+		tgt.queue.push(timedDatagram{dg: Datagram{From: d.addr.Node, Payload: payload}, due: due})
 		tgt.cond.Broadcast()
 	}
 	tgt.mu.Unlock()
@@ -700,25 +752,31 @@ func (d *DGram) isClosed() bool {
 }
 
 // Recv blocks until a datagram is deliverable (its latency has elapsed) or
-// the port is closed.
+// the port is closed. The wakeup timer for a not-yet-due head is created
+// once per port and Reset on reuse — the old per-wait time.AfterFunc
+// allocated a timer for every latency-delayed delivery.
 func (d *DGram) Recv() (Datagram, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	for {
-		if len(d.queue) > 0 {
-			head := d.queue[0]
+		if d.queue.len() > 0 {
+			head := d.queue.peek()
 			now := time.Now()
 			if !head.due.After(now) {
-				d.queue = d.queue[1:]
-				return head.dg, nil
+				return d.queue.pop(), nil
 			}
-			timer := time.AfterFunc(head.due.Sub(now), func() {
-				d.mu.Lock()
-				d.cond.Broadcast()
-				d.mu.Unlock()
-			})
+			wait := head.due.Sub(now)
+			if d.waker == nil {
+				d.waker = time.AfterFunc(wait, func() {
+					d.mu.Lock()
+					d.cond.Broadcast()
+					d.mu.Unlock()
+				})
+			} else {
+				d.waker.Reset(wait)
+			}
 			d.cond.Wait()
-			timer.Stop()
+			d.waker.Stop()
 			continue
 		}
 		if d.closed {

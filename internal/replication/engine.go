@@ -445,12 +445,22 @@ func (e *Engine) runRing(ring *totem.Ring, shard int) {
 	for {
 		var ev totem.Event
 		var ok bool
+		// Fast path: poll the event stream without the two-way selectgo —
+		// under multicast load events arrive in bursts, and the engine loop
+		// is on the delivery hot path of every invocation and reply.
 		select {
-		case <-e.stopCh:
-			return
 		case ev, ok = <-ring.Events():
 			if !ok {
 				return
+			}
+		default:
+			select {
+			case <-e.stopCh:
+				return
+			case ev, ok = <-ring.Events():
+				if !ok {
+					return
+				}
 			}
 		}
 		switch v := ev.(type) {

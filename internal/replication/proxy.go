@@ -3,12 +3,39 @@ package replication
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"repro/internal/cdr"
 	"repro/internal/nondet"
 	"repro/internal/orb"
 )
+
+// timerPool recycles the two timers every twoway invocation arms (call
+// deadline, retransmission backoff). On the fast path neither ever fires
+// — the reply lands in microseconds — so without pooling the timers are
+// pure per-call garbage plus two runtime timer insertions.
+var timerPool sync.Pool
+
+func getTimer(d time.Duration) *time.Timer {
+	if t, ok := timerPool.Get().(*time.Timer); ok {
+		t.Reset(d)
+		return t
+	}
+	return time.NewTimer(d)
+}
+
+// putTimer stops t, drains a pending fire, and recycles it. Callers must
+// have no outstanding receive on t.C.
+func putTimer(t *time.Timer) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+	timerPool.Put(t)
+}
 
 // CallCtx is attached to orb.Invocation.Caller while a replica executes, so
 // servants can perform deterministic nested invocations: every replica of
@@ -186,10 +213,10 @@ func (p *Proxy) call(op string, args []cdr.Value, oneway bool) ([]cdr.Value, err
 		return nil, err
 	}
 
-	deadline := time.NewTimer(p.timeout)
-	defer deadline.Stop()
-	retry := time.NewTimer(p.backoffAfter(0))
-	defer retry.Stop()
+	deadline := getTimer(p.timeout)
+	defer putTimer(deadline)
+	retry := getTimer(p.backoffAfter(0))
+	defer putTimer(retry)
 	for attempt := 0; ; {
 		select {
 		case rep, ok := <-pc.ch:

@@ -223,7 +223,7 @@ func encodeOpKey(e *cdr.Encoder, k opKey) {
 func decodeOpKey(d *cdr.Decoder) (opKey, error) {
 	var k opKey
 	var err error
-	if k.ClientID, err = d.ReadString(); err != nil {
+	if k.ClientID, err = d.ReadStringInterned(); err != nil {
 		return k, err
 	}
 	if k.ParentSeq, err = d.ReadULongLong(); err != nil {
@@ -285,7 +285,12 @@ func encodeWire(m any) ([]byte, error) {
 }
 
 func decodeWire(b []byte) (any, error) {
+	// Callers hand decodeWire buffers they own and never modify — a totem
+	// delivery (copied off the transport once by the ring) or a WAL
+	// record — so Args/Body may alias b instead of copying. The servant
+	// boundary still copies: DecodeValues materializes argument values.
 	d := cdr.NewDecoder(b, cdr.BigEndian)
+	d.SetZeroCopy(true)
 	t, err := d.ReadOctet()
 	if err != nil {
 		return nil, err
@@ -299,7 +304,7 @@ func decodeWire(b []byte) (any, error) {
 		if v.Key, err = decodeOpKey(d); err != nil {
 			return nil, err
 		}
-		if v.Operation, err = d.ReadString(); err != nil {
+		if v.Operation, err = d.ReadStringInterned(); err != nil {
 			return nil, err
 		}
 		if v.Args, err = d.ReadOctetSeq(); err != nil {
@@ -326,7 +331,7 @@ func decodeWire(b []byte) (any, error) {
 		if v.Body, err = d.ReadOctetSeq(); err != nil {
 			return nil, err
 		}
-		if v.Node, err = d.ReadString(); err != nil {
+		if v.Node, err = d.ReadStringInterned(); err != nil {
 			return nil, err
 		}
 		if v.ExecMsgID, err = d.ReadULongLong(); err != nil {
@@ -371,7 +376,7 @@ func decodeWire(b []byte) (any, error) {
 		if v.GroupID, err = d.ReadULongLong(); err != nil {
 			return nil, err
 		}
-		if v.From, err = d.ReadString(); err != nil {
+		if v.From, err = d.ReadStringInterned(); err != nil {
 			return nil, err
 		}
 		return v, nil

@@ -45,6 +45,51 @@ func BenchmarkPR2PacketRoundTrip(b *testing.B) {
 	}
 }
 
+// TestDecodeOwnedAllocBudget pins the receive-path allocation win that
+// PR 7's owned-frame decode bought: once recvLoop hands decodePacketOwned
+// a buffer it owns, a 16-message coalesced batch must decode with the
+// sub-message payloads and group names aliasing that buffer — a handful
+// of fixed allocations (packet struct, slice headers, decoder) rather
+// than one copy per sub-message. A regression that re-introduces
+// per-payload copies roughly doubles the count and fails here.
+func TestDecodeOwnedAllocBudget(t *testing.T) {
+	const batch = 16
+	db := &dataBatch{
+		Ring:     RingID{Epoch: 3, Coord: "n1"},
+		Sender:   "n2",
+		FirstSeq: 42,
+	}
+	for i := 0; i < batch; i++ {
+		db.Groups = append(db.Groups, "og/7")
+		db.Payloads = append(db.Payloads, make([]byte, 256))
+	}
+	raw := mustEncodePacket(t, db)
+
+	owned := testing.AllocsPerRun(200, func() {
+		if _, err := decodePacketOwned(raw); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Fixed costs only: packet struct, decoder, interned-group slice
+	// header, payload slice-of-slices header. 8 leaves slack for
+	// compiler-version drift without admitting per-message copies
+	// (which would add ≥2·batch = 32).
+	if owned > 8 {
+		t.Fatalf("decodePacketOwned of a %d-message batch: %.0f allocs/op, want ≤ 8", batch, owned)
+	}
+
+	// The copying decode (shared-buffer contract) is the upper bound the
+	// owned path must stay well under.
+	copying := testing.AllocsPerRun(200, func() {
+		if _, err := decodePacket(raw); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if owned >= copying {
+		t.Fatalf("owned decode (%.0f allocs) not cheaper than copying decode (%.0f)", owned, copying)
+	}
+}
+
 // BenchmarkPR2MulticastBurst drives a 3-node ring with bursts of 16
 // queued messages and waits for local delivery of each burst. Coalescing
 // packs each burst into far fewer fabric datagrams, so this tracks the

@@ -42,7 +42,7 @@ import (
 
 	"repro/internal/cdr"
 	"repro/internal/fault"
-	"repro/internal/netsim"
+	"repro/internal/transport"
 )
 
 // ctlGroup is the reserved process-group name used for membership control
@@ -97,6 +97,14 @@ type Config struct {
 	// count, the first idle round after traffic rotates eagerly to pick up
 	// just-queued work, and locally queued work cancels a hold in progress
 	// — so back-to-back invocations pay token rotations, not idle holds.
+	//
+	// A negative value disables idle pacing entirely: the token rotates
+	// continuously even when the ring is idle, as classic Totem
+	// implementations do on real networks. That trades idle CPU (each
+	// rotation is a few socket syscalls per node) for never paying a hold
+	// when work arrives mid-rotation — the right trade on a real transport,
+	// where timer granularity (often ~1ms on virtualized hosts) would
+	// otherwise put a millisecond floor under every idle-start invocation.
 	IdleTokenDelay time.Duration
 	// MaxFrameBytes bounds the payload bytes coalesced into one fabric
 	// datagram when the token holder drains its send queue (default
@@ -153,7 +161,7 @@ func (c *Config) fill() {
 	if c.MaxBatchBytes <= 0 {
 		c.MaxBatchBytes = 256 << 10
 	}
-	if c.IdleTokenDelay <= 0 {
+	if c.IdleTokenDelay == 0 {
 		c.IdleTokenDelay = time.Millisecond
 	}
 	if c.MaxFrameBytes <= 0 {
@@ -176,6 +184,11 @@ type outMsg struct {
 	payload []byte
 }
 
+// eagerParkRounds is how many consecutive workless rounds an eager-mode
+// (negative IdleTokenDelay) ring rotates through before parking the token
+// at the coordinator. See the parking comment in handleToken.
+const eagerParkRounds = 64
+
 // fwdToken is an internal loop event: a paced token forward coming due.
 type fwdToken struct {
 	ring RingID
@@ -193,8 +206,7 @@ var wakeEvent = &wake{}
 // Ring is one node's endpoint of the group communication layer.
 type Ring struct {
 	cfg    Config
-	fabric *netsim.Fabric
-	port   *netsim.DGram
+	port   transport.Port
 	events *eventQueue
 	evCh   chan Event
 
@@ -230,6 +242,8 @@ type Ring struct {
 	groupMembers map[string]map[string]bool
 	idleRounds   int           // consecutive workless rounds (coordinator only)
 	paceCancel   chan struct{} // closes to release a held idle token early
+	parked       bool          // eager mode: token held at the idle coordinator
+	unparking    bool          // the re-handled visit must rotate, not re-park
 
 	packetCh   chan any
 	stopCh     chan struct{}
@@ -255,19 +269,20 @@ type Stats struct {
 	Batches    uint64 // coalesced multi-message frames this node emitted
 }
 
-// NewRing creates (but does not start) a ring endpoint on the fabric.
-func NewRing(fabric *netsim.Fabric, cfg Config) (*Ring, error) {
+// NewRing creates (but does not start) a ring endpoint on the transport
+// (the netsim fabric for deterministic in-process runs, a udp.Transport
+// for real-socket multi-process deployments).
+func NewRing(tp transport.Transport, cfg Config) (*Ring, error) {
 	cfg.fill()
 	if cfg.Node == "" {
 		return nil, errors.New("totem: Config.Node required")
 	}
-	port, err := fabric.OpenPort(cfg.Node, cfg.Port)
+	port, err := tp.Open(cfg.Node, cfg.Port)
 	if err != nil {
 		return nil, fmt.Errorf("totem: open port: %w", err)
 	}
 	r := &Ring{
 		cfg:          cfg,
-		fabric:       fabric,
 		port:         port,
 		events:       newEventQueue(),
 		evCh:         make(chan Event),
@@ -437,7 +452,20 @@ func (r *Ring) recvLoop() {
 		if err != nil {
 			return
 		}
-		pkt, err := decodePacket(dg.Payload)
+		// The transport's payload is only valid until the next Recv. For
+		// payload-bearing packets the datagram is copied out exactly once
+		// and the decoder aliases that copy — one allocation per frame
+		// instead of one per batched message. Control packets (tokens
+		// above all: they circulate continuously under eager rotation)
+		// skip the frame copy and decode field-by-field off the transport
+		// buffer as before.
+		var pkt any
+		if t := pktType(firstOctet(dg.Payload)); t == pktData || t == pktDataBatch {
+			owned := append(make([]byte, 0, len(dg.Payload)), dg.Payload...)
+			pkt, err = decodePacketOwned(owned)
+		} else {
+			pkt, err = decodePacket(dg.Payload)
+		}
 		if err != nil {
 			continue // corrupt datagram: drop, like UDP
 		}
@@ -476,6 +504,22 @@ func (r *Ring) run() {
 			return
 		case pkt := <-r.packetCh:
 			r.handlePacket(pkt)
+			// Drain what queued behind it with nonblocking receives: a
+			// single-case select compiles to a cheap channel poll, while
+			// re-entering the three-way select costs a full selectgo pass
+			// per packet — measurably hot at the ~10^5 packets/s a busy
+			// ring sustains. The drain is bounded so a saturated packet
+			// stream cannot starve the heartbeat tick (liveness gossip and
+			// the failure detector hang off it).
+			for n := 0; n < 128; n++ {
+				select {
+				case pkt := <-r.packetCh:
+					r.handlePacket(pkt)
+					continue
+				default:
+				}
+				break
+			}
 		case <-ticker.C:
 			r.tick()
 		}
@@ -589,6 +633,16 @@ func (r *Ring) tick() {
 			r.enterForming(now)
 			return
 		}
+		if r.parked {
+			// Keepalive rotation: a parked token is deliberate silence, which
+			// the other members cannot tell apart from token loss. One forced
+			// rotation per heartbeat refreshes every member's lastToken (the
+			// tick interval is far below TokenTimeout), drains any queue the
+			// pre-park race left behind, and re-parks if the ring is still
+			// idle — a handful of datagrams per heartbeat instead of a
+			// continuous spin.
+			r.unpark()
+		}
 		if now.Sub(r.lastToken) > r.cfg.TokenTimeout {
 			r.enterForming(now)
 			return
@@ -598,6 +652,18 @@ func (r *Ring) tick() {
 		if r.retained != nil && r.retained.Ring == r.ring &&
 			now.Sub(r.lastToken) > r.cfg.TokenTimeout/2 {
 			r.send(r.retainedNext, r.retained)
+		}
+		// Eager-mode nudge retry: queued work with no token visit for a
+		// while means our enqueue-time nudge raced the parking round (or was
+		// lost) — ask the coordinator again.
+		if r.cfg.IdleTokenDelay < 0 && r.ring.Coord != r.cfg.Node &&
+			now.Sub(r.lastToken) > r.cfg.HeartbeatInterval/2 {
+			r.mu.Lock()
+			pending := len(r.sendQ) > 0
+			r.mu.Unlock()
+			if pending {
+				r.send(r.ring.Coord, &nudge{Ring: r.ring, From: r.cfg.Node})
+			}
 		}
 	case stForming:
 		if len(alive) > 0 && alive[0] == r.cfg.Node && now.Sub(r.formingFrom) >= r.cfg.SettleDelay {
@@ -617,6 +683,7 @@ func (r *Ring) enterForming(now time.Time) {
 	r.state = stForming
 	r.formingFrom = now
 	r.retained = nil
+	r.parked = false
 }
 
 func (r *Ring) proposeRing(members []string) {
@@ -653,13 +720,19 @@ func (r *Ring) handlePacket(pkt any) {
 			r.paceCancel = nil
 			r.send(v.next, v.tok)
 		}
+	case *nudge:
+		if v.Ring == r.ring && r.parked {
+			r.unpark()
+		}
 	case *wake:
 		r.handleWake()
 	}
 }
 
 // handleWake reacts to freshly queued local work: it ends an idle-token
-// hold early and fast-paths a singleton ring past token pacing entirely.
+// hold early, unparks an eager-mode token, fast-paths a singleton ring
+// past token pacing entirely, and — at a non-coordinator in eager mode —
+// nudges the coordinator in case the token is parked there.
 func (r *Ring) handleWake() {
 	if r.state != stOperational {
 		return
@@ -673,10 +746,40 @@ func (r *Ring) handleWake() {
 		r.handleToken(&cp)
 		return
 	}
+	if r.parked {
+		r.unpark()
+		return
+	}
 	if r.paceCancel != nil {
 		close(r.paceCancel)
 		r.paceCancel = nil
 	}
+	// Eager mode at a non-coordinator: the token may be parked at the
+	// coordinator, and this node cannot tell (a recent token visit proves
+	// nothing — parking follows two workless rounds, so the ring parks
+	// moments after passing here). Nudge unconditionally: a stale nudge
+	// costs one ignored ~50-byte datagram, while a suppressed one would
+	// stall this queue until the coordinator's next keepalive tick.
+	if r.cfg.IdleTokenDelay < 0 && r.ring.Coord != r.cfg.Node {
+		r.send(r.ring.Coord, &nudge{Ring: r.ring, From: r.cfg.Node})
+	}
+}
+
+// unpark resumes a parked eager-mode token with one forced rotation. The
+// force matters: the re-handled visit sees the same idle ring the parking
+// visit saw, and without it the coordinator would re-park on the spot —
+// never draining a remote nudger's queue and never refreshing the other
+// members' token-loss timers.
+func (r *Ring) unpark() {
+	r.parked = false
+	if r.retained == nil || r.state != stOperational {
+		return
+	}
+	cp := *r.retained
+	cp.Rtr = append([]uint64(nil), r.retained.Rtr...)
+	r.unparking = true
+	r.handleToken(&cp)
+	r.unparking = false
 }
 
 func (r *Ring) handleHello(h *hello) {
@@ -851,6 +954,7 @@ func (r *Ring) handleInstall(ins *install) {
 	r.retained = nil
 	r.idleRounds = 0
 	r.paceCancel = nil
+	r.parked = false
 
 	// Rebuild group membership from the collected subscriptions.
 	r.groupMembers = make(map[string]map[string]bool)
@@ -1023,9 +1127,27 @@ func (r *Ring) handleToken(t *token) {
 		} else {
 			r.idleRounds = 0
 		}
-		if idle && r.idleRounds >= 2 && next != r.cfg.Node {
-			r.paceForward(&cp, next)
-			return
+		if idle && next != r.cfg.Node && !r.unparking {
+			if r.cfg.IdleTokenDelay > 0 && r.idleRounds >= 2 {
+				r.paceForward(&cp, next)
+				return
+			}
+			if r.cfg.IdleTokenDelay < 0 && r.idleRounds >= eagerParkRounds {
+				// Eager mode: a genuinely quiet ring parks the token here
+				// instead of spinning it (demand-driven circulation). It
+				// resumes immediately on local work (handleWake), on a
+				// member's nudge, or — the backstop that keeps every
+				// member's token-loss detector satisfied — once per
+				// heartbeat tick. The threshold is deliberately much higher
+				// than the paced mode's two rounds: eager rotations are the
+				// mechanism that picks up work queued in the µs-scale gaps
+				// of an active op pipeline (a park/nudge/unpark cycle there
+				// costs more than the spin it saves), so only sustained
+				// silence — tens of workless rounds, far longer than any
+				// in-pipeline gap — parks the ring.
+				r.parked = true
+				return
+			}
 		}
 	}
 	if next == r.cfg.Node {

@@ -6,7 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/cdr"
-	"repro/internal/netsim"
+	"repro/internal/transport"
 )
 
 // Sequencer is the classic fixed-sequencer total-order baseline used for
@@ -18,7 +18,8 @@ import (
 type Sequencer struct {
 	node    string
 	members []string
-	port    *netsim.DGram
+	port    transport.Port
+	portNum uint16
 	isSeq   bool
 
 	mu        sync.Mutex
@@ -86,7 +87,7 @@ func decodeSeqPkt(b []byte) (stamped bool, m seqData, err error) {
 // NewSequencer creates one endpoint of the fixed-sequencer baseline. All
 // endpoints must be given the same member list; the smallest member name is
 // the sequencer.
-func NewSequencer(fabric *netsim.Fabric, node string, members []string, port uint16) (*Sequencer, error) {
+func NewSequencer(tp transport.Transport, node string, members []string, port uint16) (*Sequencer, error) {
 	if len(members) == 0 {
 		return nil, errors.New("totem: sequencer needs members")
 	}
@@ -96,7 +97,7 @@ func NewSequencer(fabric *netsim.Fabric, node string, members []string, port uin
 			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
 		}
 	}
-	dp, err := fabric.OpenPort(node, port)
+	dp, err := tp.Open(node, port)
 	if err != nil {
 		return nil, fmt.Errorf("totem: sequencer port: %w", err)
 	}
@@ -104,6 +105,7 @@ func NewSequencer(fabric *netsim.Fabric, node string, members []string, port uin
 		node:    node,
 		members: sorted,
 		port:    dp,
+		portNum: port,
 		isSeq:   sorted[0] == node,
 		pending: make(map[uint64]seqData),
 		events:  newEventQueue(),
@@ -148,7 +150,7 @@ func (s *Sequencer) stamp(m seqData) {
 		if member == s.node {
 			continue
 		}
-		_ = s.port.Send(member, s.port.Addr().Port, raw)
+		_ = s.port.Send(member, s.portNum, raw)
 	}
 	s.deliver(m)
 }
@@ -206,7 +208,7 @@ func (s *Sequencer) Multicast(group string, payload []byte) error {
 		s.stamp(m)
 		return nil
 	}
-	return s.port.Send(s.members[0], s.port.Addr().Port, encodeSeqPkt(false, m))
+	return s.port.Send(s.members[0], s.portNum, encodeSeqPkt(false, m))
 }
 
 // Events returns the ordered delivery stream.

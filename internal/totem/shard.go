@@ -3,7 +3,7 @@ package totem
 import (
 	"fmt"
 
-	"repro/internal/netsim"
+	"repro/internal/transport"
 )
 
 // Sharded transport support: a node can run a pool of R independent rings
@@ -14,10 +14,10 @@ import (
 // every node derive the same shard→port mapping.
 
 // ShardPort is the canonical port layout of a ring pool: shard i listens on
-// base+i on every node. Keeping the layout a pure function of (base, shard)
-// means nodes need no coordination to find each other's shards.
+// base+i on every node. It delegates to the transport layer's contract so
+// that every backend and every fault filter agree on the one layout.
 func ShardPort(base uint16, shard int) uint16 {
-	return base + uint16(shard)
+	return transport.ShardPort(base, shard)
 }
 
 // ShardName labels one shard of a pool for diagnostics and logs.
@@ -29,8 +29,8 @@ func ShardName(node string, shard int) string {
 // ports starting at cfg.Port, all sharing the remaining configuration. With
 // shards == 1 the pool is exactly one NewRing at cfg.Port — the single-ring
 // wire behaviour is unchanged. On any error the already-opened rings are
-// stopped so no fabric ports leak.
-func NewRingPool(fabric *netsim.Fabric, cfg Config, shards int) ([]*Ring, error) {
+// stopped so no transport ports leak.
+func NewRingPool(tp transport.Transport, cfg Config, shards int) ([]*Ring, error) {
 	if shards < 1 {
 		shards = 1
 	}
@@ -38,7 +38,7 @@ func NewRingPool(fabric *netsim.Fabric, cfg Config, shards int) ([]*Ring, error)
 	for i := 0; i < shards; i++ {
 		c := cfg
 		c.Port = ShardPort(cfg.Port, i)
-		r, err := NewRing(fabric, c)
+		r, err := NewRing(tp, c)
 		if err != nil {
 			for _, prev := range rings {
 				prev.Stop()

@@ -1,0 +1,262 @@
+// Package conformance is the executable contract of the transport seam:
+// one test suite run against every backend, so the properties the totem
+// layer depends on — delivery with sender identity, close-unblocks-recv,
+// port rebinding, large datagrams, concurrent senders — are pinned by
+// tests instead of by whichever backend happened to come first.
+//
+// Each backend's own test package calls Run with a factory that builds a
+// fresh deployment for the requested node names. The factory returns a
+// transport.Transport able to open ports for any of those nodes: the
+// netsim fabric does this natively; the udp backend's test wraps one
+// single-node Transport per name (see internal/transport/udp tests).
+package conformance
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// Factory builds a fresh backend deployment covering the given node
+// names. Cleanup is registered on t.
+type Factory func(t *testing.T, nodes []string) transport.Transport
+
+// Run executes the full conformance suite against one backend.
+func Run(t *testing.T, newBackend Factory) {
+	t.Run("Delivery", func(t *testing.T) { testDelivery(t, newBackend) })
+	t.Run("Local", func(t *testing.T) { testLocal(t, newBackend) })
+	t.Run("PortReuse", func(t *testing.T) { testPortReuse(t, newBackend) })
+	t.Run("CloseUnblocksRecv", func(t *testing.T) { testCloseUnblocksRecv(t, newBackend) })
+	t.Run("LargeDatagram", func(t *testing.T) { testLargeDatagram(t, newBackend) })
+	t.Run("ConcurrentSend", func(t *testing.T) { testConcurrentSend(t, newBackend) })
+}
+
+const recvWait = 5 * time.Second
+
+// recvOne runs Recv on its own goroutine with a deadline, copying the
+// payload so assertions outlive the next Recv.
+func recvOne(t *testing.T, p transport.Port) transport.Datagram {
+	t.Helper()
+	type res struct {
+		dg  transport.Datagram
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		dg, err := p.Recv()
+		dg.Payload = append([]byte(nil), dg.Payload...)
+		ch <- res{dg, err}
+	}()
+	select {
+	case r := <-ch:
+		if r.err != nil {
+			t.Fatalf("Recv: %v", r.err)
+		}
+		return r.dg
+	case <-time.After(recvWait):
+		t.Fatalf("Recv: no datagram within %v", recvWait)
+		return transport.Datagram{}
+	}
+}
+
+func open(t *testing.T, tp transport.Transport, node string, port uint16) transport.Port {
+	t.Helper()
+	p, err := tp.Open(node, port)
+	if err != nil {
+		t.Fatalf("Open(%s,%d): %v", node, port, err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+func testDelivery(t *testing.T, newBackend Factory) {
+	tp := newBackend(t, []string{"a", "b"})
+	pa := open(t, tp, "a", 100)
+	pb := open(t, tp, "b", 100)
+	payload := []byte("hello from a")
+	if err := pa.Send("b", 100, payload); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	dg := recvOne(t, pb)
+	if dg.From != "a" {
+		t.Fatalf("From = %q, want %q", dg.From, "a")
+	}
+	if !bytes.Equal(dg.Payload, payload) {
+		t.Fatalf("Payload = %q, want %q", dg.Payload, payload)
+	}
+	// The seam's port spaces are per destination port, not per connection:
+	// b replies to a different logical port of a.
+	pa2 := open(t, tp, "a", 101)
+	if err := pb.Send("a", 101, []byte("reply")); err != nil {
+		t.Fatalf("Send reply: %v", err)
+	}
+	if dg := recvOne(t, pa2); dg.From != "b" || string(dg.Payload) != "reply" {
+		t.Fatalf("reply = %q from %q", dg.Payload, dg.From)
+	}
+}
+
+// The suite keeps every logical port below 512 so single-machine backends
+// can lay real per-node port ranges side by side (the udp test separates
+// peer bases by 512).
+func testLocal(t *testing.T, newBackend Factory) {
+	tp := newBackend(t, []string{"a"})
+	p := open(t, tp, "a", 321)
+	node, port := p.Local()
+	if node != "a" || port != 321 {
+		t.Fatalf("Local() = %q,%d, want a,321", node, port)
+	}
+}
+
+func testPortReuse(t *testing.T, newBackend Factory) {
+	tp := newBackend(t, []string{"a", "b"})
+	p, err := tp.Open("a", 200)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	// Double-bind of a live port must fail.
+	if dup, err := tp.Open("a", 200); err == nil {
+		dup.Close()
+		t.Fatalf("second Open of a live port succeeded")
+	}
+	if err := p.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// After Close the port is rebindable and functional again.
+	p2 := open(t, tp, "a", 200)
+	pb := open(t, tp, "b", 200)
+	if err := pb.Send("a", 200, []byte("again")); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if dg := recvOne(t, p2); string(dg.Payload) != "again" {
+		t.Fatalf("rebound port got %q", dg.Payload)
+	}
+}
+
+func testCloseUnblocksRecv(t *testing.T, newBackend Factory) {
+	tp := newBackend(t, []string{"a"})
+	p, err := tp.Open("a", 300)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := p.Recv()
+		errCh <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let Recv block
+	if err := p.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatalf("Recv returned nil error after Close")
+		}
+	case <-time.After(recvWait):
+		t.Fatalf("Recv still blocked %v after Close", recvWait)
+	}
+	// Recv after Close also errors (no hang, no zero-value success).
+	if _, err := p.Recv(); err == nil {
+		t.Fatalf("Recv on closed port returned nil error")
+	}
+}
+
+func testLargeDatagram(t *testing.T, newBackend Factory) {
+	tp := newBackend(t, []string{"a", "b"})
+	pa := open(t, tp, "a", 400)
+	pb := open(t, tp, "b", 400)
+	// The totem coalescer packs frames up to MaxFrameBytes (60KiB default);
+	// every backend must carry one intact.
+	payload := make([]byte, 60<<10)
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	if err := pa.Send("b", 400, payload); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	dg := recvOne(t, pb)
+	if !bytes.Equal(dg.Payload, payload) {
+		t.Fatalf("large payload corrupted: got %d bytes", len(dg.Payload))
+	}
+}
+
+func testConcurrentSend(t *testing.T, newBackend Factory) {
+	const senders = 8
+	const perSender = 64
+	nodes := []string{"rx"}
+	for i := 0; i < senders; i++ {
+		nodes = append(nodes, fmt.Sprintf("s%d", i))
+	}
+	tp := newBackend(t, nodes)
+	rx := open(t, tp, "rx", 500)
+
+	// Drain concurrently with the sends so no backend-side queue or kernel
+	// socket buffer has to hold the full volume.
+	type got struct {
+		from    string
+		payload []byte
+	}
+	recvd := make(chan got, senders*perSender)
+	go func() {
+		for {
+			dg, err := rx.Recv()
+			if err != nil {
+				close(recvd)
+				return
+			}
+			recvd <- got{dg.From, append([]byte(nil), dg.Payload...)}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		name := fmt.Sprintf("s%d", s)
+		p := open(t, tp, name, 500)
+		wg.Add(1)
+		go func(s int, p transport.Port) {
+			defer wg.Done()
+			for i := 0; i < perSender; i++ {
+				msg := []byte(fmt.Sprintf("s%d/%d|payload-%d", s, i, s*perSender+i))
+				if err := p.Send("rx", 500, msg); err != nil {
+					t.Errorf("sender %d: %v", s, err)
+					return
+				}
+			}
+		}(s, p)
+	}
+	wg.Wait()
+
+	// Both shipped backends are loss-free in this setting (netsim with no
+	// injected loss; loopback UDP with a live reader and bounded volume),
+	// so every datagram must arrive intact — corruption or cross-sender
+	// interleaving inside one payload would show up here.
+	seen := make(map[string]bool)
+	deadline := time.After(recvWait)
+	for len(seen) < senders*perSender {
+		select {
+		case g, ok := <-recvd:
+			if !ok {
+				t.Fatalf("receiver closed early")
+			}
+			var s, i int
+			var rest string
+			if _, err := fmt.Sscanf(string(g.payload), "s%d/%d|%s", &s, &i, &rest); err != nil {
+				t.Fatalf("corrupt payload %q", g.payload)
+			}
+			if want := fmt.Sprintf("s%d", s); g.from != want {
+				t.Fatalf("payload %q arrived from %q", g.payload, g.from)
+			}
+			if rest != fmt.Sprintf("payload-%d", s*perSender+i) {
+				t.Fatalf("payload %q body mismatch", g.payload)
+			}
+			seen[string(g.payload)] = true
+		case <-deadline:
+			t.Fatalf("received %d/%d datagrams within %v", len(seen), senders*perSender, recvWait)
+		}
+	}
+	rx.Close()
+}

@@ -1,0 +1,72 @@
+// Package transport defines the datagram seam under the totem layer: the
+// minimal unreliable-datagram contract the group communication protocol
+// needs from a network. Two backends implement it:
+//
+//   - internal/netsim — the deterministic in-process fabric (seeded loss,
+//     latency, partitions, crash injection). The chaos harness and every
+//     reproducible experiment run here; the wire is byte-identical to the
+//     pre-seam code.
+//   - internal/transport/udp — real UDP sockets with a static peer map,
+//     used by the multi-process deployment mode so R transport shards can
+//     occupy R OS processes (and, on real hardware, R cores).
+//
+// The contract is deliberately tiny: named nodes, 16-bit logical ports,
+// fire-and-forget datagrams. Logical ports are a transport-independent
+// namespace — ShardPort below is the one port-layout rule every backend
+// and every fault filter shares — and each backend maps them onto its own
+// addressing (netsim: the port itself; udp: a per-node real-port base plus
+// the logical port).
+package transport
+
+// Datagram is one received unreliable message.
+type Datagram struct {
+	// From is the logical node name of the sender.
+	From string
+	// Payload is the datagram body. Ownership is the receiver's, but the
+	// bytes are only guaranteed valid until the next Recv call on the same
+	// Port: backends may reuse receive buffers (the udp backend does).
+	// Consumers that retain payload bytes past the next Recv must copy
+	// them first; the totem layer decodes (copying) before its next Recv.
+	Payload []byte
+}
+
+// Port is one bound unreliable datagram endpoint on a node.
+//
+// Send is safe for concurrent use. Recv is single-consumer: one goroutine
+// drains the port (the totem receive loop), which is what makes the
+// valid-until-next-Recv payload contract usable.
+type Port interface {
+	// Send transmits a datagram to the named node's logical port. Like
+	// UDP, it never blocks awaiting delivery and never reports remote
+	// failure — only local errors (closed port, unknown destination).
+	// The transport must not retain payload after Send returns unless it
+	// takes ownership without mutating it (netsim does; udp copies into
+	// its own scratch buffer).
+	Send(node string, port uint16, payload []byte) error
+	// Recv blocks until a datagram arrives or the port closes; after
+	// Close it returns a non-nil error.
+	Recv() (Datagram, error)
+	// Local reports the port's own node name and logical port.
+	Local() (node string, port uint16)
+	// Close releases the endpoint and unblocks a pending Recv.
+	Close() error
+}
+
+// Transport opens datagram ports on behalf of named local nodes. A
+// backend may serve one node (udp: this process's identity) or many
+// (netsim: every simulated host in the fabric).
+type Transport interface {
+	// Open binds the node's logical port. Opening a port that is already
+	// bound on the same node fails; after Close the port can be rebound.
+	Open(node string, port uint16) (Port, error)
+}
+
+// ShardPort is the canonical port layout shared by every backend: shard i
+// of a ring pool based at logical port base listens on base+i on every
+// node. Keeping the layout a pure function of (base, shard) — and keeping
+// it in logical port space, below any backend's real addressing — means
+// nodes need no coordination to find each other's shards and fault
+// filters can target one shard without knowing which backend carries it.
+func ShardPort(base uint16, shard int) uint16 {
+	return base + uint16(shard)
+}

@@ -1,0 +1,70 @@
+package udp
+
+import (
+	"fmt"
+
+	"repro/internal/transport"
+)
+
+// Cluster bundles one Transport per node, all sharing a loopback peer
+// map, so a single process can stand in for a whole deployment over real
+// sockets: `ftbench -transport udp` runs the in-process experiments with
+// ring traffic on actual UDP, and the conformance suite drives both
+// backends through the same any-node Open. A real multi-process
+// deployment uses one New per process with the shared Peers map instead.
+type Cluster struct {
+	peers map[string]Peer
+	tps   map[string]*Transport
+}
+
+var _ transport.Transport = (*Cluster)(nil)
+
+// NewLoopbackCluster builds a cluster for the given node names whose
+// logical ports all fall in [logicalLo, logicalHi]. It probes for real
+// loopback port ranges so that each node's window is free and no two
+// nodes' windows collide.
+func NewLoopbackCluster(nodes []string, logicalLo, logicalHi uint16) (*Cluster, error) {
+	if logicalHi < logicalLo {
+		return nil, fmt.Errorf("udp: bad logical window [%d,%d]", logicalLo, logicalHi)
+	}
+	span := int(logicalHi) - int(logicalLo) + 1
+	starts, err := PickBases(len(nodes), span)
+	if err != nil {
+		return nil, err
+	}
+	peers := make(map[string]Peer, len(nodes))
+	for i, n := range nodes {
+		base := starts[i] - int(logicalLo)
+		if base < 1 {
+			return nil, fmt.Errorf("udp: logical window [%d,%d] does not fit below probe range", logicalLo, logicalHi)
+		}
+		peers[n] = Peer{Host: "127.0.0.1", Base: base}
+	}
+	c := &Cluster{peers: peers, tps: make(map[string]*Transport, len(nodes))}
+	for _, n := range nodes {
+		tp, err := New(n, peers)
+		if err != nil {
+			return nil, err
+		}
+		c.tps[n] = tp
+	}
+	return c, nil
+}
+
+// Open binds the node's logical port via that node's transport.
+func (c *Cluster) Open(node string, port uint16) (transport.Port, error) {
+	tp, ok := c.tps[node]
+	if !ok {
+		return nil, fmt.Errorf("udp: cluster has no node %q", node)
+	}
+	return tp.Open(node, port)
+}
+
+// Peers returns the shared peer map (e.g. to hand to child processes).
+func (c *Cluster) Peers() map[string]Peer {
+	out := make(map[string]Peer, len(c.peers))
+	for k, v := range c.peers {
+		out[k] = v
+	}
+	return out
+}

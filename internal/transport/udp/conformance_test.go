@@ -1,0 +1,23 @@
+package udp_test
+
+import (
+	"testing"
+
+	"repro/internal/transport"
+	"repro/internal/transport/conformance"
+	"repro/internal/transport/udp"
+)
+
+// TestTransportConformance runs the shared transport contract suite
+// against the real-socket UDP backend on loopback (a Cluster: one
+// single-node Transport per name over a shared peer map, exactly the
+// multi-process deployment shape collapsed into one process).
+func TestTransportConformance(t *testing.T) {
+	conformance.Run(t, func(t *testing.T, nodes []string) transport.Transport {
+		c, err := udp.NewLoopbackCluster(nodes, 0, 511)
+		if err != nil {
+			t.Fatalf("NewLoopbackCluster: %v", err)
+		}
+		return c
+	})
+}

@@ -1,0 +1,64 @@
+package udp
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+)
+
+// PickBases finds n distinct real-port bases on loopback, each with span
+// consecutive UDP ports free at probe time, for building the static peer
+// map of a single-machine deployment (tests, the multi-process bench).
+// The probe sockets are closed before returning, so a base is only
+// reserved in the practical sense — callers should bind promptly.
+//
+// Candidates stay in [20000, 32000), below the kernel's default ephemeral
+// range, so a base is not stolen by an unrelated outgoing connection
+// between probe and bind.
+func PickBases(n, span int) ([]int, error) {
+	if n < 1 || span < 1 {
+		return nil, fmt.Errorf("udp: bad PickBases request n=%d span=%d", n, span)
+	}
+	const lo, hi = 20000, 32000
+	bases := make([]int, 0, n)
+	taken := make(map[int]bool)
+	for attempt := 0; len(bases) < n; attempt++ {
+		if attempt > 200 {
+			return nil, fmt.Errorf("udp: no free port range of %d after %d probes", span, attempt)
+		}
+		base := lo + rand.Intn(hi-lo-span)
+		overlap := false
+		for b := range taken {
+			if base < b+span && b < base+span {
+				overlap = true
+				break
+			}
+		}
+		if overlap {
+			continue
+		}
+		if !rangeFree(base, span) {
+			continue
+		}
+		taken[base] = true
+		bases = append(bases, base)
+	}
+	return bases, nil
+}
+
+func rangeFree(base, span int) bool {
+	conns := make([]*net.UDPConn, 0, span)
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+	for p := base; p < base+span; p++ {
+		c, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: p})
+		if err != nil {
+			return false
+		}
+		conns = append(conns, c)
+	}
+	return true
+}

@@ -1,0 +1,231 @@
+// Package udp is the real-socket backend of the transport seam: logical
+// datagram ports carried over UDP sockets, used by the multi-process
+// deployment mode so transport shards occupy real OS processes (and, on
+// real hardware, real cores) instead of goroutines inside one simulation.
+//
+// Addressing is a static peer map fixed at construction: every logical
+// node name maps to a host plus a real base port, and logical port p of a
+// node lives at base+p on that host. The map must be identical in every
+// process of a deployment — like the netsim fabric's node table, it is
+// the closed universe the totem protocol already assumes.
+//
+// Wire format: each UDP datagram is a 1-byte sender-name length, the
+// sender's node name, then the payload. The header exists because reverse
+// address mapping cannot identify senders — a node sends from whichever
+// ephemeral or per-shard source port the kernel picked, not from its
+// listening base.
+package udp
+
+import (
+	"fmt"
+	"net"
+	"net/netip"
+	"sync"
+
+	"repro/internal/transport"
+)
+
+// Peer locates one node of the deployment.
+type Peer struct {
+	// Host is an IP address or resolvable name ("127.0.0.1" for the
+	// loopback multi-process bench).
+	Host string
+	// Base is the real UDP port backing the node's logical port 0; logical
+	// port p binds Base+p.
+	Base int
+}
+
+// Transport opens logical datagram ports for one local node over real UDP
+// sockets. It implements transport.Transport for that node only — unlike
+// the netsim fabric, one process speaks for one node.
+type Transport struct {
+	node  string
+	peers map[string]netip.Addr // resolved peer IPs
+	bases map[string]int        // peer real base ports
+
+	mu    sync.Mutex
+	addrs map[destKey]netip.AddrPort // resolved (node, logical port) targets
+
+	sendBufs sync.Pool // *[]byte scratch for header+payload framing
+}
+
+type destKey struct {
+	node string
+	port uint16
+}
+
+// New builds a transport speaking for node. peers must cover every node
+// the deployment will ever address, including node itself (the local
+// listen address comes from the same map).
+func New(node string, peers map[string]Peer) (*Transport, error) {
+	if node == "" {
+		return nil, fmt.Errorf("udp: node name required")
+	}
+	if len(node) > 255 {
+		return nil, fmt.Errorf("udp: node name %q exceeds the 255-byte wire header", node)
+	}
+	if _, ok := peers[node]; !ok {
+		return nil, fmt.Errorf("udp: peer map missing local node %q", node)
+	}
+	t := &Transport{
+		node:  node,
+		peers: make(map[string]netip.Addr, len(peers)),
+		bases: make(map[string]int, len(peers)),
+		addrs: make(map[destKey]netip.AddrPort),
+	}
+	t.sendBufs.New = func() any { b := make([]byte, 0, 2048); return &b }
+	for name, p := range peers {
+		ip, err := resolveHost(p.Host)
+		if err != nil {
+			return nil, fmt.Errorf("udp: peer %s: %w", name, err)
+		}
+		if p.Base < 1 || p.Base > 65535 {
+			return nil, fmt.Errorf("udp: peer %s: base port %d out of range", name, p.Base)
+		}
+		t.peers[name] = ip
+		t.bases[name] = p.Base
+	}
+	return t, nil
+}
+
+func resolveHost(host string) (netip.Addr, error) {
+	if ip, err := netip.ParseAddr(host); err == nil {
+		return ip, nil
+	}
+	ips, err := net.LookupIP(host)
+	if err != nil {
+		return netip.Addr{}, err
+	}
+	for _, ip := range ips {
+		if a, ok := netip.AddrFromSlice(ip); ok {
+			return a.Unmap(), nil
+		}
+	}
+	return netip.Addr{}, fmt.Errorf("no usable address for %q", host)
+}
+
+// Node reports the local node name the transport speaks for.
+func (t *Transport) Node() string { return t.node }
+
+func (t *Transport) resolve(node string, lport uint16) (netip.AddrPort, error) {
+	key := destKey{node, lport}
+	t.mu.Lock()
+	ap, ok := t.addrs[key]
+	t.mu.Unlock()
+	if ok {
+		return ap, nil
+	}
+	ip, ok := t.peers[node]
+	if !ok {
+		return netip.AddrPort{}, fmt.Errorf("udp: unknown node %q", node)
+	}
+	real := t.bases[node] + int(lport)
+	if real > 65535 {
+		return netip.AddrPort{}, fmt.Errorf("udp: node %q logical port %d overflows real port space (base %d)", node, lport, t.bases[node])
+	}
+	ap = netip.AddrPortFrom(ip, uint16(real))
+	t.mu.Lock()
+	t.addrs[key] = ap
+	t.mu.Unlock()
+	return ap, nil
+}
+
+// maxDatagram bounds one framed datagram: the UDP payload ceiling. The
+// totem layer's MaxFrameBytes default (60KiB) stays comfortably under it.
+const maxDatagram = 65507
+
+// Open binds the node's logical port on a real UDP socket. Only the local
+// node's ports can be opened.
+func (t *Transport) Open(node string, lport uint16) (transport.Port, error) {
+	if node != t.node {
+		return nil, fmt.Errorf("udp: transport speaks for %q, cannot open port on %q", t.node, node)
+	}
+	real := t.bases[node] + int(lport)
+	if real > 65535 {
+		return nil, fmt.Errorf("udp: logical port %d overflows real port space (base %d)", lport, t.bases[node])
+	}
+	ip := t.peers[node]
+	conn, err := net.ListenUDP("udp", net.UDPAddrFromAddrPort(netip.AddrPortFrom(ip, uint16(real))))
+	if err != nil {
+		return nil, fmt.Errorf("udp: open %s:%d (logical %d): %w", ip, real, lport, err)
+	}
+	// The default kernel socket buffer (~208KiB) overflows under totem's
+	// bursty token-driven sends — a stalled reader sheds datagrams and the
+	// protocol pays retransmissions. Ask for more; the kernel clamps to
+	// rmem_max/wmem_max, so a refusal is not an error.
+	_ = conn.SetReadBuffer(4 << 20)
+	_ = conn.SetWriteBuffer(1 << 20)
+	return &port{
+		t:       t,
+		conn:    conn,
+		logical: lport,
+		rbuf:    make([]byte, maxDatagram),
+		names:   make(map[string]string),
+	}, nil
+}
+
+var _ transport.Port = (*port)(nil)
+
+type port struct {
+	t       *Transport
+	conn    *net.UDPConn
+	logical uint16
+	// rbuf is the single pooled receive buffer: Recv reads into it and
+	// hands out sub-slices, which is exactly the valid-until-next-Recv
+	// payload contract of transport.Port.
+	rbuf []byte
+	// names interns sender node names so the steady state allocates no
+	// string per datagram. Recv is single-consumer, so no lock.
+	names map[string]string
+}
+
+func (p *port) Send(node string, lport uint16, payload []byte) error {
+	ap, err := p.t.resolve(node, lport)
+	if err != nil {
+		return err
+	}
+	name := p.t.node
+	n := 1 + len(name) + len(payload)
+	if n > maxDatagram {
+		return fmt.Errorf("udp: datagram %d bytes exceeds limit %d", n, maxDatagram)
+	}
+	bp := p.t.sendBufs.Get().(*[]byte)
+	b := *bp
+	if cap(b) < n {
+		b = make([]byte, 0, n)
+	}
+	b = b[:n]
+	b[0] = byte(len(name))
+	copy(b[1:], name)
+	copy(b[1+len(name):], payload)
+	_, err = p.conn.WriteToUDPAddrPort(b, ap)
+	*bp = b[:0]
+	p.t.sendBufs.Put(bp)
+	return err
+}
+
+func (p *port) Recv() (transport.Datagram, error) {
+	for {
+		n, _, err := p.conn.ReadFromUDPAddrPort(p.rbuf)
+		if err != nil {
+			return transport.Datagram{}, err
+		}
+		if n < 1 {
+			continue
+		}
+		nl := int(p.rbuf[0])
+		if n < 1+nl {
+			continue
+		}
+		from, ok := p.names[string(p.rbuf[1:1+nl])]
+		if !ok {
+			from = string(p.rbuf[1 : 1+nl])
+			p.names[from] = from
+		}
+		return transport.Datagram{From: from, Payload: p.rbuf[1+nl : n]}, nil
+	}
+}
+
+func (p *port) Local() (string, uint16) { return p.t.node, p.logical }
+
+func (p *port) Close() error { return p.conn.Close() }
