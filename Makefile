@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check race bench benchcmp test build vet chaos slo slo-smoke mp-smoke
+.PHONY: check race bench benchcmp test build vet chaos slo slo-smoke mp-smoke dr-smoke
 
 ## check: vet + build + full test suite (the tier-1 gate)
 check: vet build test
@@ -28,32 +28,42 @@ chaos:
 
 ## bench: snapshot the PR2 hot-path + PR5 sharded-transport benchmarks,
 ## the full-profile SLO workload percentiles (~10^6-client population over
-## 1024 groups plus a 6-episode chaos phase, ~75s), and the PR7
-## multi-process loopback-UDP throughput cells into BENCH_pr7.json
+## 1024 groups plus a 6-episode chaos phase, ~75s), the PR7 multi-process
+## loopback-UDP throughput cells, and the PR8 disaster-recovery RPO/RTO
+## measurement into BENCH_pr8.json
 bench:
-	$(GO) test -run '^$$' -bench 'PR2|PR5' -benchmem -timeout 30m ./... | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_pr7.json
-	$(GO) run ./cmd/ftbench -e slo -seed 1 -json BENCH_pr7.json
-	$(GO) run ./cmd/ftbench -e e2mp -json BENCH_pr7.json
+	$(GO) test -run '^$$' -bench 'PR2|PR5' -benchmem -timeout 30m ./... | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_pr8.json
+	$(GO) run ./cmd/ftbench -e slo -seed 1 -json BENCH_pr8.json
+	$(GO) run ./cmd/ftbench -e e2mp -json BENCH_pr8.json
+	$(GO) run ./cmd/ftbench -e dr -json BENCH_pr8.json
 
 ## benchcmp: fail on adverse drift vs the frozen baselines, merged
-## first-match-wins — BENCH_pr2.json then BENCH_pr5.json for the
-## micro-benchmarks, BENCH_pr6_base.json for the SLO percentiles
-## (p99_us and goodput_ops gate; p50/p999/blackout are informational),
+## first-match-wins — BENCH_pr8_base.json first (SLO percentiles re-frozen
+## when cold-passive joined the style mix, plus the DR RPO/RTO records:
+## rpo_ops and eo_violations gate at zero, rto_ms with a wide threshold),
+## then BENCH_pr2.json and BENCH_pr5.json for the micro-benchmarks,
+## BENCH_pr6_base.json for the remaining SLO metrics, and
 ## BENCH_pr7_base.json for the multi-process throughput cells (ops_s
 ## gates with a wide single-core-noise threshold; vs_baseline is
 ## informational)
 benchcmp:
-	$(GO) run ./cmd/benchcmp -threshold 20 BENCH_pr2.json,BENCH_pr5.json,BENCH_pr6_base.json,BENCH_pr7_base.json BENCH_pr7.json
+	$(GO) run ./cmd/benchcmp -threshold 20 BENCH_pr8_base.json,BENCH_pr2.json,BENCH_pr5.json,BENCH_pr6_base.json,BENCH_pr7_base.json BENCH_pr8.json
 
-## slo: re-run just the SLO evaluation, upserting into BENCH_pr7.json
+## slo: re-run just the SLO evaluation, upserting into BENCH_pr8.json
 slo:
-	$(GO) run ./cmd/ftbench -e slo -seed 1 -json BENCH_pr7.json
+	$(GO) run ./cmd/ftbench -e slo -seed 1 -json BENCH_pr8.json
 
 ## slo-smoke: seconds-long tail-latency sanity gate (two seeds); fails if
 ## the calm-phase p999 blows past 500ms
 slo-smoke:
 	$(GO) run ./cmd/ftbench -e slo -smoke -seed 1 -p999max 500ms
 	$(GO) run ./cmd/ftbench -e slo -smoke -seed 2 -p999max 500ms
+
+## dr-smoke: seconds-long disaster-recovery smoke — kills the primary
+## domain mid-load, promotes the warm standby, and fails on any lost
+## acknowledged operation (RPO > 0) or exactly-once violation
+dr-smoke:
+	$(GO) run ./cmd/ftbench -e dr -smoke
 
 ## mp-smoke: seconds-long multi-process deployment smoke — every e2mp cell
 ## spawns real replica-node child processes with ring traffic on loopback

@@ -105,6 +105,15 @@ var registry = []metric{
 	extraMetric("goodput_ops", true, 0, gateAll),
 	extraMetric("blackout_p99_ms", false, 0, gateNever),
 	extraMetric("errors", false, 0, gateNever),
+	// Disaster recovery (cmd/ftbench -e dr). rpo_ops and eo_violations are
+	// correctness counters with a zero baseline: any nonzero candidate is
+	// infinite adverse drift and fails. rto_ms is wall-clock promotion time
+	// on a shared core — the wide threshold catches an order-of-magnitude
+	// regression (a stall in the promote path) without tripping on
+	// scheduler noise.
+	extraMetric("rpo_ops", false, 0, gateAll),
+	extraMetric("eo_violations", false, 0, gateAll),
+	extraMetric("rto_ms", false, 400, gateAll),
 	// Multi-process throughput (cmd/ftbench -e e2mp): cells are best-of-3
 	// but still ride a single shared core, where scheduler phasing moves
 	// whole cells ±25%; the wide threshold catches real collapses (a cell

@@ -14,6 +14,8 @@
 //	ftbench -e e2mp -json BENCH_pr7.json
 //	                           # multi-process sharded throughput (spawns
 //	                           # replica-node child processes, loopback UDP)
+//	ftbench -e dr -json BENCH_pr8.json
+//	                           # disaster-recovery failover; upsert RPO/RTO
 //	ftbench -e e2p -transport udp
 //	                           # in-process experiment, ring traffic on
 //	                           # real loopback sockets instead of netsim
@@ -38,12 +40,12 @@ import (
 // fabric (partitions, targeted drops, chaos schedules) and therefore
 // cannot run with -transport udp: the faults would not touch the ring
 // traffic and the run would silently measure nothing.
-var fabricOnly = map[string]bool{"e3": true, "e7": true, "e8": true, "slo": true}
+var fabricOnly = map[string]bool{"e3": true, "e7": true, "e8": true, "slo": true, "dr": true}
 
 func main() {
 	quick := flag.Bool("quick", false, "use reduced run sizes")
 	smoke := flag.Bool("smoke", false, "use seconds-long smoke run sizes (implies -quick)")
-	exps := flag.String("e", "all", "comma-separated experiment ids (e1..e8,t1,slo,e2mp) or 'all'")
+	exps := flag.String("e", "all", "comma-separated experiment ids (e1..e8,t1,slo,e2mp,dr) or 'all'")
 	seed := flag.Int64("seed", 1, "workload seed for the slo experiment")
 	jsonOut := flag.String("json", "", "upsert the slo/e2mp experiments' records into this benchjson snapshot")
 	p999max := flag.Duration("p999max", 0, "fail if the slo calm-phase p999 exceeds this (0 disables)")
@@ -73,7 +75,7 @@ func main() {
 		for _, id := range strings.Split(*exps, ",") {
 			id = strings.TrimSpace(strings.ToLower(id))
 			if _, ok := bench.ByID[id]; !ok {
-				fmt.Fprintf(os.Stderr, "ftbench: unknown experiment %q (have e1..e8, e2p, t1, slo, e2mp)\n", id)
+				fmt.Fprintf(os.Stderr, "ftbench: unknown experiment %q (have e1..e8, e2p, t1, slo, e2mp, dr)\n", id)
 				os.Exit(2)
 			}
 			ids = append(ids, id)
@@ -108,6 +110,8 @@ func main() {
 			table, err = runSLO(scale, *seed, *jsonOut, *p999max)
 		case "e2mp":
 			table, err = runE2MP(scale, *jsonOut)
+		case "dr":
+			table, err = runDR(scale, *jsonOut)
 		default:
 			table, err = bench.ByID[id](scale)
 		}
@@ -131,6 +135,22 @@ func runE2MP(scale bench.Scale, jsonOut string) (*bench.Table, error) {
 			return nil, err
 		}
 		fmt.Fprintf(os.Stderr, "ftbench: wrote %d e2mp records to %s\n", len(recs), jsonOut)
+	}
+	return table, nil
+}
+
+// runDR drives the disaster-recovery experiment and snapshots its RPO/RTO
+// records.
+func runDR(scale bench.Scale, jsonOut string) (*bench.Table, error) {
+	table, recs, err := bench.DRRecoveryRecords(scale)
+	if err != nil {
+		return table, err
+	}
+	if jsonOut != "" {
+		if err := upsertRecords(jsonOut, recs); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "ftbench: wrote %d dr records to %s\n", len(recs), jsonOut)
 	}
 	return table, nil
 }

@@ -386,4 +386,5 @@ var ByID = map[string]func(Scale) (*Table, error){
 	"t1":   T1Totem,
 	"slo":  SLOWorkload,
 	"e2mp": E2MPMultiProc,
+	"dr":   DRRecovery,
 }

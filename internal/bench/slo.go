@@ -35,8 +35,10 @@ type sloProfile struct {
 }
 
 // sloStyles cycles groups across the styles whose latency profiles the
-// paper contrasts.
-var sloStyles = []replication.Style{replication.Active, replication.WarmPassive}
+// paper contrasts. Cold passive joined in PR 8: its per-op logging plus
+// checkpoint-anchored compaction is now part of the recorded profile, and
+// the harness's WAL-bound invariant runs against it at SLO volume.
+var sloStyles = []replication.Style{replication.Active, replication.WarmPassive, replication.ColdPassive}
 
 // sloChaosKinds is the composed episode mix: leader churn (crash-restart),
 // protocol-state loss (token-drop), fabric-wide latency (delay-spike), and

@@ -1,0 +1,96 @@
+package chaos
+
+import (
+	"time"
+
+	"repro/internal/cdr"
+	"repro/internal/core"
+	"repro/internal/ftcorba"
+	"repro/internal/orb"
+)
+
+// runDomainFailover executes the disaster-recovery episode: every replica
+// fail-stops at once, a warm standby built over the harness's shared DR
+// store promotes the group, and the episode asserts the recovery point is
+// exactly the acknowledged state (RPO 0 — every style ships before the
+// client ack) and that exactly-once holds for traffic continued on the
+// standby. The standby is then discarded and the primary replicas restart
+// from their own WALs, so standby-side operations are deliberately kept out
+// of the harness accounting: the resurrected primary domain never saw them.
+func (h *Harness) runDomainFailover(ep Episode) {
+	h.tb.Helper()
+	if h.store == nil {
+		h.tb.Fatalf("seed %d: EpDomainFailover requires Options.DR", h.opts.Seed)
+	}
+	h.drive(ep.Invokes)
+	killSum, killCount := h.Acked()
+
+	// Whole-domain outage. The client node survives (its ring carries the
+	// epoch forward, so post-restart message ids stay monotone for the
+	// store's staleness checks) but has nobody to invoke until the end.
+	for _, n := range h.LiveReplicas() {
+		h.Crash(n)
+	}
+
+	standby, err := core.NewStandby(core.StandbyOptions{
+		Domain: core.Options{
+			Nodes:     []string{"dr1"},
+			Heartbeat: 4 * time.Millisecond,
+		},
+		Store: h.store,
+		Factories: map[string]ftcorba.Factory{
+			h.Def.TypeID: func() orb.Servant { return &Account{} },
+		},
+	})
+	if err != nil {
+		h.tb.Fatalf("seed %d: standby: %v", h.opts.Seed, err)
+	}
+	defer standby.Stop()
+	if err := standby.Domain().WaitReady(10 * time.Second); err != nil {
+		h.tb.Fatalf("seed %d: standby domain: %v", h.opts.Seed, err)
+	}
+	res, err := standby.Promote()
+	if err != nil {
+		h.tb.Fatalf("seed %d: promote: %v", h.opts.Seed, err)
+	}
+	if res.Groups[h.Def.ID] == "" {
+		h.tb.Fatalf("seed %d: group %d not promoted (skipped: %v)", h.opts.Seed, h.Def.ID, res.Skipped)
+	}
+	if err := standby.WaitPromoted(res, 10*time.Second); err != nil {
+		h.tb.Fatalf("seed %d: %v", h.opts.Seed, err)
+	}
+
+	p, err := standby.Proxy("dr1", h.Def.ID)
+	if err != nil {
+		h.tb.Fatalf("seed %d: standby proxy: %v", h.opts.Seed, err)
+	}
+	out, err := p.Invoke("get")
+	if err != nil {
+		h.tb.Fatalf("seed %d: standby get: %v", h.opts.Seed, err)
+	}
+	if got := out[0].AsLongLong(); got != killSum {
+		h.tb.Fatalf("seed %d: RPO violation: standby balance = %d, acked at kill = %d", h.opts.Seed, got, killSum)
+	}
+	if got := out[1].AsLongLong(); got != killCount {
+		h.tb.Fatalf("seed %d: standby ops = %d, acked count at kill = %d (lost or double-executed)", h.opts.Seed, got, killCount)
+	}
+
+	// Continued service with exactly-once: each add applies exactly once.
+	for i := int64(1); i <= int64(ep.Invokes); i++ {
+		out, err := p.Invoke("add", cdr.Long(1))
+		if err != nil {
+			h.tb.Fatalf("seed %d: standby add: %v", h.opts.Seed, err)
+		}
+		if got := out[0].AsLongLong(); got != killSum+i {
+			h.tb.Fatalf("seed %d: exactly-once violation on standby: balance = %d, want %d", h.opts.Seed, got, killSum+i)
+		}
+	}
+	standby.Stop()
+
+	// Resurrect the primary domain from its WALs and resume the schedule.
+	for _, n := range h.DownNodes() {
+		h.Restart(n)
+	}
+	h.WaitMembers(h.Nodes)
+	h.drive(ep.Invokes)
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/cdr"
+	"repro/internal/drstore"
 	"repro/internal/fault"
 	"repro/internal/netsim"
 	"repro/internal/replication"
@@ -42,6 +43,11 @@ type Options struct {
 	// group hash-routes onto one of them; the others run alongside so pool
 	// lifecycle (crash, restart, teardown) is exercised under faults.
 	Shards int
+	// DR attaches a shared in-memory disaster-recovery store that every
+	// replica engine ships into, enabling the EpDomainFailover episode
+	// (whole-domain outage + warm-standby promotion). Schedules containing
+	// that episode must come from GenerateDR.
+	DR bool
 }
 
 // ObsMsg is one recorded delivery: enough to check virtual-synchrony order
@@ -100,6 +106,11 @@ type Harness struct {
 	Client string   // client node; never faulted
 	Def    replication.GroupDef
 
+	// store is the shared DR shipping target (nil unless Options.DR). It
+	// is an interface field assigned only when enabled, so engines see a
+	// true nil when disabled.
+	store drstore.Store
+
 	mu        sync.Mutex
 	rings     map[string][]*totem.Ring
 	engines   map[string]*replication.Engine
@@ -147,6 +158,9 @@ func New(tb testing.TB, opts Options) *Harness {
 	}
 	if opts.FileLogs {
 		h.logDir = tb.TempDir()
+	}
+	if opts.DR {
+		h.store = drstore.NewMemStore()
 	}
 	h.Fabric = netsim.NewFabric(netsim.Config{
 		Latency: 50 * time.Microsecond,
@@ -264,6 +278,7 @@ func (h *Harness) startNode(node string, fromLog bool) {
 		RetryInterval:     120 * time.Millisecond,
 		SyncRetryInterval: 50 * time.Millisecond,
 		LogFactory:        func(replication.GroupDef) wal.Log { return h.logFor(node) },
+		DR:                h.store,
 	})
 	if err != nil {
 		h.tb.Fatalf("engine %s: %v", node, err)
@@ -373,6 +388,9 @@ func (h *Harness) LiveReplicas() []string {
 	}
 	return out
 }
+
+// Store returns the shared DR store (nil unless Options.DR).
+func (h *Harness) Store() drstore.Store { return h.store }
 
 // Engine returns the node's current engine.
 func (h *Harness) Engine(node string) *replication.Engine {

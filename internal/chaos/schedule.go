@@ -37,6 +37,13 @@ const (
 	// the node — and its other shards — stay up. Generated only for sharded
 	// harnesses.
 	EpShardPartition
+	// EpDomainFailover fail-stops every replica at once (a whole-domain
+	// disaster), promotes a warm standby over the harness's DR store,
+	// verifies zero acknowledged operations were lost and exactly-once for
+	// continued standby traffic, then discards the standby and restarts the
+	// primary replicas from their WALs. Generated only by GenerateDR, for
+	// harnesses with Options.DR.
+	EpDomainFailover
 
 	episodeKinds        = 6 // kinds every harness generates
 	shardedEpisodeKinds = 7 // adds EpShardPartition when Shards > 1
@@ -50,6 +57,7 @@ var episodeNames = map[EpisodeKind]string{
 	EpSlowNode:       "slow-node",
 	EpTokenDrop:      "token-drop",
 	EpShardPartition: "shard-partition",
+	EpDomainFailover: "domain-failover",
 }
 
 func (k EpisodeKind) String() string { return episodeNames[k] }
@@ -89,6 +97,22 @@ func GenerateSharded(rng *rand.Rand, replicas []string, shards, episodes int) Sc
 	if shards > 1 {
 		kinds = append(kinds, EpShardPartition)
 	}
+	return GenerateFrom(rng, replicas, shards, episodes, kinds)
+}
+
+// GenerateDR is GenerateSharded with the whole-domain failover episode added
+// to the draw; it requires a harness built with Options.DR. Generate and
+// GenerateSharded never emit EpDomainFailover, so existing seeds replay
+// byte-for-byte.
+func GenerateDR(rng *rand.Rand, replicas []string, shards, episodes int) Schedule {
+	kinds := make([]EpisodeKind, episodeKinds)
+	for k := range kinds {
+		kinds[k] = EpisodeKind(k)
+	}
+	if shards > 1 {
+		kinds = append(kinds, EpShardPartition)
+	}
+	kinds = append(kinds, EpDomainFailover)
 	return GenerateFrom(rng, replicas, shards, episodes, kinds)
 }
 
@@ -212,6 +236,8 @@ func (h *Harness) runEpisode(i int, ep Episode) {
 		h.Fabric.SetDropFilter(nil)
 		h.WaitMembers(h.Nodes)
 		h.drive(ep.Invokes)
+	case EpDomainFailover:
+		h.runDomainFailover(ep)
 	default:
 		h.tb.Fatalf("unknown episode kind %d", ep.Kind)
 	}

@@ -48,6 +48,40 @@ func TestChaosSweep(t *testing.T) {
 	}
 }
 
+// TestChaosDRSweep runs seeded schedules that include the whole-domain
+// failover episode: every replica fail-stops at once, a warm standby over
+// the shared DR store promotes the group with zero acknowledged operations
+// lost and exactly-once preserved, and the primaries then restart from
+// their WALs and must still pass the full invariant suite (the finale's
+// convergence and WAL-replay checks prove the detour through the standby
+// corrupted nothing). Only the passive styles run here: they persist WALs,
+// so the primary domain can resurrect with its acknowledged state. An
+// active group keeps no local log by design — after a whole-domain outage
+// the promoted standby IS the recovery, which TestStandbyPromotion covers.
+func TestChaosDRSweep(t *testing.T) {
+	styles := []replication.Style{
+		replication.WarmPassive,
+		replication.ColdPassive,
+	}
+	seeds := seedsPerStyle()
+	for _, style := range styles {
+		for seed := int64(1); seed <= int64(seeds); seed++ {
+			style, seed := style, seed
+			t.Run(fmt.Sprintf("%s/seed%d", style, seed), func(t *testing.T) {
+				h := New(t, Options{Style: style, Seed: seed, DR: true, CheckpointEvery: 4})
+				s := GenerateDR(h.Rng, h.Nodes, 1, 4)
+				// Guarantee at least one disaster per schedule: the random
+				// draw may not have picked it.
+				s.Episodes = append(s.Episodes, Episode{Kind: EpDomainFailover, Victim: h.Nodes[0], Invokes: 3})
+				s.Seed = seed
+				t.Logf("schedule %s", s.Describe())
+				h.Run(s)
+				h.CheckGoroutines()
+			})
+		}
+	}
+}
+
 // TestChaosSweepSharded is the sweep over a two-shard transport pool: every
 // node runs two rings, the group hash-routes onto one of them, and the
 // episode space includes shard-partition faults that sever a single ring of

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/drstore"
 	"repro/internal/fault"
 	"repro/internal/ftcorba"
 	"repro/internal/ior"
@@ -61,6 +62,11 @@ type Options struct {
 	CallTimeout time.Duration
 	// RetryInterval is the invocation retransmission period (default 1s).
 	RetryInterval time.Duration
+	// DRStore, when set, is the disaster-recovery shipping target wired
+	// into every node's replication engine: senior members ship group
+	// definitions, checkpoints, and update records there so a Standby
+	// built over the same store can take over after this domain dies.
+	DRStore drstore.Store
 }
 
 func (o *Options) fill() {
@@ -158,6 +164,7 @@ func (d *Domain) startNode(name string) (*Node, error) {
 		Notifier:      d.Notifier,
 		CallTimeout:   d.opts.CallTimeout,
 		RetryInterval: d.opts.RetryInterval,
+		DR:            d.opts.DRStore,
 	})
 	if err != nil {
 		totem.StopPool(rings)

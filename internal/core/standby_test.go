@@ -1,0 +1,217 @@
+package core_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cdr"
+	"repro/internal/core"
+	"repro/internal/drstore"
+	"repro/internal/ftcorba"
+	"repro/internal/orb"
+	"repro/internal/replication"
+)
+
+// counter is a Checkpointable accumulator: "add" folds the argument in and
+// returns the running sum plus the op count, "get" just reads them.
+type counter struct {
+	mu  sync.Mutex
+	sum int64
+	ops int64
+}
+
+func (c *counter) RepoID() string { return "IDL:repro/StandbyCounter:1.0" }
+
+func (c *counter) Dispatch(inv *orb.Invocation) ([]cdr.Value, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if inv.Operation == "add" {
+		c.sum += int64(inv.Args[0].AsLong())
+		c.ops++
+	}
+	return []cdr.Value{cdr.LongLong(c.sum), cdr.LongLong(c.ops)}, nil
+}
+
+func (c *counter) GetState() ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := cdr.NewEncoder(cdr.BigEndian)
+	e.WriteLongLong(c.sum)
+	e.WriteLongLong(c.ops)
+	out := make([]byte, e.Len())
+	copy(out, e.Bytes())
+	return out, nil
+}
+
+func (c *counter) SetState(b []byte) error {
+	d := cdr.NewDecoder(b, cdr.BigEndian)
+	sum, err := d.ReadLongLong()
+	if err != nil {
+		return err
+	}
+	ops, err := d.ReadLongLong()
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.sum, c.ops = sum, ops
+	c.mu.Unlock()
+	return nil
+}
+
+const counterType = "IDL:repro/StandbyCounter:1.0"
+
+// TestStandbyPromotion is the disaster-recovery end-to-end: a primary
+// domain ships to a store while serving each stateful replication style,
+// dies completely, and a warm standby promotes every group with no
+// acknowledged operation lost (cold-passive and warm-passive ship before
+// the client ack, active ships before execution) and exactly-once
+// preserved for continued traffic.
+func TestStandbyPromotion(t *testing.T) {
+	store := drstore.NewMemStore()
+	defer store.Close()
+
+	primary, err := core.NewDomain(core.Options{
+		Nodes:     []string{"p1", "p2"},
+		Heartbeat: 4 * time.Millisecond,
+		DRStore:   store,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer primary.Stop()
+	if err := primary.WaitReady(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := primary.RegisterFactory(counterType, func() orb.Servant { return &counter{} }); err != nil {
+		t.Fatal(err)
+	}
+
+	styles := []replication.Style{replication.ColdPassive, replication.WarmPassive, replication.Active}
+	gids := make([]uint64, len(styles))
+	for i, style := range styles {
+		_, gid, err := primary.Create("g", counterType, &ftcorba.Properties{
+			ReplicationStyle:      style,
+			InitialNumberReplicas: 2,
+			CheckpointInterval:    4, // several compactions over 10 ops
+		})
+		if err != nil {
+			t.Fatalf("%v: create: %v", style, err)
+		}
+		if err := primary.WaitGroupReady(gid, 2, 5*time.Second); err != nil {
+			t.Fatalf("%v: ready: %v", style, err)
+		}
+		gids[i] = gid
+	}
+
+	const ops = 10
+	var wantSum int64
+	for i := 1; i <= ops; i++ {
+		wantSum += int64(i)
+	}
+	for i, gid := range gids {
+		p, err := primary.Proxy("p2", gid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 1; v <= ops; v++ {
+			out, err := p.Invoke("add", cdr.Long(int32(v)))
+			if err != nil {
+				t.Fatalf("%v: add(%d): %v", styles[i], v, err)
+			}
+			if v == ops && out[0].AsLongLong() != wantSum {
+				t.Fatalf("%v: primary sum = %d, want %d", styles[i], out[0].AsLongLong(), wantSum)
+			}
+		}
+	}
+
+	standby, err := core.NewStandby(core.StandbyOptions{
+		Domain: core.Options{
+			Nodes:     []string{"s1", "s2"},
+			Heartbeat: 4 * time.Millisecond,
+		},
+		Store:     store,
+		Factories: map[string]ftcorba.Factory{counterType: func() orb.Servant { return &counter{} }},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer standby.Stop()
+	if err := standby.Domain().WaitReady(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Whole-domain outage, then promotion.
+	primary.Stop()
+	res, err := standby.Promote()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != len(gids) {
+		t.Fatalf("promoted %d groups (%v skipped: %v), want %d", len(res.Groups), res.Groups, res.Skipped, len(gids))
+	}
+	if err := standby.WaitPromoted(res, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	for i, gid := range gids {
+		p, err := standby.Proxy("s1", gid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := p.Invoke("get")
+		if err != nil {
+			t.Fatalf("%v: standby get: %v", styles[i], err)
+		}
+		if got := out[0].AsLongLong(); got != wantSum {
+			t.Errorf("%v: RPO violation: standby sum = %d, want %d (acked ops lost)", styles[i], got, wantSum)
+		}
+		if got := out[1].AsLongLong(); got != ops {
+			t.Errorf("%v: standby ops = %d, want %d (lost or double-executed)", styles[i], got, ops)
+		}
+		// Continued service with exactly-once: new operations apply once.
+		out, err = p.Invoke("add", cdr.Long(100))
+		if err != nil {
+			t.Fatalf("%v: post-promotion add: %v", styles[i], err)
+		}
+		if got := out[0].AsLongLong(); got != wantSum+100 {
+			t.Errorf("%v: post-promotion sum = %d, want %d", styles[i], got, wantSum+100)
+		}
+		if got := out[1].AsLongLong(); got != ops+1 {
+			t.Errorf("%v: post-promotion ops = %d, want %d", styles[i], got, ops+1)
+		}
+	}
+
+	// Double promotion must fail loudly.
+	if _, err := standby.Promote(); err == nil {
+		t.Error("second Promote succeeded")
+	}
+}
+
+// TestStandbySkipsUnknownType verifies a shipped group with no registered
+// factory is reported rather than silently dropped or fatal.
+func TestStandbySkipsUnknownType(t *testing.T) {
+	store := drstore.NewMemStore()
+	defer store.Close()
+	if err := store.PutMeta(drstore.Meta{GroupID: 9, Name: "x", TypeID: "IDL:unknown:1.0", Style: uint8(replication.ColdPassive)}); err != nil {
+		t.Fatal(err)
+	}
+
+	standby, err := core.NewStandby(core.StandbyOptions{
+		Domain:    core.Options{Nodes: []string{"s1"}, Heartbeat: 4 * time.Millisecond},
+		Store:     store,
+		Factories: map[string]ftcorba.Factory{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer standby.Stop()
+	res, err := standby.Promote()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 0 || res.Skipped[9] == "" {
+		t.Fatalf("result = %+v, want group 9 skipped with a reason", res)
+	}
+}

@@ -1,0 +1,252 @@
+// Package drstore is the disaster-recovery shipping seam: a pluggable
+// store of per-group checkpoints and log segments that decouples what a
+// warm standby consumes from where the primary domain's replicas keep
+// their local write-ahead logs.
+//
+// The replication engine's senior members ship three things per group: the
+// group's definition (Meta — shipped once at hosting so even traffic-free
+// groups can be re-hosted), full-state checkpoints carrying the sender's
+// duplicate-suppression window (Checkpoint — the exactly-once anchor), and
+// the update records appended since the last checkpoint (invocation logs
+// for cold-passive and DR-enabled active groups, state deltas for warm
+// passive). A standby domain (core.Standby) replays Snapshot() per group
+// to keep a staged servant warm, and promotes from it after the primary
+// domain dies.
+//
+// Stores are idempotent and self-compacting: an update at or below the
+// last shipped MsgID is dropped (retransmission after primary failover
+// inside the source domain), a checkpoint older than the stored one is
+// dropped, and an accepted checkpoint discards the updates it covers. That
+// makes shipping safe to retry and bounds the store to one checkpoint plus
+// one checkpoint interval of updates per group.
+package drstore
+
+import (
+	"errors"
+	"sort"
+	"sync"
+
+	"repro/internal/wal"
+)
+
+// Meta is the shipped group definition — everything a standby domain needs
+// to re-host the group without access to the source Replication Manager.
+type Meta struct {
+	GroupID              uint64
+	Name                 string
+	TypeID               string
+	Style                uint8 // replication.Style value
+	CheckpointEvery      int
+	CheckpointEveryBytes int
+	Shard                int // 1-based explicit pin, 0 = hash-routed
+}
+
+// OpRef identifies one logical operation for duplicate suppression across
+// domains (the exported mirror of replication's operation key).
+type OpRef struct {
+	ClientID  string
+	ParentSeq uint64
+	OpSeq     uint64
+}
+
+// Checkpoint is one shipped full-state snapshot.
+type Checkpoint struct {
+	// UpToMsgID is the ordered message id the state reflects (source-domain
+	// ring lineage; meaningless in the standby's lineage — promotion relies
+	// on Covered, not on msgID comparison).
+	UpToMsgID uint64
+	State     []byte
+	// Covered is the sender's duplicate-suppression window at snapshot
+	// time: operations whose effects State already includes. A promoted
+	// replica seeds its dedup table from it so a client retransmission
+	// cannot re-execute an acknowledged operation on the standby.
+	Covered []OpRef
+}
+
+// Snapshot is a group's complete shipped history: the latest checkpoint
+// (nil if none shipped yet) plus the updates appended after it, oldest
+// first.
+type Snapshot struct {
+	Meta       Meta
+	Checkpoint *Checkpoint
+	Updates    []wal.Record
+}
+
+// Store is the shipping interface. Implementations must be safe for
+// concurrent use: every node of the source domain may ship while a standby
+// reads.
+type Store interface {
+	// PutMeta registers (or refreshes) a group definition.
+	PutMeta(m Meta) error
+	// PutCheckpoint ships a full-state snapshot, superseding any older one
+	// and compacting away the updates it covers.
+	PutCheckpoint(gid uint64, cp Checkpoint) error
+	// AppendUpdate ships one update record (dropped when stale).
+	AppendUpdate(gid uint64, rec wal.Record) error
+	// Snapshot returns a group's shipped state (ok=false if unknown).
+	Snapshot(gid uint64) (Snapshot, bool, error)
+	// Groups lists shipped group ids, sorted.
+	Groups() ([]uint64, error)
+	// Close releases resources.
+	Close() error
+}
+
+// ErrClosed is returned on use after Close.
+var ErrClosed = errors.New("drstore: store closed")
+
+// groupState is one group's in-memory shipped state (shared by MemStore
+// and DirStore's cache).
+type groupState struct {
+	meta    Meta
+	haveCp  bool
+	cp      Checkpoint
+	updates []wal.Record
+	lastMsg uint64 // highest update MsgID accepted (0 = none yet)
+}
+
+// acceptUpdate applies the staleness rule; reports whether rec was taken.
+func (g *groupState) acceptUpdate(rec wal.Record) bool {
+	if rec.MsgID <= g.lastMsg || (g.haveCp && rec.MsgID <= g.cp.UpToMsgID) {
+		return false
+	}
+	rec.Data = append([]byte(nil), rec.Data...)
+	g.updates = append(g.updates, rec)
+	g.lastMsg = rec.MsgID
+	return true
+}
+
+// acceptCheckpoint applies the supersession rule; reports whether cp won.
+func (g *groupState) acceptCheckpoint(cp Checkpoint) bool {
+	if g.haveCp && cp.UpToMsgID < g.cp.UpToMsgID {
+		return false
+	}
+	cp.State = append([]byte(nil), cp.State...)
+	cp.Covered = append([]OpRef(nil), cp.Covered...)
+	g.cp = cp
+	g.haveCp = true
+	kept := g.updates[:0]
+	for _, u := range g.updates {
+		if u.MsgID > cp.UpToMsgID {
+			kept = append(kept, u)
+		}
+	}
+	g.updates = kept
+	if g.lastMsg < cp.UpToMsgID {
+		g.lastMsg = cp.UpToMsgID
+	}
+	return true
+}
+
+func (g *groupState) snapshot() Snapshot {
+	s := Snapshot{Meta: g.meta}
+	if g.haveCp {
+		cp := Checkpoint{
+			UpToMsgID: g.cp.UpToMsgID,
+			State:     append([]byte(nil), g.cp.State...),
+			Covered:   append([]OpRef(nil), g.cp.Covered...),
+		}
+		s.Checkpoint = &cp
+	}
+	s.Updates = make([]wal.Record, len(g.updates))
+	for i, u := range g.updates {
+		u.Data = append([]byte(nil), u.Data...)
+		s.Updates[i] = u
+	}
+	return s
+}
+
+// --- MemStore ---------------------------------------------------------------
+
+// MemStore is the in-memory Store (tests, benchmarks, and same-process
+// standby domains). The zero value is not usable; call NewMemStore.
+type MemStore struct {
+	mu     sync.Mutex
+	groups map[uint64]*groupState
+	closed bool
+}
+
+var _ Store = (*MemStore)(nil)
+
+// NewMemStore creates an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{groups: make(map[uint64]*groupState)}
+}
+
+func (s *MemStore) group(gid uint64) *groupState {
+	g, ok := s.groups[gid]
+	if !ok {
+		g = &groupState{}
+		s.groups[gid] = g
+	}
+	return g
+}
+
+// PutMeta registers a group definition.
+func (s *MemStore) PutMeta(m Meta) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.group(m.GroupID).meta = m
+	return nil
+}
+
+// PutCheckpoint ships a snapshot.
+func (s *MemStore) PutCheckpoint(gid uint64, cp Checkpoint) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.group(gid).acceptCheckpoint(cp)
+	return nil
+}
+
+// AppendUpdate ships one update record.
+func (s *MemStore) AppendUpdate(gid uint64, rec wal.Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.group(gid).acceptUpdate(rec)
+	return nil
+}
+
+// Snapshot returns a group's shipped state.
+func (s *MemStore) Snapshot(gid uint64) (Snapshot, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return Snapshot{}, false, ErrClosed
+	}
+	g, ok := s.groups[gid]
+	if !ok {
+		return Snapshot{}, false, nil
+	}
+	return g.snapshot(), true, nil
+}
+
+// Groups lists shipped group ids, sorted.
+func (s *MemStore) Groups() ([]uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	out := make([]uint64, 0, len(s.groups))
+	for gid := range s.groups {
+		out = append(out, gid)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// Close marks the store closed.
+func (s *MemStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	return nil
+}

@@ -58,6 +58,10 @@ type Properties struct {
 	// CheckpointInterval is operations between checkpoints (passive
 	// styles; default 16).
 	CheckpointInterval int
+	// CheckpointBytes additionally triggers a checkpoint once that many
+	// update-record bytes accumulated since the last one (log-compaction
+	// byte policy; 0 disables).
+	CheckpointBytes int
 	// FaultMonitoringInterval parameterizes detectors created for the
 	// group (default 50ms).
 	FaultMonitoringInterval time.Duration
@@ -260,12 +264,13 @@ func (rm *ReplicationManager) CreateObjectGroup(name, typeID string, props *Prop
 	rm.nextID++
 	gid := rm.nextID
 	def := replication.GroupDef{
-		ID:              gid,
-		Name:            name,
-		TypeID:          typeID,
-		Style:           p.ReplicationStyle,
-		CheckpointEvery: p.CheckpointInterval,
-		Shard:           p.Shard,
+		ID:                   gid,
+		Name:                 name,
+		TypeID:               typeID,
+		Style:                p.ReplicationStyle,
+		CheckpointEvery:      p.CheckpointInterval,
+		CheckpointEveryBytes: p.CheckpointBytes,
+		Shard:                p.Shard,
 	}
 	for _, node := range chosen {
 		n := rm.nodes[node]

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/drstore"
 	"repro/internal/fault"
 	"repro/internal/orb"
 	"repro/internal/totem"
@@ -63,6 +64,12 @@ type Config struct {
 	// in-memory log; deployments that need crash-restart recovery supply
 	// file-backed logs (wal.OpenFileLog) here.
 	LogFactory func(def GroupDef) wal.Log
+	// DR, when set, is the disaster-recovery shipping target: the senior
+	// primary-component member of each hosted group ships its definition,
+	// periodic checkpoints (with the duplicate-suppression window), and
+	// per-operation update records there, so a standby domain can re-host
+	// every group after this whole domain dies. Nil disables shipping.
+	DR drstore.Store
 }
 
 func (c *Config) fill() {
@@ -337,6 +344,48 @@ func (e *Engine) HostReplicaFromLog(def GroupDef, servant orb.Servant, log wal.L
 	return e.startHosting(def, r)
 }
 
+// HostRecoveredReplica hosts a group restored from a shipped
+// disaster-recovery snapshot — the standby-promotion path. The servant
+// already carries the recovered state (core.Standby staged it from the
+// store); covered lists the operations that state includes. The replica
+// starts operational (not syncing) with lastExec 0: message ids from the
+// source domain's ring lineage don't compare against this domain's, so
+// exactly-once for shipped-covered operations rests entirely on the seeded
+// duplicate table — covered operations are marked delivered, answered, and
+// executed, and a client retransmission into the new domain can neither
+// re-execute nor re-answer them (like crash-restart rejoin, the original
+// reply bodies stayed with the dead domain, so such retries time out
+// rather than double-execute).
+func (e *Engine) HostRecoveredReplica(def GroupDef, servant orb.Servant, state []byte, covered []drstore.OpRef) error {
+	def.fill()
+	r := newReplica(e, def, servant, false, e.cfg.LogFactory(def))
+	for _, ref := range covered {
+		k := opKey{ClientID: ref.ClientID, ParentSeq: ref.ParentSeq, OpSeq: ref.OpSeq}
+		r.dedup[k] = &opRecord{deliveredInv: true, answered: true, executedLocal: true}
+		r.dedupFIFO = append(r.dedupFIFO, k)
+	}
+	if len(state) > 0 {
+		// Anchor the new local log so a crash of the promoted replica
+		// recovers to the shipped state, not to zero.
+		_ = r.log.Append(wal.Record{Kind: wal.KindCheckpoint, MsgID: 0, Data: state})
+	}
+	if err := e.addHosted(def, r); err != nil {
+		return err
+	}
+	return e.startHosting(def, r)
+}
+
+// LogLen reports the number of live records in a hosted replica's
+// write-ahead log (ok=false when the group is not hosted here) — the
+// observable the compaction-bound tests assert on.
+func (e *Engine) LogLen(gid uint64) (int, bool) {
+	r := e.replicaFor(gid)
+	if r == nil {
+		return 0, false
+	}
+	return r.log.Len(), true
+}
+
 func (e *Engine) addHosted(def GroupDef, r *replica) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -353,6 +402,20 @@ func (e *Engine) addHosted(def GroupDef, r *replica) error {
 func (e *Engine) startHosting(def GroupDef, r *replica) error {
 	if def.Shard > 0 {
 		e.PinShard(def.ID, def.Shard-1)
+	}
+	// Ship the group definition at hosting time (every member, idempotent):
+	// a group that never sees traffic must still be re-hostable from the
+	// store after a domain-wide outage.
+	if e.cfg.DR != nil {
+		_ = e.cfg.DR.PutMeta(drstore.Meta{
+			GroupID:              def.ID,
+			Name:                 def.Name,
+			TypeID:               def.TypeID,
+			Style:                uint8(def.Style),
+			CheckpointEvery:      def.CheckpointEvery,
+			CheckpointEveryBytes: def.CheckpointEveryBytes,
+			Shard:                def.Shard,
+		})
 	}
 	ring := e.ringFor(def.ID)
 	if err := ring.JoinGroup(invGroupName(def.ID)); err != nil {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/drstore"
 	"repro/internal/nondet"
 	"repro/internal/orb"
 	"repro/internal/wal"
@@ -55,48 +56,67 @@ func ReplayLog(def GroupDef, log wal.Log, servant orb.Servant) (lastMsgID uint64
 		if rec.MsgID <= lastMsgID {
 			continue // already covered by the checkpoint
 		}
-		switch {
-		case strings.HasPrefix(rec.Op, opRecInvoke):
-			m, derr := decodeWire(rec.Data)
-			if derr != nil {
-				continue
-			}
-			inv, isInv := m.(*msgInvocation)
-			if !isInv {
-				continue
-			}
-			args, aerr := orb.DecodeRequestBody(inv.Args)
-			if aerr != nil {
-				continue
-			}
-			det := nondet.NewContext(def.ID, rec.MsgID, epochAnchor)
-			// Dispatch errors (user exceptions) are outcomes, not replay
-			// failures: the original execution produced them too.
-			_, _ = servant.Dispatch(&orb.Invocation{
-				Operation: inv.Operation,
-				Args:      args,
-				Det:       det,
-			})
-			replayed = append(replayed, inv.Key)
-		case rec.Op == opRecUpdateFull:
-			if !checkpointable {
-				continue
-			}
-			if serr := ck.SetState(rec.Data); serr != nil {
-				continue
-			}
-		case rec.Op == opRecUpdate:
-			upd, updatable := servant.(orb.Updatable)
-			if !updatable {
-				continue
-			}
-			if uerr := upd.ApplyUpdate(rec.Data); uerr != nil {
-				continue
-			}
-		default:
-			continue // unknown record kind: skip, do not corrupt state
+		ref, isInv, applied := ApplyRecord(def, servant, rec)
+		if !applied {
+			continue
+		}
+		if isInv {
+			replayed = append(replayed, opKey{ClientID: ref.ClientID, ParentSeq: ref.ParentSeq, OpSeq: ref.OpSeq})
 		}
 		lastMsgID = rec.MsgID
 	}
 	return lastMsgID, replayed, nil
+}
+
+// ApplyRecord applies one update record to a servant — the per-record core
+// of log replay, shared by ReplayLog (local crash-restart) and the
+// cross-domain standby (core.Standby staging shipped drstore segments). A
+// logged invocation re-executes with the same deterministic context the
+// original execution used (nested invocations are not re-issued: Caller is
+// nil, replay restores local state only); warm-passive deltas and full
+// snapshots re-apply through the servant's Updatable/Checkpointable
+// interfaces. It returns the invocation's operation reference (isInv true)
+// so callers can extend their duplicate-suppression windows, and reports
+// whether the record took effect — an unapplied record must not advance the
+// caller's replay horizon.
+func ApplyRecord(def GroupDef, servant orb.Servant, rec wal.Record) (ref drstore.OpRef, isInv bool, applied bool) {
+	switch {
+	case strings.HasPrefix(rec.Op, opRecInvoke):
+		m, derr := decodeWire(rec.Data)
+		if derr != nil {
+			return ref, false, false
+		}
+		inv, ok := m.(*msgInvocation)
+		if !ok {
+			return ref, false, false
+		}
+		args, aerr := orb.DecodeRequestBody(inv.Args)
+		if aerr != nil {
+			return ref, false, false
+		}
+		det := nondet.NewContext(def.ID, rec.MsgID, epochAnchor)
+		// Dispatch errors (user exceptions) are outcomes, not replay
+		// failures: the original execution produced them too.
+		_, _ = servant.Dispatch(&orb.Invocation{
+			Operation: inv.Operation,
+			Args:      args,
+			Det:       det,
+		})
+		ref = drstore.OpRef{ClientID: inv.Key.ClientID, ParentSeq: inv.Key.ParentSeq, OpSeq: inv.Key.OpSeq}
+		return ref, true, true
+	case rec.Op == opRecUpdateFull:
+		ck, ok := servant.(orb.Checkpointable)
+		if !ok {
+			return ref, false, false
+		}
+		return ref, false, ck.SetState(rec.Data) == nil
+	case rec.Op == opRecUpdate:
+		upd, ok := servant.(orb.Updatable)
+		if !ok {
+			return ref, false, false
+		}
+		return ref, false, upd.ApplyUpdate(rec.Data) == nil
+	default:
+		return ref, false, false // unknown record kind: skip, do not corrupt state
+	}
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/cdr"
+	"repro/internal/drstore"
 	"repro/internal/fault"
 	"repro/internal/giop"
 	"repro/internal/nondet"
@@ -84,6 +85,7 @@ type replica struct {
 	preSplit     []string     // view before this member became secondary
 	former       map[string]bool
 	opsSinceCk   int
+	bytesSinceCk int // update-record bytes appended since the last checkpoint
 	fulfillSeq   uint64
 	everHadView  bool
 	stuck        map[string]bool // members known to be awaiting state transfer
@@ -196,6 +198,58 @@ func (r *replica) isPrimary() bool {
 	return len(r.members) > 0 && r.members[0] == r.eng.cfg.Node
 }
 
+// shipsDR reports whether this member ships to the disaster-recovery
+// store: the senior member of the primary component. Shipping follows the
+// primary component — a secondary component's partition-era operations
+// reach the store via fulfillment replay after remerge, not directly —
+// and seniority picks exactly one shipper per group (the store's MsgID
+// idempotence absorbs the overlap when seniority moves during failover).
+func (r *replica) shipsDR() bool {
+	if r.eng.cfg.DR == nil {
+		return false
+	}
+	r.mu.lock()
+	defer r.mu.unlock()
+	return !r.secondary && len(r.members) > 0 && r.members[0] == r.eng.cfg.Node
+}
+
+// shipsDRActive reports whether this member ships active-style invocation
+// records: every member of the primary component (see process for why
+// seniority alone is not enough there).
+func (r *replica) shipsDRActive() bool {
+	if r.eng.cfg.DR == nil {
+		return false
+	}
+	r.mu.lock()
+	defer r.mu.unlock()
+	return !r.secondary
+}
+
+// shipUpdate sends one update record to the DR store (no-op unless this
+// member is the group's shipper).
+func (r *replica) shipUpdate(rec wal.Record) {
+	if r.shipsDR() {
+		_ = r.eng.cfg.DR.AppendUpdate(r.def.ID, rec)
+	}
+}
+
+// shipCheckpoint sends a full-state snapshot plus the covered dedup window
+// to the DR store.
+func (r *replica) shipCheckpoint(upTo uint64, state []byte, covered []opKey) {
+	if !r.shipsDR() {
+		return
+	}
+	refs := make([]drstore.OpRef, len(covered))
+	for i, k := range covered {
+		refs[i] = drstore.OpRef{ClientID: k.ClientID, ParentSeq: k.ParentSeq, OpSeq: k.OpSeq}
+	}
+	_ = r.eng.cfg.DR.PutCheckpoint(r.def.ID, drstore.Checkpoint{
+		UpToMsgID: upTo,
+		State:     state,
+		Covered:   refs,
+	})
+}
+
 func (r *replica) onInvoke(t taskInvoke) {
 	r.mu.lock()
 	syncing := r.syncing
@@ -252,10 +306,37 @@ func (r *replica) process(t taskInvoke, replay bool) {
 	// Cold passive: every member — primary included — logs the ordered
 	// invocation before acting on it, so a crashed-and-restarted replica can
 	// rebuild its state from its own write-ahead log (wal.Recover + replay)
-	// instead of requiring a full state transfer.
+	// instead of requiring a full state transfer. The same record ships to
+	// the DR store *before* execution (and therefore before any client ack),
+	// which is what makes cold-passive RPO zero: an acknowledged operation
+	// is always either in a shipped checkpoint's covered window or in a
+	// shipped segment.
 	if r.def.Style == ColdPassive && !replay {
 		if data, err := encodeWire(t.m); err == nil {
-			_ = r.log.Append(wal.Record{
+			rec := wal.Record{
+				Kind:  wal.KindUpdate,
+				MsgID: t.msgID,
+				Op:    opRecInvoke + t.m.Operation,
+				Data:  data,
+			}
+			_ = r.log.Append(rec)
+			r.bytesSinceCk += len(data)
+			r.shipUpdate(rec)
+		}
+	}
+
+	// Active styles keep no invocation log locally (every replica holds live
+	// state), but with a DR store attached every primary-component member
+	// ships the ordered invocations so a standby can rebuild active groups
+	// by replay too. Unlike the passive styles — where the shipper and the
+	// replier are the same senior member — any active member may be the one
+	// whose reply acks the client, so each must ship before executing for
+	// RPO zero to hold; the store's MsgID idempotence drops the duplicate
+	// copies. Stateless groups ship nothing: there is no state to recover.
+	if r.def.Style.IsActive() && r.def.Style != Stateless && !replay && r.shipsDRActive() {
+		if data, err := encodeWire(t.m); err == nil {
+			r.bytesSinceCk += len(data)
+			_ = r.eng.cfg.DR.AppendUpdate(r.def.ID, wal.Record{
 				Kind:  wal.KindUpdate,
 				MsgID: t.msgID,
 				Op:    opRecInvoke + t.m.Operation,
@@ -319,7 +400,10 @@ func (r *replica) run(t taskInvoke, rec *opRecord) {
 			}
 		}
 		if rep.Update != nil {
-			_ = r.log.Append(wal.Record{Kind: wal.KindUpdate, MsgID: t.msgID, Op: updateOp(rep.UpdateFull), Data: rep.Update})
+			rec := wal.Record{Kind: wal.KindUpdate, MsgID: t.msgID, Op: updateOp(rep.UpdateFull), Data: rep.Update}
+			_ = r.log.Append(rec)
+			r.bytesSinceCk += len(rep.Update)
+			r.shipUpdate(rec)
 		}
 	}
 
@@ -349,18 +433,56 @@ func (r *replica) run(t taskInvoke, rec *opRecord) {
 	r.maybeCheckpoint()
 }
 
-// maybeCheckpoint emits a periodic full-state checkpoint from the primary
-// of a passive group (cold backups truncate their invocation logs on it).
+// maybeCheckpoint emits a periodic full-state checkpoint on the compaction
+// policy: every CheckpointEvery operations, or — when CheckpointEveryBytes
+// is set — as soon as that many update-record bytes accumulated since the
+// last one, whichever trips first. For passive groups the primary
+// multicasts it (cold backups truncate their invocation logs on it); for
+// active groups with a DR store attached, the senior member takes a
+// store-only snapshot so the standby's segment replay stays bounded.
 func (r *replica) maybeCheckpoint() {
-	if !r.def.Style.IsPassive() || !r.isPrimary() {
+	if r.def.Style.IsPassive() && r.isPrimary() {
+		r.opsSinceCk++
+		if r.opsSinceCk < r.def.CheckpointEvery &&
+			(r.def.CheckpointEveryBytes <= 0 || r.bytesSinceCk < r.def.CheckpointEveryBytes) {
+			return
+		}
+		r.opsSinceCk = 0
+		r.bytesSinceCk = 0
+		r.sendCheckpoint(ckptPeriodic)
 		return
 	}
-	r.opsSinceCk++
-	if r.opsSinceCk < r.def.CheckpointEvery {
-		return
+	if r.def.Style.IsActive() && r.def.Style != Stateless && r.shipsDR() {
+		r.opsSinceCk++
+		if r.opsSinceCk < r.def.CheckpointEvery &&
+			(r.def.CheckpointEveryBytes <= 0 || r.bytesSinceCk < r.def.CheckpointEveryBytes) {
+			return
+		}
+		r.opsSinceCk = 0
+		r.bytesSinceCk = 0
+		if ck, ok := r.servant.(orb.Checkpointable); ok {
+			if state, err := ck.GetState(); err == nil {
+				upTo, covered := r.coveredWindow()
+				r.eng.stat.checkpoints.Add(1)
+				r.shipCheckpoint(upTo, state, covered)
+			}
+		}
 	}
-	r.opsSinceCk = 0
-	r.sendCheckpoint(ckptPeriodic)
+}
+
+// coveredWindow snapshots the replica's executed-operation dedup window —
+// the exactly-once metadata every checkpoint must carry.
+func (r *replica) coveredWindow() (upTo uint64, covered []opKey) {
+	r.mu.lock()
+	defer r.mu.unlock()
+	upTo = r.lastExec
+	covered = make([]opKey, 0, len(r.dedupFIFO))
+	for _, k := range r.dedupFIFO {
+		if rec, ok := r.dedup[k]; ok && rec.executedLocal {
+			covered = append(covered, k)
+		}
+	}
+	return upTo, covered
 }
 
 func (r *replica) sendCheckpoint(reason uint8) {
@@ -372,16 +494,9 @@ func (r *replica) sendCheckpoint(reason uint8) {
 	if err != nil {
 		return
 	}
-	r.mu.lock()
-	upTo := r.lastExec
-	covered := make([]opKey, 0, len(r.dedupFIFO))
-	for _, k := range r.dedupFIFO {
-		if rec, ok := r.dedup[k]; ok && rec.executedLocal {
-			covered = append(covered, k)
-		}
-	}
-	r.mu.unlock()
+	upTo, covered := r.coveredWindow()
 	r.eng.stat.checkpoints.Add(1)
+	r.shipCheckpoint(upTo, state, covered)
 	if payload := r.eng.encodeOrReport(&msgCheckpoint{
 		GroupID:   r.def.ID,
 		Reason:    reason,
@@ -431,6 +546,10 @@ func (r *replica) onReply(t taskReply) {
 				r.lastExec = m.ExecMsgID
 				r.mu.unlock()
 				_ = r.log.Append(wal.Record{Kind: wal.KindUpdate, MsgID: m.ExecMsgID, Op: updateOp(m.UpdateFull), Data: m.Update})
+				// Keep the byte-policy counter warm on backups too, so a
+				// freshly failed-over primary inherits an accurate since-
+				// checkpoint volume instead of starting from zero.
+				r.bytesSinceCk += len(m.Update)
 			}
 		}
 	}
@@ -481,6 +600,8 @@ func (r *replica) onCheckpoint(t taskCheckpoint) {
 	// truncation point), and drop covered pending operations.
 	_ = r.log.Append(wal.Record{Kind: wal.KindCheckpoint, MsgID: m.UpToMsgID, Data: m.State})
 	_ = r.log.TruncateAtCheckpoint()
+	r.opsSinceCk = 0
+	r.bytesSinceCk = 0
 	kept := r.pendingOps[:0]
 	for _, p := range r.pendingOps {
 		if p.msgID > m.UpToMsgID {
@@ -533,6 +654,8 @@ func (r *replica) adoptState(m *msgCheckpoint) {
 	r.eng.stat.stateTransfers.Add(1)
 	_ = r.log.Append(wal.Record{Kind: wal.KindCheckpoint, MsgID: m.UpToMsgID, Data: m.State})
 	_ = r.log.TruncateAtCheckpoint()
+	r.opsSinceCk = 0
+	r.bytesSinceCk = 0
 	// Seed duplicate suppression with the operations the snapshot covers.
 	// An adopter that missed a delivery lineage (the gap-repair path) has
 	// no dedup records for them, and a recovery re-delivery would

@@ -84,6 +84,11 @@ type GroupDef struct {
 	// checkpoints (cold passive log truncation and warm passive full-state
 	// refresh). Zero means 16.
 	CheckpointEvery int
+	// CheckpointEveryBytes additionally triggers a periodic checkpoint once
+	// the primary has appended this many bytes of update records since the
+	// last one, whichever threshold trips first. It bounds WAL growth by
+	// volume for groups with large payloads; zero disables the byte policy.
+	CheckpointEveryBytes int
 	// Shard pins the group to a transport shard, 1-based so the Go zero
 	// value keeps today's meaning: 0 selects the deterministic hash route
 	// (ShardFor), N>0 pins the group to ring N-1 of the engine's pool.

@@ -188,6 +188,19 @@ const slotWidth = 10 * time.Millisecond
 // harness waits for readiness (see setup).
 const createBatch = 128
 
+// sloCheckpointEvery is the checkpoint period every SLO group runs with
+// (the stack default, set explicitly because the WAL-bound invariant below
+// derives from it).
+const sloCheckpointEvery = 16
+
+// walBound is the compaction invariant asserted after every run for the
+// logging (passive) styles: checkpoint-anchored truncation must keep each
+// member's live WAL at one checkpoint plus at most one period of updates,
+// with one more period of slack for a checkpoint still in flight at scan
+// time. Without periodic compaction the log grows with the op count and
+// this trips immediately at SLO volumes.
+const walBound = 2*sloCheckpointEvery + 2
+
 // blackoutGrace extends each episode's blackout scan past the fault being
 // cleared, so recovery tails count toward the blackout and a gap still in
 // progress at clear time is not truncated.
@@ -394,6 +407,7 @@ func (r *runner) setup() error {
 			_, gid, err := d.Create(fmt.Sprintf("slo-%s-%d", ScenarioName(typeID), i), typeID, &ftcorba.Properties{
 				ReplicationStyle:      style,
 				InitialNumberReplicas: cfg.Replicas,
+				CheckpointInterval:    sloCheckpointEvery,
 				MembershipStyle:       ftcorba.MembershipApplication, // the harness repairs membership itself
 			})
 			if err != nil {
@@ -804,6 +818,26 @@ func (r *runner) checkGroup(i int) error {
 			lastErr = fmt.Errorf("state divergence: acc=%d want %d at %d ops", acc, accWant, muts)
 			time.Sleep(10 * time.Millisecond)
 			continue
+		}
+		// Passive styles log every operation; checkpoint-anchored compaction
+		// must keep the live WAL bounded regardless of how many ops the run
+		// drove. (Active styles keep no operation log, so there is nothing
+		// to bound.) Retried because the scan can race a truncation.
+		if gi.style.IsPassive() {
+			over := ""
+			for _, m := range members {
+				if n := r.dom.Node(m); n != nil {
+					if l, ok := n.Engine.LogLen(gi.gid); ok && l > walBound {
+						over = fmt.Sprintf("WAL unbounded on %s: %d live records > bound %d (%d mutations driven)", m, l, walBound, issued)
+						break
+					}
+				}
+			}
+			if over != "" {
+				lastErr = errors.New(over)
+				time.Sleep(10 * time.Millisecond)
+				continue
+			}
 		}
 		return nil
 	}

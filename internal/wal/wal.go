@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"os"
 	"sync"
 
@@ -168,30 +169,49 @@ func (l *FileLog) load() error {
 	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
 		return fmt.Errorf("wal: seek: %w", err)
 	}
+	// good tracks the end of the last intact record. A torn or corrupt tail
+	// (crash mid-append) is truncated away rather than merely skipped:
+	// leaving the garbage in place would let the next Append land after it,
+	// and the torn record's length prefix would then swallow those bytes on
+	// the following recovery — silently losing every later record.
+	var good int64
+	torn := false
 	var lenBuf [4]byte
 	for {
 		if _, err := io.ReadFull(l.f, lenBuf[:]); err != nil {
 			if err == io.EOF {
-				return nil
+				break
 			}
 			if err == io.ErrUnexpectedEOF {
-				// Torn final record (crash mid-append): ignore the tail.
-				return nil
+				torn = true // torn length prefix
+				break
 			}
 			return fmt.Errorf("wal: read length: %w", err)
 		}
 		n := uint32(lenBuf[0])<<24 | uint32(lenBuf[1])<<16 | uint32(lenBuf[2])<<8 | uint32(lenBuf[3])
 		body := make([]byte, n)
 		if _, err := io.ReadFull(l.f, body); err != nil {
-			// Torn record: ignore the tail.
-			return nil
+			torn = true // torn body
+			break
 		}
 		rec, err := decodeRecord(body)
 		if err != nil {
-			return nil // corrupt tail: stop loading
+			torn = true // corrupt tail
+			break
 		}
 		l.recs = append(l.recs, rec)
+		good += int64(4 + n)
 	}
+	if torn {
+		log.Printf("wal: %s: torn record at offset %d; truncating tail", l.f.Name(), good)
+		if err := l.f.Truncate(good); err != nil {
+			return fmt.Errorf("wal: truncate torn tail: %w", err)
+		}
+	}
+	if _, err := l.f.Seek(good, io.SeekStart); err != nil {
+		return fmt.Errorf("wal: seek: %w", err)
+	}
+	return nil
 }
 
 func encodeRecord(rec Record) []byte {
@@ -245,6 +265,15 @@ func (l *FileLog) Append(rec Record) error {
 	if _, err := l.f.Write(frame); err != nil {
 		return fmt.Errorf("wal: append: %w", err)
 	}
+	// Checkpoints are the recovery anchor: everything before one is about to
+	// be compacted away, so it must actually be on disk before that happens.
+	// Update records stay buffered (synced on Close) — losing a torn tail of
+	// updates costs replay work, losing a checkpoint costs the whole state.
+	if rec.Kind == KindCheckpoint {
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("wal: sync checkpoint: %w", err)
+		}
+	}
 	rec.Data = append([]byte(nil), rec.Data...)
 	l.recs = append(l.recs, rec)
 	return nil
@@ -293,6 +322,11 @@ func (l *FileLog) TruncateAtCheckpoint() error {
 			return fmt.Errorf("wal: rewrite: %w", err)
 		}
 		l.recs = append(l.recs, rec)
+	}
+	// The rewrite replaced the whole file; sync so a crash right after
+	// compaction can't lose the surviving checkpoint.
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync compaction: %w", err)
 	}
 	return nil
 }

@@ -161,6 +161,109 @@ func TestFileLogToleratesTornTail(t *testing.T) {
 	}
 }
 
+// TestFileLogTruncatesTornTail injects corruption and verifies load()
+// physically truncates the garbage: records appended after reopening a torn
+// log must survive the NEXT reopen. (Before the fix, load() merely stopped
+// reading, new appends landed after the garbage, and the torn record's
+// length prefix swallowed them on the following recovery.)
+func TestFileLogTruncatesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "truncate.wal")
+	l, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Append(Record{Kind: KindCheckpoint, MsgID: 1, Data: []byte("base")})
+	l.Append(Record{Kind: KindUpdate, MsgID: 2, Op: "inc", Data: []byte{1}})
+	l.Close()
+	intact, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash mid-append: half a record followed by nothing.
+	f, err := openAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0, 0, 0, 40, 0xDE, 0xAD}) // claims 40 bytes, supplies 2
+	f.Close()
+
+	l2, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatalf("reopen torn: %v", err)
+	}
+	if l2.Len() != 2 {
+		t.Fatalf("torn reopen Len = %d, want 2", l2.Len())
+	}
+	if err := l2.Append(Record{Kind: KindUpdate, MsgID: 3, Op: "inc", Data: []byte{2}}); err != nil {
+		t.Fatal(err)
+	}
+	l2.Close()
+
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) <= len(intact) {
+		t.Fatalf("append after torn reopen did not grow the file: %d <= %d", len(b), len(intact))
+	}
+	if string(b[:len(intact)]) != string(intact) {
+		t.Fatalf("intact prefix damaged by truncation")
+	}
+
+	l3, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatalf("third open: %v", err)
+	}
+	defer l3.Close()
+	cp, updates, ok, err := l3.Recover()
+	if err != nil || !ok {
+		t.Fatalf("recover: %v ok=%v", err, ok)
+	}
+	if string(cp.Data) != "base" || len(updates) != 2 || updates[1].MsgID != 3 {
+		t.Errorf("post-truncation append lost: cp=%+v updates=%+v", cp, updates)
+	}
+}
+
+// TestFileLogTruncatesCorruptTail covers the undecodable-body case (bit rot
+// or a torn write that happens to frame correctly).
+func TestFileLogTruncatesCorruptTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "corrupt.wal")
+	l, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Append(Record{Kind: KindCheckpoint, MsgID: 5, Data: []byte("snap")})
+	l.Close()
+
+	f, err := openAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0, 0, 0, 2, 0xFF, 0xFF}) // well-framed, bad record kind
+	f.Close()
+
+	l2, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatalf("reopen corrupt: %v", err)
+	}
+	if l2.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", l2.Len())
+	}
+	l2.Append(Record{Kind: KindUpdate, MsgID: 6, Op: "inc"})
+	l2.Close()
+
+	l3, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l3.Close()
+	cp, updates, ok, _ := l3.Recover()
+	if !ok || cp.MsgID != 5 || len(updates) != 1 || updates[0].MsgID != 6 {
+		t.Errorf("recover after corrupt-tail truncation: cp=%+v updates=%+v ok=%v", cp, updates, ok)
+	}
+}
+
 func TestRecordRoundTripQuick(t *testing.T) {
 	f := func(kindBit bool, msgID uint64, op string, data []byte) bool {
 		op = sanitize(op)
