@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check race bench benchcmp test build vet chaos slo slo-smoke mp-smoke dr-smoke
+.PHONY: check race bench benchcmp test build vet chaos slo slo-smoke mp-smoke dr-smoke fd-smoke
 
 ## check: vet + build + full test suite (the tier-1 gate)
 check: vet build test
@@ -29,29 +29,33 @@ chaos:
 ## bench: snapshot the PR2 hot-path + PR5 sharded-transport benchmarks,
 ## the full-profile SLO workload percentiles (~10^6-client population over
 ## 1024 groups plus a 6-episode chaos phase, ~75s), the PR7 multi-process
-## loopback-UDP throughput cells, and the PR8 disaster-recovery RPO/RTO
-## measurement into BENCH_pr8.json
+## loopback-UDP throughput cells, the PR8 disaster-recovery RPO/RTO
+## measurement, and the PR9 fail-detection sweep (storm false evictions,
+## confirmed-crash detection latency) into BENCH_pr9.json
 bench:
-	$(GO) test -run '^$$' -bench 'PR2|PR5' -benchmem -timeout 30m ./... | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_pr8.json
-	$(GO) run ./cmd/ftbench -e slo -seed 1 -json BENCH_pr8.json
-	$(GO) run ./cmd/ftbench -e e2mp -json BENCH_pr8.json
-	$(GO) run ./cmd/ftbench -e dr -json BENCH_pr8.json
+	$(GO) test -run '^$$' -bench 'PR2|PR5' -benchmem -timeout 30m ./... | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_pr9.json
+	$(GO) run ./cmd/ftbench -e slo -seed 1 -json BENCH_pr9.json
+	$(GO) run ./cmd/ftbench -e e2mp -json BENCH_pr9.json
+	$(GO) run ./cmd/ftbench -e dr -json BENCH_pr9.json
+	$(GO) run ./cmd/ftbench -e fd -json BENCH_pr9.json
 
 ## benchcmp: fail on adverse drift vs the frozen baselines, merged
-## first-match-wins — BENCH_pr8_base.json first (SLO percentiles re-frozen
-## when cold-passive joined the style mix, plus the DR RPO/RTO records:
-## rpo_ops and eo_violations gate at zero, rto_ms with a wide threshold),
-## then BENCH_pr2.json and BENCH_pr5.json for the micro-benchmarks,
+## first-match-wins — BENCH_pr9_base.json first (the fd detection records:
+## false_evictions gates at zero, detect_ms with a wide threshold; plus the
+## SLO percentiles re-frozen for the adaptive detector's confirm-grace
+## blackout shift), then BENCH_pr8_base.json (DR RPO/RTO: rpo_ops and
+## eo_violations gate at zero, rto_ms with a wide threshold),
+## BENCH_pr2.json and BENCH_pr5.json for the micro-benchmarks,
 ## BENCH_pr6_base.json for the remaining SLO metrics, and
 ## BENCH_pr7_base.json for the multi-process throughput cells (ops_s
 ## gates with a wide single-core-noise threshold; vs_baseline is
 ## informational)
 benchcmp:
-	$(GO) run ./cmd/benchcmp -threshold 20 BENCH_pr8_base.json,BENCH_pr2.json,BENCH_pr5.json,BENCH_pr6_base.json,BENCH_pr7_base.json BENCH_pr8.json
+	$(GO) run ./cmd/benchcmp -threshold 20 BENCH_pr9_base.json,BENCH_pr8_base.json,BENCH_pr2.json,BENCH_pr5.json,BENCH_pr6_base.json,BENCH_pr7_base.json BENCH_pr9.json
 
-## slo: re-run just the SLO evaluation, upserting into BENCH_pr8.json
+## slo: re-run just the SLO evaluation, upserting into BENCH_pr9.json
 slo:
-	$(GO) run ./cmd/ftbench -e slo -seed 1 -json BENCH_pr8.json
+	$(GO) run ./cmd/ftbench -e slo -seed 1 -json BENCH_pr9.json
 
 ## slo-smoke: seconds-long tail-latency sanity gate (two seeds); fails if
 ## the calm-phase p999 blows past 500ms
@@ -64,6 +68,12 @@ slo-smoke:
 ## acknowledged operation (RPO > 0) or exactly-once violation
 dr-smoke:
 	$(GO) run ./cmd/ftbench -e dr -smoke
+
+## fd-smoke: seconds-long fail-detection smoke — one provisioning-storm
+## cell with a real mid-storm crash; fails on any false eviction or an
+## unconfirmed crash
+fd-smoke:
+	$(GO) run ./cmd/ftbench -e fd -smoke
 
 ## mp-smoke: seconds-long multi-process deployment smoke — every e2mp cell
 ## spawns real replica-node child processes with ring traffic on loopback

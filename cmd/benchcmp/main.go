@@ -114,6 +114,16 @@ var registry = []metric{
 	extraMetric("rpo_ops", false, 0, gateAll),
 	extraMetric("eo_violations", false, 0, gateAll),
 	extraMetric("rto_ms", false, 400, gateAll),
+	// Fail detection (cmd/ftbench -e fd). false_evictions is a correctness
+	// counter with a zero baseline: one storm-evicted healthy node is an
+	// infinite adverse drift and fails. detect_ms is wall-clock confirmed
+	// detection latency (suspicion + confirm grace + reformation) on a
+	// shared core — the wide threshold catches a stalled detector without
+	// tripping on scheduler noise. The storm/calm ratio is informational:
+	// both sides gate separately.
+	extraMetric("false_evictions", false, 0, gateAll),
+	extraMetric("detect_ms", false, 400, gateAll),
+	extraMetric("detect_ratio", false, 0, gateNever),
 	// Multi-process throughput (cmd/ftbench -e e2mp): cells are best-of-3
 	// but still ride a single shared core, where scheduler phasing moves
 	// whole cells ±25%; the wide threshold catches real collapses (a cell

@@ -40,7 +40,7 @@ import (
 // fabric (partitions, targeted drops, chaos schedules) and therefore
 // cannot run with -transport udp: the faults would not touch the ring
 // traffic and the run would silently measure nothing.
-var fabricOnly = map[string]bool{"e3": true, "e7": true, "e8": true, "slo": true, "dr": true}
+var fabricOnly = map[string]bool{"e3": true, "e7": true, "e8": true, "slo": true, "dr": true, "fd": true}
 
 func main() {
 	quick := flag.Bool("quick", false, "use reduced run sizes")
@@ -112,6 +112,8 @@ func main() {
 			table, err = runE2MP(scale, *jsonOut)
 		case "dr":
 			table, err = runDR(scale, *jsonOut)
+		case "fd":
+			table, err = runFD(scale, *jsonOut)
 		default:
 			table, err = bench.ByID[id](scale)
 		}
@@ -151,6 +153,22 @@ func runDR(scale bench.Scale, jsonOut string) (*bench.Table, error) {
 			return nil, err
 		}
 		fmt.Fprintf(os.Stderr, "ftbench: wrote %d dr records to %s\n", len(recs), jsonOut)
+	}
+	return table, nil
+}
+
+// runFD drives the fail-detection experiment and snapshots its detection
+// quality records (false_evictions, detect_ms, detect_ratio).
+func runFD(scale bench.Scale, jsonOut string) (*bench.Table, error) {
+	table, recs, err := bench.FDDetectionRecords(scale)
+	if err != nil {
+		return table, err
+	}
+	if jsonOut != "" {
+		if err := upsertRecords(jsonOut, recs); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "ftbench: wrote %d fd records to %s\n", len(recs), jsonOut)
 	}
 	return table, nil
 }

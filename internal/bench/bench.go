@@ -387,4 +387,5 @@ var ByID = map[string]func(Scale) (*Table, error){
 	"slo":  SLOWorkload,
 	"e2mp": E2MPMultiProc,
 	"dr":   DRRecovery,
+	"fd":   FDDetection,
 }

@@ -18,6 +18,10 @@ func (h *Harness) CheckAll() {
 	h.CheckDeliveryInvariants()
 	h.CheckConvergence()
 	h.CheckWALConsistency()
+	if n := h.Faults.Dropped(); n != 0 {
+		h.tb.Fatalf("seed %d: fault notifier dropped %d reports (a subscriber fell behind its buffer)",
+			h.opts.Seed, n)
+	}
 }
 
 // CheckDeliveryInvariants verifies virtual-synchrony ordering over the
@@ -94,7 +98,7 @@ func (h *Harness) CheckConvergence() {
 	wantSum, wantCount := h.Acked()
 	primary := h.authoritative()
 
-	if !h.poll(10*time.Second, func() bool {
+	if !h.poll(25*time.Second, func() bool {
 		bal, ops := h.Servant(primary).Snapshot()
 		return bal == wantSum && ops == wantCount
 	}) {
@@ -110,7 +114,7 @@ func (h *Harness) CheckConvergence() {
 	default:
 		track = h.LiveReplicas()
 	}
-	if !h.poll(10*time.Second, func() bool {
+	if !h.poll(25*time.Second, func() bool {
 		for _, n := range track {
 			bal, ops := h.Servant(n).Snapshot()
 			if bal != wantSum || ops != wantCount {
@@ -140,7 +144,7 @@ func (h *Harness) CheckWALConsistency() {
 	wantSum, wantCount := h.Acked()
 	for _, n := range h.LiveReplicas() {
 		n := n
-		h.waitFor(10*time.Second, fmt.Sprintf("WAL of %s replays to acked state", n), func() bool {
+		h.waitFor(25*time.Second, fmt.Sprintf("WAL of %s replays to acked state", n), func() bool {
 			ghost := &Account{}
 			log, release := h.openLogForRead(n)
 			_, _, err := replication.ReplayLog(h.Def, log, ghost)

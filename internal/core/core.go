@@ -153,6 +153,7 @@ func (d *Domain) startNode(name string) (*Node, error) {
 		Port:              BaseRingPort,
 		HeartbeatInterval: d.opts.Heartbeat,
 		IdleTokenDelay:    d.opts.IdleTokenDelay,
+		Faults:            d.Notifier,
 	}, d.opts.Shards)
 	if err != nil {
 		return nil, fmt.Errorf("core: ring pool on %s: %w", name, err)

@@ -17,6 +17,7 @@ package fault
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -50,10 +51,43 @@ func (k Kind) String() string {
 	return "unknown"
 }
 
+// Event distinguishes confirmed faults from the suspicion lifecycle around
+// them. The zero value is EventFault so every pre-existing Push site keeps
+// its meaning.
+type Event uint8
+
+const (
+	// EventFault is a confirmed fault: the entity is declared failed.
+	EventFault Event = iota
+	// EventSuspect reports a raised suspicion: the entity missed enough
+	// heartbeats to be quarantined but not yet evicted.
+	EventSuspect
+	// EventRecover reports a retracted suspicion or a post-fault recovery:
+	// the entity is alive after all.
+	EventRecover
+)
+
+var eventNames = map[Event]string{
+	EventFault:   "fault",
+	EventSuspect: "suspect",
+	EventRecover: "recover",
+}
+
+// String names the event.
+func (e Event) String() string {
+	if s, ok := eventNames[e]; ok {
+		return s
+	}
+	return "unknown"
+}
+
 // Report is one fault notification, identifying the failed entity in the
 // object→process→node hierarchy.
 type Report struct {
 	Kind Kind
+	// Event is the lifecycle stage: confirmed fault (the zero value),
+	// raised suspicion, or recovery.
+	Event Event
 	// Node is the host of the failed entity.
 	Node string
 	// GroupID identifies the object group of a failed member (object
@@ -70,9 +104,10 @@ type Report struct {
 // Notifier fans fault reports out to subscribers. The zero value is ready
 // to use.
 type Notifier struct {
-	mu   sync.Mutex
-	subs map[int]*subscription
-	next int
+	mu      sync.Mutex
+	subs    map[int]*subscription
+	next    int
+	dropped atomic.Uint64
 }
 
 type subscription struct {
@@ -120,18 +155,25 @@ func (n *Notifier) Push(r Report) {
 		case s.ch <- r:
 		default:
 			// Drop the oldest to make room; a fault consumer that is this
-			// far behind is itself suspect.
+			// far behind is itself suspect. The loss is counted so chaos
+			// invariants can assert no report vanished during a storm.
 			select {
 			case <-s.ch:
+				n.dropped.Add(1)
 			default:
 			}
 			select {
 			case s.ch <- r:
 			default:
+				n.dropped.Add(1)
 			}
 		}
 	}
 }
+
+// Dropped reports how many reports were discarded because a subscriber fell
+// behind its channel buffer.
+func (n *Notifier) Dropped() uint64 { return n.dropped.Load() }
 
 // Config parameterizes a detector.
 type Config struct {
@@ -142,6 +184,23 @@ type Config struct {
 	// Retries is how many consecutive failed probes (or missed heartbeat
 	// windows) are tolerated before a fault is declared.
 	Retries int
+
+	// Adaptive switches the fixed Retries*Interval window for a per-target
+	// phi-accrual Suspicion machine: faults are preceded by EventSuspect
+	// reports, late recoveries push EventRecover, and the effective window
+	// adapts to observed arrival jitter between MinWindow (Retries*Interval)
+	// and MaxWindow.
+	Adaptive bool
+	// PhiSuspect / PhiFail override the suspicion thresholds (defaults 1, 8).
+	PhiSuspect float64
+	PhiFail    float64
+	// FDWindow is the inter-arrival history length (default 64).
+	FDWindow int
+	// MaxWindow caps the adaptive window (default 3*Retries*Interval).
+	MaxWindow time.Duration
+	// ConfirmGrace is the minimum suspect dwell before a fault is confirmed
+	// (default Retries*Interval).
+	ConfirmGrace time.Duration
 }
 
 func (c *Config) fill() {
@@ -153,6 +212,18 @@ func (c *Config) fill() {
 	}
 	if c.Retries <= 0 {
 		c.Retries = 2
+	}
+}
+
+// suspicionConfig derives the per-target machine parameters.
+func (c *Config) suspicionConfig() SuspicionConfig {
+	return SuspicionConfig{
+		Window:       c.FDWindow,
+		PhiSuspect:   c.PhiSuspect,
+		PhiFail:      c.PhiFail,
+		MinWindow:    time.Duration(c.Retries) * c.Interval,
+		MaxWindow:    c.MaxWindow,
+		ConfirmGrace: c.ConfirmGrace,
 	}
 }
 
@@ -183,6 +254,13 @@ type targetState struct {
 	lastBeat  time.Time
 	announced bool
 	stop      chan struct{}
+	// probing serializes PULL probes: at most one outstanding probe per
+	// target, so a stuck Probe pins one goroutine instead of leaking one
+	// per tick.
+	probing    bool
+	probeStart time.Time
+	// susp drives adaptive (phi-accrual) detection; nil in fixed mode.
+	susp *Suspicion
 }
 
 // NewDetector creates a detector pushing reports into notifier.
@@ -208,6 +286,10 @@ func (d *Detector) Watch(id string, t Target) {
 		close(old.stop)
 	}
 	st := &targetState{target: t, lastBeat: time.Now(), stop: make(chan struct{})}
+	if d.cfg.Adaptive {
+		st.susp = NewSuspicion(d.cfg.suspicionConfig())
+		st.susp.Observe(st.lastBeat)
+	}
 	d.targets[id] = st
 	d.mu.Unlock()
 
@@ -227,13 +309,47 @@ func (d *Detector) Unwatch(id string) {
 
 // Heartbeat records a PUSH-style liveness assertion for the id.
 func (d *Detector) Heartbeat(id string) {
+	now := time.Now()
+	var recover Report
+	push := false
 	d.mu.Lock()
 	if st, ok := d.targets[id]; ok {
-		st.lastBeat = time.Now()
+		st.lastBeat = now
 		st.misses = 0
 		st.announced = false
+		if st.susp != nil {
+			switch st.susp.Observe(now) {
+			case TransRetract, TransRecover:
+				recover = st.target.Report
+				recover.Event = EventRecover
+				recover.Detected = now
+				push = true
+			}
+		}
 	}
 	d.mu.Unlock()
+	if push {
+		d.notifier.Push(recover)
+	}
+}
+
+// Quality aggregates the detection-quality counters over all adaptive
+// targets: suspicions raised, confirmed, retracted, and total time-to-detect.
+func (d *Detector) Quality() SuspicionStats {
+	var agg SuspicionStats
+	d.mu.Lock()
+	for _, st := range d.targets {
+		if st.susp == nil {
+			continue
+		}
+		s := st.susp.Stats()
+		agg.Raised += s.Raised
+		agg.Retracted += s.Retracted
+		agg.Confirmed += s.Confirmed
+		agg.DetectTotal += s.DetectTotal
+	}
+	d.mu.Unlock()
+	return agg
 }
 
 // Stop terminates all monitoring.
@@ -273,46 +389,110 @@ func (d *Detector) monitor(id string, st *targetState) {
 	}
 }
 
-// pullProbe runs one is_alive probe with a timeout.
+// pullProbe drives PULL monitoring for one tick. Probes are serialized per
+// target: if the previous probe is still in flight the tick launches
+// nothing — an overdue in-flight probe counts as a miss, so a stuck Probe
+// pins exactly one goroutine and is still detected within Retries ticks.
 func (d *Detector) pullProbe(id string, st *targetState) {
-	done := make(chan error, 1)
-	go func() { done <- st.target.Probe() }()
-	var err error
-	timer := time.NewTimer(d.cfg.Timeout)
-	defer timer.Stop()
-	select {
-	case err = <-done:
-	case <-timer.C:
-		err = errProbeTimeout
-	case <-st.stop:
-		return
-	case <-d.stopCh:
+	now := time.Now()
+	d.mu.Lock()
+	if st.probing {
+		var r Report
+		ok := false
+		if now.Sub(st.probeStart) > d.cfg.Timeout {
+			r, ok = d.missLocked(st, now)
+		}
+		d.mu.Unlock()
+		if ok {
+			d.notifier.Push(r)
+		}
 		return
 	}
+	st.probing = true
+	st.probeStart = now
+	d.mu.Unlock()
 
-	d.mu.Lock()
-	if err == nil {
-		st.misses = 0
-		st.announced = false
+	go func() {
+		err := st.target.Probe()
+		select {
+		case <-st.stop:
+			return
+		case <-d.stopCh:
+			return
+		default:
+		}
+		done := time.Now()
+		var r Report
+		ok := false
+		d.mu.Lock()
+		st.probing = false
+		if err == nil {
+			st.misses = 0
+			st.announced = false
+			st.lastBeat = done
+			if st.susp != nil {
+				switch st.susp.Observe(done) {
+				case TransRetract, TransRecover:
+					r = st.target.Report
+					r.Event = EventRecover
+					r.Detected = done
+					ok = true
+				}
+			}
+		} else {
+			r, ok = d.missLocked(st, done)
+		}
 		d.mu.Unlock()
-		return
+		if ok {
+			d.notifier.Push(r)
+		}
+	}()
+}
+
+// missLocked records one failed/overdue probe and advances the detection
+// state, returning a report to push (after unlocking). Caller holds d.mu.
+func (d *Detector) missLocked(st *targetState, now time.Time) (Report, bool) {
+	if st.susp != nil {
+		return d.evalLocked(st, now)
 	}
 	st.misses++
-	declare := st.misses >= d.cfg.Retries && !st.announced
-	if declare {
+	if st.misses >= d.cfg.Retries && !st.announced {
 		st.announced = true
+		return st.target.Report, true
 	}
-	d.mu.Unlock()
-	if declare {
-		d.notifier.Push(st.target.Report)
+	return Report{}, false
+}
+
+// evalLocked steps an adaptive target's suspicion machine, returning a
+// report to push (after unlocking). Caller holds d.mu.
+func (d *Detector) evalLocked(st *targetState, now time.Time) (Report, bool) {
+	r := st.target.Report
+	switch st.susp.Eval(now) {
+	case TransSuspect:
+		r.Event = EventSuspect
+	case TransDead:
+		r.Event = EventFault
+	default:
+		return Report{}, false
 	}
+	r.Detected = now
+	return r, true
 }
 
 // pushCheck verifies a heartbeat arrived within the window.
 func (d *Detector) pushCheck(id string, st *targetState) {
+	now := time.Now()
 	d.mu.Lock()
+	if st.susp != nil {
+		r, ok := d.evalLocked(st, now)
+		d.mu.Unlock()
+		if ok {
+			d.notifier.Push(r)
+		}
+		return
+	}
 	window := time.Duration(d.cfg.Retries) * d.cfg.Interval
-	late := time.Since(st.lastBeat) > window
+	late := now.Sub(st.lastBeat) > window
 	declare := late && !st.announced
 	if declare {
 		st.announced = true
@@ -323,8 +503,3 @@ func (d *Detector) pushCheck(id string, st *targetState) {
 	}
 }
 
-type probeTimeoutError struct{}
-
-func (probeTimeoutError) Error() string { return "fault: probe timeout" }
-
-var errProbeTimeout = probeTimeoutError{}

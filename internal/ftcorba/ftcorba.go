@@ -128,6 +128,15 @@ type groupRec struct {
 	version uint32
 }
 
+// pendingRecruit is a deferred spare recruitment: a confirmed member fault
+// schedules it, the RecruitGrace timer fires it, and a recovery report for
+// the failed node cancels it (the recovered member is re-added instead).
+type pendingRecruit struct {
+	gid    uint64
+	failed string
+	timer  *time.Timer
+}
+
 // ReplicationManager administers object groups in one FT domain.
 type ReplicationManager struct {
 	domain string
@@ -140,6 +149,18 @@ type ReplicationManager struct {
 	defaultProps Properties
 	typeProps    map[string]Properties
 
+	// Failure-detector state mirror: suspected nodes are quarantined (never
+	// chosen as spares) until the suspicion resolves; confirmed-dead nodes
+	// stay excluded until they re-register or a recovery report arrives.
+	suspected map[string]time.Time
+	deadNodes map[string]bool
+	pending   map[uint64]*pendingRecruit
+	// recruitGrace delays spare recruitment after a confirmed fault so a
+	// member that was evicted by an over-eager detector (and whose recovery
+	// report is seconds behind the fault report) rejoins in place instead
+	// of triggering a provisioning storm.
+	recruitGrace time.Duration
+
 	stopCh  chan struct{}
 	wg      sync.WaitGroup
 	stopped bool
@@ -148,14 +169,27 @@ type ReplicationManager struct {
 // NewReplicationManager creates a manager for the named FT domain.
 func NewReplicationManager(domain string) *ReplicationManager {
 	rm := &ReplicationManager{
-		domain:    domain,
-		nodes:     make(map[string]*nodeRec),
-		groups:    make(map[uint64]*groupRec),
-		typeProps: make(map[string]Properties),
-		stopCh:    make(chan struct{}),
+		domain:       domain,
+		nodes:        make(map[string]*nodeRec),
+		groups:       make(map[uint64]*groupRec),
+		typeProps:    make(map[string]Properties),
+		suspected:    make(map[string]time.Time),
+		deadNodes:    make(map[string]bool),
+		pending:      make(map[uint64]*pendingRecruit),
+		recruitGrace: 75 * time.Millisecond,
+		stopCh:       make(chan struct{}),
 	}
 	rm.defaultProps.fill()
 	return rm
+}
+
+// SetRecruitGrace overrides the delay between a confirmed member fault and
+// spare recruitment. Zero recruits immediately (the pre-hysteresis
+// behavior); tests that need deterministic timing use it.
+func (rm *ReplicationManager) SetRecruitGrace(d time.Duration) {
+	rm.mu.Lock()
+	rm.recruitGrace = d
+	rm.mu.Unlock()
 }
 
 // Domain returns the FT domain name.
@@ -169,6 +203,10 @@ func (rm *ReplicationManager) Stop() {
 		return
 	}
 	rm.stopped = true
+	for gid, p := range rm.pending {
+		p.timer.Stop()
+		delete(rm.pending, gid)
+	}
 	rm.mu.Unlock()
 	close(rm.stopCh)
 	rm.wg.Wait()
@@ -181,6 +219,10 @@ func (rm *ReplicationManager) Stop() {
 func (rm *ReplicationManager) RegisterNode(node string, engine *replication.Engine, orbPort uint16) {
 	rm.mu.Lock()
 	defer rm.mu.Unlock()
+	// Registration is proof of life: a restarted node sheds any dead or
+	// suspected mark it carried.
+	delete(rm.deadNodes, node)
+	delete(rm.suspected, node)
 	if rec, ok := rm.nodes[node]; ok {
 		rec.engine = engine
 		rec.orbPort = orbPort
@@ -466,12 +508,32 @@ func (rm *ReplicationManager) ConsumeFaults(n *fault.Notifier) {
 }
 
 func (rm *ReplicationManager) handleFault(r fault.Report) {
+	switch r.Event {
+	case fault.EventSuspect:
+		// Quarantine: a suspected node is never recruited as a spare, but
+		// its existing memberships stay — suspicion is not eviction.
+		rm.mu.Lock()
+		if _, ok := rm.suspected[r.Node]; !ok {
+			when := r.Detected
+			if when.IsZero() {
+				when = time.Now()
+			}
+			rm.suspected[r.Node] = when
+		}
+		rm.mu.Unlock()
+		return
+	case fault.EventRecover:
+		rm.nodeRecovered(r.Node)
+		return
+	}
 	switch r.Kind {
 	case fault.ObjectCrash:
 		rm.memberFailed(r.GroupID, r.Node)
 	case fault.NodeCrash, fault.ProcessCrash:
 		// Every group with a member on the node lost that member.
 		rm.mu.Lock()
+		rm.deadNodes[r.Node] = true
+		delete(rm.suspected, r.Node)
 		var affected []uint64
 		for gid, g := range rm.groups {
 			for _, m := range g.members {
@@ -485,6 +547,28 @@ func (rm *ReplicationManager) handleFault(r fault.Report) {
 		for _, gid := range affected {
 			rm.memberFailed(gid, r.Node)
 		}
+	}
+}
+
+// nodeRecovered handles a recovery report: the node's quarantine marks are
+// cleared, and any recruit still pending for a group that lost this very
+// node is canceled — the recovered member is re-added in place, which is
+// exactly the flap the recruit grace exists to absorb.
+func (rm *ReplicationManager) nodeRecovered(node string) {
+	rm.mu.Lock()
+	delete(rm.suspected, node)
+	delete(rm.deadNodes, node)
+	var readd []uint64
+	for gid, p := range rm.pending {
+		if p.failed == node {
+			p.timer.Stop()
+			delete(rm.pending, gid)
+			readd = append(readd, gid)
+		}
+	}
+	rm.mu.Unlock()
+	for _, gid := range readd {
+		_, _ = rm.AddMember(gid, node)
 	}
 }
 
@@ -510,23 +594,57 @@ func (rm *ReplicationManager) memberFailed(gid uint64, node string) {
 	g.version++
 	needRecovery := g.props.MembershipStyle == MembershipInfrastructure &&
 		len(g.members) < g.props.MinimumNumberReplicas
-	var spare string
-	if needRecovery {
-		candidates := rm.nodesWithFactoryLocked(g.typeID, append([]string{node}, g.members...))
-		// Prefer nodes whose engines are still reachable; the caller's
-		// fault reports tell us only who died, so just take the first
-		// candidate.
-		if len(candidates) > 0 {
-			spare = candidates[0]
-		}
+	if needRecovery && !rm.stopped && rm.pending[gid] == nil {
+		p := &pendingRecruit{gid: gid, failed: node}
+		p.timer = time.AfterFunc(rm.recruitGrace, func() { rm.fireRecruit(p) })
+		rm.pending[gid] = p
 	}
 	rm.mu.Unlock()
+}
 
+// fireRecruit runs when a pending recruit's grace expires without the
+// failed member recovering: re-check the group still needs a replica and
+// place one on the first healthy spare.
+func (rm *ReplicationManager) fireRecruit(p *pendingRecruit) {
+	rm.mu.Lock()
+	if rm.pending[p.gid] != p {
+		rm.mu.Unlock()
+		return // canceled by a recovery, or superseded
+	}
+	delete(rm.pending, p.gid)
+	g, ok := rm.groups[p.gid]
+	if !ok || rm.stopped ||
+		g.props.MembershipStyle != MembershipInfrastructure ||
+		len(g.members) >= g.props.MinimumNumberReplicas {
+		rm.mu.Unlock()
+		return
+	}
+	spare := rm.selectSpareLocked(g, p.failed)
+	rm.mu.Unlock()
 	if spare != "" {
 		// Best-effort: the spare may itself be down; the next fault report
 		// will retry elsewhere.
-		_, _ = rm.AddMember(gid, spare)
+		_, _ = rm.AddMember(p.gid, spare)
 	}
+}
+
+// selectSpareLocked picks the first registered node that has a factory for
+// the group's type, hosts no member, and is neither confirmed dead nor
+// currently suspected by the failure detector. The old code took
+// candidates[0] unconditionally, which happily recruited a node whose
+// crash the manager had itself just processed.
+func (rm *ReplicationManager) selectSpareLocked(g *groupRec, failed string) string {
+	candidates := rm.nodesWithFactoryLocked(g.typeID, append([]string{failed}, g.members...))
+	for _, c := range candidates {
+		if rm.deadNodes[c] {
+			continue
+		}
+		if _, sus := rm.suspected[c]; sus {
+			continue
+		}
+		return c
+	}
+	return ""
 }
 
 // GroupIDs lists all managed group ids, sorted.

@@ -1,0 +1,124 @@
+package ftcorba_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/ftcorba"
+	"repro/internal/replication"
+)
+
+// crashReport is a confirmed node-crash fault as the replication engine
+// reports it after a membership eviction.
+func crashReport(node string) fault.Report {
+	return fault.Report{Kind: fault.NodeCrash, Node: node, Member: node, Detected: time.Now()}
+}
+
+func waitMembers(t *testing.T, rm *ftcorba.ReplicationManager, gid uint64, check func([]string) bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		cur, _ := rm.Members(gid)
+		if check(cur) {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s: members=%v", what, cur)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// A node whose crash the manager has already processed must never be
+// recruited as a spare, even when it sorts first among the candidates.
+func TestSpareSelectionSkipsDeadNode(t *testing.T) {
+	d := newDomain(t, "n1", "n2", "n3", "n4")
+	d.RM.SetRecruitGrace(time.Millisecond)
+	_, gid, err := d.Create("dead-spare", tallyType, &ftcorba.Properties{
+		ReplicationStyle:      replication.Active,
+		InitialNumberReplicas: 2,
+		MinimumNumberReplicas: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	members, _ := d.RM.Members(gid) // n1, n2 (sorted candidate order)
+	if len(members) != 2 {
+		t.Fatalf("initial members = %v", members)
+	}
+
+	// n3 dies first (it hosts nothing, so only the dead mark changes),
+	// then a member dies. The recruit must skip n3 — the old selection
+	// took candidates[0] and would have picked the corpse.
+	d.Notifier.Push(crashReport("n3"))
+	d.Notifier.Push(crashReport(members[0]))
+	waitMembers(t, d.RM, gid, func(cur []string) bool {
+		return len(cur) == 2 && containsStr(cur, "n4") && !containsStr(cur, "n3")
+	}, "recruit skipped dead n3")
+}
+
+// A suspected node is quarantined: not trusted as a spare until the
+// suspicion resolves.
+func TestSpareSelectionSkipsSuspectedNode(t *testing.T) {
+	d := newDomain(t, "n1", "n2", "n3", "n4")
+	d.RM.SetRecruitGrace(time.Millisecond)
+	_, gid, err := d.Create("suspect-spare", tallyType, &ftcorba.Properties{
+		ReplicationStyle:      replication.Active,
+		InitialNumberReplicas: 2,
+		MinimumNumberReplicas: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	members, _ := d.RM.Members(gid)
+
+	d.Notifier.Push(fault.Report{
+		Kind: fault.NodeCrash, Event: fault.EventSuspect,
+		Node: "n3", Member: "n3", Detected: time.Now(),
+	})
+	d.Notifier.Push(crashReport(members[0]))
+	waitMembers(t, d.RM, gid, func(cur []string) bool {
+		return len(cur) == 2 && containsStr(cur, "n4") && !containsStr(cur, "n3")
+	}, "recruit skipped suspected n3")
+}
+
+// A recovery report arriving within the recruit grace cancels the pending
+// spare recruitment and re-admits the recovered member in place — the flap
+// absorption that keeps a transient pause from provisioning a fresh
+// replica (and paying a state transfer) on every blip.
+func TestRecoveryWithinGraceCancelsRecruit(t *testing.T) {
+	d := newDomain(t, "n1", "n2", "n3")
+	d.RM.SetRecruitGrace(500 * time.Millisecond)
+	_, gid, err := d.Create("flap", tallyType, &ftcorba.Properties{
+		ReplicationStyle:      replication.Active,
+		InitialNumberReplicas: 2,
+		MinimumNumberReplicas: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	members, _ := d.RM.Members(gid)
+	victim := members[0]
+
+	d.Notifier.Push(crashReport(victim))
+	waitMembers(t, d.RM, gid, func(cur []string) bool {
+		return len(cur) == 1 && !containsStr(cur, victim)
+	}, "member removed on confirmed fault")
+
+	// The node comes back before the grace expires.
+	d.Notifier.Push(fault.Report{
+		Kind: fault.NodeCrash, Event: fault.EventRecover,
+		Node: victim, Member: victim, Detected: time.Now(),
+	})
+	waitMembers(t, d.RM, gid, func(cur []string) bool {
+		return len(cur) == 2 && containsStr(cur, victim)
+	}, "recovered member re-added")
+
+	// Past the grace: the canceled recruit must not fire — n3 stays out.
+	time.Sleep(700 * time.Millisecond)
+	cur, _ := d.RM.Members(gid)
+	if len(cur) != 2 || containsStr(cur, "n3") {
+		t.Fatalf("canceled recruit fired anyway: members=%v", cur)
+	}
+}

@@ -615,12 +615,16 @@ type DGram struct {
 	addr   Addr
 	mu     sync.Mutex
 	cond   *sync.Cond
-	queue  dgramRing
+	queue  dgramRing // data lane
+	ctlq   dgramRing // control lane: delivered first among due datagrams
 	closed bool
 	waker  *time.Timer // reused wakeup for not-yet-due heads (see Recv)
 }
 
-var _ transport.Port = (*DGram)(nil)
+var (
+	_ transport.Port        = (*DGram)(nil)
+	_ transport.ClassSender = (*DGram)(nil)
+)
 
 // Open binds a datagram port at host:port, implementing
 // transport.Transport. It is OpenPort behind the seam's interface: the
@@ -708,6 +712,15 @@ func (d *DGram) Local() (string, uint16) { return d.addr.Node, d.addr.Port }
 // mutate it after Send. Protocol layers in this module always pass
 // freshly encoded buffers.
 func (d *DGram) Send(host string, port uint16, payload []byte) error {
+	return d.SendClass(host, port, payload, transport.ClassData)
+}
+
+// SendClass is Send with an explicit scheduling class: ClassControl
+// datagrams land in the destination's priority lane and are received ahead
+// of any queued data, while loss, latency, partitions, and fault filters
+// apply to both lanes identically (a dropped heartbeat is still dropped —
+// the lane only keeps it from queueing behind a multicast backlog).
+func (d *DGram) SendClass(host string, port uint16, payload []byte, class transport.Class) error {
 	f := d.fabric
 	f.mu.Lock()
 	if d.isClosed() {
@@ -738,7 +751,12 @@ func (d *DGram) Send(host string, port uint16, payload []byte) error {
 
 	tgt.mu.Lock()
 	if !tgt.closed {
-		tgt.queue.push(timedDatagram{dg: Datagram{From: d.addr.Node, Payload: payload}, due: due})
+		td := timedDatagram{dg: Datagram{From: d.addr.Node, Payload: payload}, due: due}
+		if class == transport.ClassControl {
+			tgt.ctlq.push(td)
+		} else {
+			tgt.queue.push(td)
+		}
 		tgt.cond.Broadcast()
 	}
 	tgt.mu.Unlock()
@@ -759,13 +777,32 @@ func (d *DGram) Recv() (Datagram, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	for {
+		// Control lane first: a due heartbeat/token is delivered ahead of
+		// any amount of queued data. Not-yet-due heads on either lane set
+		// the wakeup for whichever matures sooner.
+		var wait time.Duration
+		waiting := false
+		if d.ctlq.len() > 0 {
+			head := d.ctlq.peek()
+			now := time.Now()
+			if !head.due.After(now) {
+				return d.ctlq.pop(), nil
+			}
+			wait = head.due.Sub(now)
+			waiting = true
+		}
 		if d.queue.len() > 0 {
 			head := d.queue.peek()
 			now := time.Now()
 			if !head.due.After(now) {
 				return d.queue.pop(), nil
 			}
-			wait := head.due.Sub(now)
+			if w := head.due.Sub(now); !waiting || w < wait {
+				wait = w
+				waiting = true
+			}
+		}
+		if waiting {
 			if d.waker == nil {
 				d.waker = time.AfterFunc(wait, func() {
 					d.mu.Lock()

@@ -73,8 +73,29 @@ type Config struct {
 	// HeartbeatInterval is the gossip period (default 10ms).
 	HeartbeatInterval time.Duration
 	// FailTimeout declares a node dead when no heartbeat arrives for this
-	// long (default 6 heartbeats).
+	// long (default 6 heartbeats). Under the adaptive detector (the
+	// default) it is the floor of the failure window, not the window
+	// itself: observed heartbeat jitter widens the window up to
+	// MaxFailTimeout before a peer is declared dead.
 	FailTimeout time.Duration
+	// FixedFailDetect reverts peer liveness to the legacy fixed-window
+	// check (silence for FailTimeout ⇒ dead) instead of the adaptive
+	// phi-accrual suspicion machine. Escape hatch and A/B lever: the chaos
+	// storm test shows the fixed window evicting a paused-but-healthy node
+	// where the adaptive one retracts the suspicion.
+	FixedFailDetect bool
+	// MaxFailTimeout caps how far observed jitter may widen the adaptive
+	// failure window (default 3×FailTimeout).
+	MaxFailTimeout time.Duration
+	// PhiSuspect and PhiFail are the phi-accrual thresholds at which a
+	// silent peer becomes suspected and fail-eligible (defaults 1 and 8).
+	PhiSuspect float64
+	PhiFail    float64
+	// ConfirmGrace is the minimum dwell in the suspect state before a peer
+	// may be declared dead (default FailTimeout). A heartbeat arriving
+	// during the grace retracts the suspicion instead of evicting — the
+	// hysteresis that keeps a provisioning storm from reforming the ring.
+	ConfirmGrace time.Duration
 	// TokenTimeout triggers ring re-formation when the token stays away
 	// this long (default 12 heartbeats).
 	TokenTimeout time.Duration
@@ -145,6 +166,12 @@ func (c *Config) fill() {
 	}
 	if c.FailTimeout <= 0 {
 		c.FailTimeout = 6 * c.HeartbeatInterval
+	}
+	if c.MaxFailTimeout <= 0 {
+		c.MaxFailTimeout = 3 * c.FailTimeout
+	}
+	if c.ConfirmGrace <= 0 {
+		c.ConfirmGrace = c.FailTimeout
 	}
 	if c.TokenTimeout <= 0 {
 		c.TokenTimeout = 12 * c.HeartbeatInterval
@@ -227,6 +254,7 @@ type Ring struct {
 	state       int
 	maxEpoch    uint64
 	lastHello   map[string]time.Time
+	peerFD      map[string]*fault.Suspicion // adaptive per-peer liveness
 	formingFrom time.Time
 	formingRing RingID
 	formMembers []string
@@ -246,6 +274,7 @@ type Ring struct {
 	unparking    bool          // the re-handled visit must rotate, not re-park
 
 	packetCh   chan any
+	ctlCh      chan any // priority lane: liveness/membership/token packets
 	stopCh     chan struct{}
 	wg         sync.WaitGroup
 	lastSeq    map[RingID]uint64 // per-ring delivery contiguity tracking
@@ -288,9 +317,11 @@ func NewRing(tp transport.Transport, cfg Config) (*Ring, error) {
 		evCh:         make(chan Event),
 		subs:         make(map[string]bool),
 		lastHello:    make(map[string]time.Time),
+		peerFD:       make(map[string]*fault.Suspicion),
 		store:        make(map[uint64]storedMsg),
 		groupMembers: make(map[string]map[string]bool),
 		packetCh:     make(chan any, 1024),
+		ctlCh:        make(chan any, 256),
 		stopCh:       make(chan struct{}),
 		state:        stForming,
 		formingFrom:  time.Now(),
@@ -460,17 +491,25 @@ func (r *Ring) recvLoop() {
 		// skip the frame copy and decode field-by-field off the transport
 		// buffer as before.
 		var pkt any
+		ch := r.ctlCh
 		if t := pktType(firstOctet(dg.Payload)); t == pktData || t == pktDataBatch {
 			owned := append(make([]byte, 0, len(dg.Payload)), dg.Payload...)
 			pkt, err = decodePacketOwned(owned)
+			ch = r.packetCh
 		} else {
 			pkt, err = decodePacket(dg.Payload)
 		}
 		if err != nil {
 			continue // corrupt datagram: drop, like UDP
 		}
+		// Control packets (hello, membership, token, nudge) ride their own
+		// channel so the protocol loop can serve them ahead of a multicast
+		// backlog — the in-process half of the priority lane. A heartbeat
+		// that queued behind a thousand dataBatch frames reads exactly like
+		// a dead peer; this is what used to turn provisioning storms into
+		// eviction cascades.
 		select {
-		case r.packetCh <- pkt:
+		case ch <- pkt:
 		case <-r.stopCh:
 			return
 		}
@@ -499,19 +538,41 @@ func (r *Ring) run() {
 	defer ticker.Stop()
 	r.lastHello[r.cfg.Node] = time.Now()
 	for {
+		// Control-plane priority: drain pending control packets before
+		// considering data. Bounded so a saturated control stream cannot
+		// starve the heartbeat tick.
+		for n := 0; n < 64; n++ {
+			select {
+			case pkt := <-r.ctlCh:
+				r.handleCtl(pkt)
+				continue
+			default:
+			}
+			break
+		}
 		select {
 		case <-r.stopCh:
 			return
+		case pkt := <-r.ctlCh:
+			r.handleCtl(pkt)
 		case pkt := <-r.packetCh:
 			r.handlePacket(pkt)
 			// Drain what queued behind it with nonblocking receives: a
 			// single-case select compiles to a cheap channel poll, while
-			// re-entering the three-way select costs a full selectgo pass
+			// re-entering the four-way select costs a full selectgo pass
 			// per packet — measurably hot at the ~10^5 packets/s a busy
 			// ring sustains. The drain is bounded so a saturated packet
 			// stream cannot starve the heartbeat tick (liveness gossip and
-			// the failure detector hang off it).
+			// the failure detector hang off it), and polls the control lane
+			// first on every iteration so a heartbeat or token arriving
+			// mid-backlog is served before the next data frame.
 			for n := 0; n < 128; n++ {
+				select {
+				case pkt := <-r.ctlCh:
+					r.handleCtl(pkt)
+					continue
+				default:
+				}
 				select {
 				case pkt := <-r.packetCh:
 					r.handlePacket(pkt)
@@ -524,6 +585,27 @@ func (r *Ring) run() {
 			r.tick()
 		}
 	}
+}
+
+// handleCtl processes a control-lane packet. The token is the one control
+// packet whose handling depends on data frames already received: computing
+// the retransmission-request list while those frames sit unprocessed in
+// packetCh would ask the ring to resend messages that are already here. So
+// queued data is drained (bounded) before a token is handled — priority
+// for liveness, arrival order for the token's view of the store.
+func (r *Ring) handleCtl(pkt any) {
+	if _, ok := pkt.(*token); ok {
+		for n := 0; n < 256; n++ {
+			select {
+			case dp := <-r.packetCh:
+				r.handlePacket(dp)
+				continue
+			default:
+			}
+			break
+		}
+	}
+	r.handlePacket(pkt)
 }
 
 // --- Protocol ------------------------------------------------------------
@@ -544,6 +626,20 @@ func (r *Ring) reportInvariant(detail string) {
 	}
 }
 
+// sendRaw transmits an encoded packet on the transport lane matching its
+// wire classification: liveness, membership, and token traffic ride the
+// control-plane priority lane so they never queue behind an
+// application-multicast backlog (backends without a lane fall back to
+// plain FIFO sends).
+func (r *Ring) sendRaw(to string, raw []byte) {
+	class := transport.ClassData
+	switch Classify(raw) {
+	case ClassHello, ClassMembership, ClassToken:
+		class = transport.ClassControl
+	}
+	_ = transport.SendClass(r.port, to, r.cfg.Port, raw, class)
+}
+
 func (r *Ring) send(to string, pkt any) {
 	if to == r.cfg.Node {
 		// Loopback: handle inline to avoid a needless trip through the
@@ -556,7 +652,7 @@ func (r *Ring) send(to string, pkt any) {
 		r.reportInvariant(err.Error())
 		return
 	}
-	_ = r.port.Send(to, r.cfg.Port, raw)
+	r.sendRaw(to, raw)
 }
 
 func (r *Ring) broadcastMembers(pkt any, includeSelf bool) {
@@ -572,7 +668,7 @@ func (r *Ring) broadcastMembers(pkt any, includeSelf bool) {
 		if m == r.cfg.Node {
 			continue
 		}
-		_ = r.port.Send(m, r.cfg.Port, raw)
+		r.sendRaw(m, raw)
 	}
 	if includeSelf {
 		r.handlePacket(pkt)
@@ -581,12 +677,23 @@ func (r *Ring) broadcastMembers(pkt any, includeSelf bool) {
 
 func (r *Ring) aliveSet(now time.Time) []string {
 	alive := []string{r.cfg.Node}
-	for n, t := range r.lastHello {
-		if n == r.cfg.Node {
-			continue
+	if r.cfg.FixedFailDetect {
+		for n, t := range r.lastHello {
+			if n == r.cfg.Node {
+				continue
+			}
+			if now.Sub(t) <= r.cfg.FailTimeout {
+				alive = append(alive, n)
+			}
 		}
-		if now.Sub(t) <= r.cfg.FailTimeout {
-			alive = append(alive, n)
+	} else {
+		// Adaptive: a peer stays alive through the whole suspect phase —
+		// only a confirmed death (phi past PhiFail AND the ConfirmGrace
+		// dwell elapsed) removes it and triggers reformation.
+		for n, s := range r.peerFD {
+			if s.State() != fault.StateDead {
+				alive = append(alive, n)
+			}
 		}
 	}
 	sort.Strings(alive)
@@ -607,12 +714,13 @@ func sameStrings(a, b []string) bool {
 
 func (r *Ring) tick() {
 	now := time.Now()
+	r.evalPeers(now)
 	// Gossip a heartbeat to the whole universe.
 	h := &hello{From: r.cfg.Node, Alive: r.aliveSet(now), MaxEpoch: r.maxEpoch, Ring: r.ring}
 	if raw, err := encodePacket(h); err == nil {
 		for _, n := range r.cfg.Universe {
 			if n != r.cfg.Node {
-				_ = r.port.Send(n, r.cfg.Port, raw)
+				r.sendRaw(n, raw)
 			}
 		}
 	}
@@ -783,10 +891,59 @@ func (r *Ring) unpark() {
 }
 
 func (r *Ring) handleHello(h *hello) {
-	r.lastHello[h.From] = time.Now()
+	now := time.Now()
+	r.lastHello[h.From] = now
+	if !r.cfg.FixedFailDetect && h.From != r.cfg.Node {
+		s := r.peerFD[h.From]
+		if s == nil {
+			s = fault.NewSuspicion(fault.SuspicionConfig{
+				PhiSuspect:   r.cfg.PhiSuspect,
+				PhiFail:      r.cfg.PhiFail,
+				MinWindow:    r.cfg.FailTimeout,
+				MaxWindow:    r.cfg.MaxFailTimeout,
+				ConfirmGrace: r.cfg.ConfirmGrace,
+			})
+			r.peerFD[h.From] = s
+		}
+		switch s.Observe(now) {
+		case fault.TransRetract, fault.TransRecover:
+			r.pushPeerEvent(h.From, fault.EventRecover, now)
+		}
+	}
 	if h.MaxEpoch > r.maxEpoch {
 		r.maxEpoch = h.MaxEpoch
 	}
+}
+
+// evalPeers advances every peer's suspicion machine to now (adaptive
+// detection only). Raised suspicions are reported via Faults so the
+// replication tier can quarantine the peer; a confirmed death emits no
+// report from here — it only changes aliveSet, and the resulting
+// membership eviction is what the replication engine reports as the
+// confirmed NodeCrash fault.
+func (r *Ring) evalPeers(now time.Time) {
+	if r.cfg.FixedFailDetect {
+		return
+	}
+	for peer, s := range r.peerFD {
+		if s.Eval(now) == fault.TransSuspect {
+			r.pushPeerEvent(peer, fault.EventSuspect, now)
+		}
+	}
+}
+
+// pushPeerEvent reports a peer-liveness transition to the fault notifier.
+func (r *Ring) pushPeerEvent(peer string, ev fault.Event, now time.Time) {
+	if r.cfg.Faults == nil {
+		return
+	}
+	r.cfg.Faults.Push(fault.Report{
+		Kind:     fault.NodeCrash,
+		Event:    ev,
+		Node:     peer,
+		Member:   peer,
+		Detected: now,
+	})
 }
 
 // makeAccept snapshots this node's old-ring state for the coordinator.
@@ -897,7 +1054,7 @@ func (r *Ring) finishFormation() {
 	}
 	for _, m := range r.formMembers {
 		if m != r.cfg.Node {
-			_ = r.port.Send(m, r.cfg.Port, raw)
+			r.sendRaw(m, raw)
 		}
 	}
 	r.handleInstall(ins)
@@ -1153,12 +1310,21 @@ func (r *Ring) handleToken(t *token) {
 	if next == r.cfg.Node {
 		// Singleton ring: nothing to pass; reprocess on next tick only if
 		// there is pending work, otherwise the retained token is resent by
-		// the timeout path. Process immediately when messages are queued.
+		// the timeout path. Pending work re-enqueues the token through the
+		// control lane rather than recursing: a producer that refills the
+		// queue as fast as visits drain it would recurse without bound and
+		// starve the heartbeat tick — no hello gossip, so a singleton under
+		// sustained load could never remerge with returning peers.
 		r.mu.Lock()
 		pending := len(r.sendQ) > 0
 		r.mu.Unlock()
 		if pending {
-			r.handleToken(&cp)
+			select {
+			case r.ctlCh <- &cp:
+			default:
+				// Lane momentarily full: the retained-token resend on the
+				// timeout path recovers circulation.
+			}
 		} else {
 			// Keep the token "arriving" so the timeout never fires.
 			r.lastToken = time.Now()
@@ -1243,7 +1409,7 @@ func (r *Ring) paceForward(t *token, next string) {
 			return
 		}
 		select {
-		case r.packetCh <- &fwdToken{ring: t.Ring, tok: t, next: next}:
+		case r.ctlCh <- &fwdToken{ring: t.Ring, tok: t, next: next}:
 		case <-r.stopCh:
 		}
 	}()
@@ -1263,7 +1429,7 @@ func (r *Ring) selfToken(t *token) {
 			return
 		}
 		select {
-		case r.packetCh <- t:
+		case r.ctlCh <- t:
 		case <-r.stopCh:
 		}
 	}()

@@ -61,6 +61,41 @@ type Transport interface {
 	Open(node string, port uint16) (Port, error)
 }
 
+// Class tags a datagram's scheduling priority at the transport layer.
+// Control-plane traffic (totem hellos, membership packets, the token) must
+// not queue behind an application-multicast backlog: a heartbeat that
+// arrives late because ten thousand dataBatch frames were ahead of it in a
+// receive queue reads exactly like a dead peer, which is how provisioning
+// storms used to evict healthy members. Backends with a priority lane
+// deliver ClassControl datagrams ahead of any queued ClassData ones; loss,
+// latency, and fault filters apply to both lanes identically.
+type Class uint8
+
+const (
+	// ClassData is the default lane: application multicast payloads.
+	ClassData Class = iota
+	// ClassControl is the priority lane: liveness and membership traffic.
+	ClassControl
+)
+
+// ClassSender is optionally implemented by Ports that provide a
+// control-plane priority lane. Ports without it treat every datagram as
+// ClassData (plain FIFO), which is always correct — the lane is a
+// scheduling hint, not a delivery guarantee.
+type ClassSender interface {
+	// SendClass is Send with an explicit scheduling class.
+	SendClass(node string, port uint16, payload []byte, class Class) error
+}
+
+// SendClass sends via the port's priority lane when the backend has one and
+// falls back to plain Send otherwise.
+func SendClass(p Port, node string, port uint16, payload []byte, class Class) error {
+	if cs, ok := p.(ClassSender); ok {
+		return cs.SendClass(node, port, payload, class)
+	}
+	return p.Send(node, port, payload)
+}
+
 // ShardPort is the canonical port layout shared by every backend: shard i
 // of a ring pool based at logical port base listens on base+i on every
 // node. Keeping the layout a pure function of (base, shard) — and keeping

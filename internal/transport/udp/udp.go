@@ -10,10 +10,14 @@
 // the closed universe the totem protocol already assumes.
 //
 // Wire format: each UDP datagram is a 1-byte sender-name length, the
-// sender's node name, then the payload. The header exists because reverse
-// address mapping cannot identify senders — a node sends from whichever
-// ephemeral or per-shard source port the kernel picked, not from its
-// listening base.
+// sender's node name, a 1-byte scheduling class, then the payload. The
+// name header exists because reverse address mapping cannot identify
+// senders — a node sends from whichever ephemeral or per-shard source port
+// the kernel picked, not from its listening base. The class byte carries
+// the control-plane priority lane: the kernel socket buffer is strictly
+// FIFO, so a dedicated reader goroutine drains it eagerly into two
+// in-process queues and Recv serves the control queue first — a heartbeat
+// or token never waits behind a multicast backlog.
 package udp
 
 import (
@@ -155,37 +159,131 @@ func (t *Transport) Open(node string, lport uint16) (transport.Port, error) {
 	// rmem_max/wmem_max, so a refusal is not an error.
 	_ = conn.SetReadBuffer(4 << 20)
 	_ = conn.SetWriteBuffer(1 << 20)
-	return &port{
+	p := &port{
 		t:       t,
 		conn:    conn,
 		logical: lport,
-		rbuf:    make([]byte, maxDatagram),
 		names:   make(map[string]string),
-	}, nil
+	}
+	p.cond = sync.NewCond(&p.mu)
+	p.recvBufs.New = func() any { b := make([]byte, maxDatagram); return &b }
+	p.smallBufs.New = func() any { b := make([]byte, smallBuf); return &b }
+	go p.readLoop()
+	return p, nil
 }
 
-var _ transport.Port = (*port)(nil)
+var (
+	_ transport.Port        = (*port)(nil)
+	_ transport.ClassSender = (*port)(nil)
+)
+
+// laneBudget bounds each in-process receive lane by retained buffer
+// bytes, not datagram count: the lanes replace the kernel socket buffer
+// as the burst absorber, so their capacity must match what the 4MiB
+// kernel buffer used to hold (~4k small datagrams at ~1KiB skb truesize
+// each, ~64 max-size ones). A fixed datagram count would silently shrink
+// that for small-payload bursts — the sequencer baseline, which owns no
+// retransmission, surfaced exactly that as delivery loss. Past the
+// budget the newest datagram is shed, the same tail-drop the kernel
+// applies under overload (the protocol owns reliability either way).
+const laneBudget = 8 << 20
+
+// smallBuf is the copy cutoff: payloads at or under it are copied into a
+// compact pooled buffer so a lane full of tiny datagrams pins ~2KiB each
+// instead of a full maxDatagram read buffer.
+const smallBuf = 2048
+
+// udpDgram is one received datagram staged between the reader goroutine
+// and Recv, keeping its pooled backing buffer alive until recycled.
+type udpDgram struct {
+	from    string
+	payload []byte
+	buf     *[]byte
+}
+
+// dgramQueue is a growable ring of staged datagrams (same shape as the
+// netsim receive ring: front-pops must not strand capacity), accounting
+// the bytes of backing capacity it retains.
+type dgramQueue struct {
+	buf   []udpDgram
+	head  int
+	n     int
+	bytes int
+}
+
+func (q *dgramQueue) len() int { return q.n }
+
+func (q *dgramQueue) push(d udpDgram) {
+	if q.n == len(q.buf) {
+		grown := make([]udpDgram, max(8, 2*len(q.buf)))
+		for i := 0; i < q.n; i++ {
+			grown[i] = q.buf[(q.head+i)%len(q.buf)]
+		}
+		q.buf = grown
+		q.head = 0
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = d
+	q.n++
+	q.bytes += cap(*d.buf)
+}
+
+func (q *dgramQueue) pop() udpDgram {
+	slot := &q.buf[q.head]
+	d := *slot
+	*slot = udpDgram{} // release the buffer reference: slots are reused
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	q.bytes -= cap(*d.buf)
+	return d
+}
+
 
 type port struct {
 	t       *Transport
 	conn    *net.UDPConn
 	logical uint16
-	// rbuf is the single pooled receive buffer: Recv reads into it and
-	// hands out sub-slices, which is exactly the valid-until-next-Recv
-	// payload contract of transport.Port.
-	rbuf []byte
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	ctlq    dgramQueue // control lane: served first
+	dataq   dgramQueue
+	closed  bool
+	readErr error
+	// prev is the pooled buffer backing the payload handed out by the last
+	// Recv; it is recycled on the next call — the valid-until-next-Recv
+	// contract of transport.Port.
+	prev *[]byte
+
+	recvBufs  sync.Pool // *[]byte of maxDatagram for the reader goroutine
+	smallBufs sync.Pool // *[]byte of smallBuf for compacted small payloads
 	// names interns sender node names so the steady state allocates no
-	// string per datagram. Recv is single-consumer, so no lock.
+	// string per datagram. Owned by the reader goroutine: no lock.
 	names map[string]string
 }
 
+// recycle returns a staged buffer to the pool it came from, told apart by
+// capacity (small copies vs full-size read buffers).
+func (p *port) recycle(bp *[]byte) {
+	if cap(*bp) <= smallBuf {
+		p.smallBufs.Put(bp)
+	} else {
+		p.recvBufs.Put(bp)
+	}
+}
+
 func (p *port) Send(node string, lport uint16, payload []byte) error {
+	return p.SendClass(node, lport, payload, transport.ClassData)
+}
+
+// SendClass is Send with an explicit scheduling class carried in the wire
+// header; the receiver's reader goroutine sorts it into the matching lane.
+func (p *port) SendClass(node string, lport uint16, payload []byte, class transport.Class) error {
 	ap, err := p.t.resolve(node, lport)
 	if err != nil {
 		return err
 	}
 	name := p.t.node
-	n := 1 + len(name) + len(payload)
+	n := 2 + len(name) + len(payload)
 	if n > maxDatagram {
 		return fmt.Errorf("udp: datagram %d bytes exceeds limit %d", n, maxDatagram)
 	}
@@ -197,35 +295,109 @@ func (p *port) Send(node string, lport uint16, payload []byte) error {
 	b = b[:n]
 	b[0] = byte(len(name))
 	copy(b[1:], name)
-	copy(b[1+len(name):], payload)
+	b[1+len(name)] = byte(class)
+	copy(b[2+len(name):], payload)
 	_, err = p.conn.WriteToUDPAddrPort(b, ap)
 	*bp = b[:0]
 	p.t.sendBufs.Put(bp)
 	return err
 }
 
-func (p *port) Recv() (transport.Datagram, error) {
+// readLoop drains the kernel socket as fast as datagrams arrive, staging
+// them into the two priority lanes. Draining eagerly keeps the FIFO kernel
+// buffer short, which is what lets the control lane overtake a data
+// backlog at all.
+func (p *port) readLoop() {
 	for {
-		n, _, err := p.conn.ReadFromUDPAddrPort(p.rbuf)
+		bp := p.recvBufs.Get().(*[]byte)
+		b := *bp
+		n, _, err := p.conn.ReadFromUDPAddrPort(b)
 		if err != nil {
-			return transport.Datagram{}, err
+			p.recvBufs.Put(bp)
+			p.mu.Lock()
+			if p.readErr == nil {
+				p.readErr = err
+			}
+			p.closed = true
+			p.cond.Broadcast()
+			p.mu.Unlock()
+			return
 		}
-		if n < 1 {
+		if n < 2 {
+			p.recvBufs.Put(bp)
 			continue
 		}
-		nl := int(p.rbuf[0])
-		if n < 1+nl {
+		nl := int(b[0])
+		if n < 2+nl {
+			p.recvBufs.Put(bp)
 			continue
 		}
-		from, ok := p.names[string(p.rbuf[1:1+nl])]
+		from, ok := p.names[string(b[1:1+nl])]
 		if !ok {
-			from = string(p.rbuf[1 : 1+nl])
+			from = string(b[1 : 1+nl])
 			p.names[from] = from
 		}
-		return transport.Datagram{From: from, Payload: p.rbuf[1+nl : n]}, nil
+		class := transport.Class(b[1+nl])
+		payload := b[2+nl : n]
+		if len(payload) <= smallBuf {
+			sp := p.smallBufs.Get().(*[]byte)
+			copy((*sp)[:len(payload)], payload)
+			payload = (*sp)[:len(payload)]
+			p.recvBufs.Put(bp)
+			bp = sp
+		}
+		d := udpDgram{from: from, payload: payload, buf: bp}
+		p.mu.Lock()
+		q := &p.dataq
+		if class == transport.ClassControl {
+			q = &p.ctlq
+		}
+		if p.closed || q.bytes >= laneBudget {
+			p.mu.Unlock()
+			p.recycle(bp)
+			continue
+		}
+		q.push(d)
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	}
+}
+
+func (p *port) Recv() (transport.Datagram, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.prev != nil {
+		p.recycle(p.prev)
+		p.prev = nil
+	}
+	for {
+		if p.ctlq.len() > 0 {
+			d := p.ctlq.pop()
+			p.prev = d.buf
+			return transport.Datagram{From: d.from, Payload: d.payload}, nil
+		}
+		if p.dataq.len() > 0 {
+			d := p.dataq.pop()
+			p.prev = d.buf
+			return transport.Datagram{From: d.from, Payload: d.payload}, nil
+		}
+		if p.closed {
+			return transport.Datagram{}, p.readErr
+		}
+		p.cond.Wait()
 	}
 }
 
 func (p *port) Local() (string, uint16) { return p.t.node, p.logical }
 
-func (p *port) Close() error { return p.conn.Close() }
+func (p *port) Close() error {
+	err := p.conn.Close()
+	p.mu.Lock()
+	p.closed = true
+	if p.readErr == nil {
+		p.readErr = net.ErrClosed
+	}
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	return err
+}
