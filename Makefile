@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check race bench benchcmp test build vet chaos slo slo-smoke mp-smoke dr-smoke fd-smoke
+.PHONY: check race bench benchcmp test build vet chaos slo slo-smoke mp-smoke dr-smoke fd-smoke lf-smoke
 
 ## check: vet + build + full test suite (the tier-1 gate)
 check: vet build test
@@ -30,32 +30,40 @@ chaos:
 ## the full-profile SLO workload percentiles (~10^6-client population over
 ## 1024 groups plus a 6-episode chaos phase, ~75s), the PR7 multi-process
 ## loopback-UDP throughput cells, the PR8 disaster-recovery RPO/RTO
-## measurement, and the PR9 fail-detection sweep (storm false evictions,
-## confirmed-crash detection latency) into BENCH_pr9.json
+## measurement, the PR9 fail-detection sweep (storm false evictions,
+## confirmed-crash detection latency), and the PR10 leader-follower
+## latency sweep (leased read vs idle-token pacing, direct-lane write vs
+## ACTIVE, leader-crash blackout) into BENCH_pr10.json
 bench:
-	$(GO) test -run '^$$' -bench 'PR2|PR5' -benchmem -timeout 30m ./... | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_pr9.json
-	$(GO) run ./cmd/ftbench -e slo -seed 1 -json BENCH_pr9.json
-	$(GO) run ./cmd/ftbench -e e2mp -json BENCH_pr9.json
-	$(GO) run ./cmd/ftbench -e dr -json BENCH_pr9.json
-	$(GO) run ./cmd/ftbench -e fd -json BENCH_pr9.json
+	$(GO) test -run '^$$' -bench 'PR2|PR5' -benchmem -timeout 30m ./... | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_pr10.json
+	$(GO) run ./cmd/ftbench -e slo -seed 1 -json BENCH_pr10.json
+	$(GO) run ./cmd/ftbench -e e2mp -json BENCH_pr10.json
+	$(GO) run ./cmd/ftbench -e dr -json BENCH_pr10.json
+	$(GO) run ./cmd/ftbench -e fd -json BENCH_pr10.json
+	$(GO) run ./cmd/ftbench -e lf -json BENCH_pr10.json
 
 ## benchcmp: fail on adverse drift vs the frozen baselines, merged
-## first-match-wins — BENCH_pr9_base.json first (the fd detection records:
-## false_evictions gates at zero, detect_ms with a wide threshold; plus the
-## SLO percentiles re-frozen for the adaptive detector's confirm-grace
-## blackout shift), then BENCH_pr8_base.json (DR RPO/RTO: rpo_ops and
-## eo_violations gate at zero, rto_ms with a wide threshold),
-## BENCH_pr2.json and BENCH_pr5.json for the micro-benchmarks,
-## BENCH_pr6_base.json for the remaining SLO metrics, and
-## BENCH_pr7_base.json for the multi-process throughput cells (ops_s
+## first-match-wins — BENCH_pr10_base.json first (the leader-follower
+## records: read_p99_us gates with a wide µs-scale threshold, blackout_ms
+## against the deterministic lease fence; plus the PR5 single-ring
+## aggregate cell re-frozen for the idle-detection fix — the ring now
+## rotates ~2x faster instead of being wrongly throttled, which shifts
+## its allocs/op profile), then BENCH_pr9_base.json (the
+## fd detection records: false_evictions gates at zero, detect_ms with a
+## wide threshold; plus the SLO percentiles re-frozen for the adaptive
+## detector's confirm-grace blackout shift), BENCH_pr8_base.json (DR
+## RPO/RTO: rpo_ops and eo_violations gate at zero, rto_ms with a wide
+## threshold), BENCH_pr2.json and BENCH_pr5.json for the
+## micro-benchmarks, BENCH_pr6_base.json for the remaining SLO metrics,
+## and BENCH_pr7_base.json for the multi-process throughput cells (ops_s
 ## gates with a wide single-core-noise threshold; vs_baseline is
 ## informational)
 benchcmp:
-	$(GO) run ./cmd/benchcmp -threshold 20 BENCH_pr9_base.json,BENCH_pr8_base.json,BENCH_pr2.json,BENCH_pr5.json,BENCH_pr6_base.json,BENCH_pr7_base.json BENCH_pr9.json
+	$(GO) run ./cmd/benchcmp -threshold 20 BENCH_pr10_base.json,BENCH_pr9_base.json,BENCH_pr8_base.json,BENCH_pr2.json,BENCH_pr5.json,BENCH_pr6_base.json,BENCH_pr7_base.json BENCH_pr10.json
 
-## slo: re-run just the SLO evaluation, upserting into BENCH_pr9.json
+## slo: re-run just the SLO evaluation, upserting into BENCH_pr10.json
 slo:
-	$(GO) run ./cmd/ftbench -e slo -seed 1 -json BENCH_pr9.json
+	$(GO) run ./cmd/ftbench -e slo -seed 1 -json BENCH_pr10.json
 
 ## slo-smoke: seconds-long tail-latency sanity gate (two seeds); fails if
 ## the calm-phase p999 blows past 500ms
@@ -74,6 +82,13 @@ dr-smoke:
 ## unconfirmed crash
 fd-smoke:
 	$(GO) run ./cmd/ftbench -e fd -smoke
+
+## lf-smoke: seconds-long leader-follower smoke — one pacing cell of the
+## leased-read / direct-lane-write sweep plus the leader-crash blackout
+## measurement, so CI exercises the LF fast path, the order stream, and
+## the mid-stream handover end-to-end without the full sweep
+lf-smoke:
+	$(GO) run ./cmd/ftbench -e lf -smoke
 
 ## mp-smoke: seconds-long multi-process deployment smoke — every e2mp cell
 ## spawns real replica-node child processes with ring traffic on loopback

@@ -131,6 +131,22 @@ var registry = []metric{
 	// informational — its numerator and denominator gate separately.
 	extraMetric("ops_s", true, 40, gateAll),
 	extraMetric("vs_baseline", true, 0, gateNever),
+	// Leader-follower (cmd/ftbench -e lf). read_p99_us is the leased read's
+	// tail — single-digit µs of local RPC, so host noise moves it by
+	// multiples; the wide threshold still catches the failure it guards
+	// against, reads losing the lease and falling back onto the ordered
+	// path (a ~10x jump). blackout_ms is dominated by the successor's
+	// deterministic lease fence (LeaseDuration+LeaseGuard past takeover),
+	// so a doubling means the handover itself stalled. The p50s, the write
+	// percentiles, and the write/ACTIVE ratio are informational.
+	extraMetric("read_p50_us", false, 0, gateNever),
+	extraMetric("read_p99_us", false, 150, gateAll),
+	extraMetric("read_p50_spread_us", false, 0, gateNever),
+	extraMetric("write_p50_us", false, 0, gateNever),
+	extraMetric("write_p99_us", false, 0, gateNever),
+	extraMetric("active_p50_us", false, 0, gateNever),
+	extraMetric("vs_active", false, 0, gateNever),
+	extraMetric("blackout_ms", false, 100, gateAll),
 }
 
 // verdict is one (benchmark, metric) comparison.

@@ -40,12 +40,12 @@ import (
 // fabric (partitions, targeted drops, chaos schedules) and therefore
 // cannot run with -transport udp: the faults would not touch the ring
 // traffic and the run would silently measure nothing.
-var fabricOnly = map[string]bool{"e3": true, "e7": true, "e8": true, "slo": true, "dr": true, "fd": true}
+var fabricOnly = map[string]bool{"e3": true, "e7": true, "e8": true, "slo": true, "dr": true, "fd": true, "lf": true}
 
 func main() {
 	quick := flag.Bool("quick", false, "use reduced run sizes")
 	smoke := flag.Bool("smoke", false, "use seconds-long smoke run sizes (implies -quick)")
-	exps := flag.String("e", "all", "comma-separated experiment ids (e1..e8,t1,slo,e2mp,dr) or 'all'")
+	exps := flag.String("e", "all", "comma-separated experiment ids (e1..e8,e2p,t1,slo,e2mp,dr,fd,lf) or 'all'")
 	seed := flag.Int64("seed", 1, "workload seed for the slo experiment")
 	jsonOut := flag.String("json", "", "upsert the slo/e2mp experiments' records into this benchjson snapshot")
 	p999max := flag.Duration("p999max", 0, "fail if the slo calm-phase p999 exceeds this (0 disables)")
@@ -75,7 +75,7 @@ func main() {
 		for _, id := range strings.Split(*exps, ",") {
 			id = strings.TrimSpace(strings.ToLower(id))
 			if _, ok := bench.ByID[id]; !ok {
-				fmt.Fprintf(os.Stderr, "ftbench: unknown experiment %q (have e1..e8, e2p, t1, slo, e2mp, dr)\n", id)
+				fmt.Fprintf(os.Stderr, "ftbench: unknown experiment %q (have e1..e8, e2p, t1, slo, e2mp, dr, fd, lf)\n", id)
 				os.Exit(2)
 			}
 			ids = append(ids, id)
@@ -114,6 +114,8 @@ func main() {
 			table, err = runDR(scale, *jsonOut)
 		case "fd":
 			table, err = runFD(scale, *jsonOut)
+		case "lf":
+			table, err = runLF(scale, *jsonOut)
 		default:
 			table, err = bench.ByID[id](scale)
 		}
@@ -169,6 +171,22 @@ func runFD(scale bench.Scale, jsonOut string) (*bench.Table, error) {
 			return nil, err
 		}
 		fmt.Fprintf(os.Stderr, "ftbench: wrote %d fd records to %s\n", len(recs), jsonOut)
+	}
+	return table, nil
+}
+
+// runLF drives the leader-follower latency experiment and snapshots its
+// read/write/failover records.
+func runLF(scale bench.Scale, jsonOut string) (*bench.Table, error) {
+	table, recs, err := bench.LFLatencyRecords(scale)
+	if err != nil {
+		return table, err
+	}
+	if jsonOut != "" {
+		if err := upsertRecords(jsonOut, recs); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "ftbench: wrote %d lf records to %s\n", len(recs), jsonOut)
 	}
 	return table, nil
 }

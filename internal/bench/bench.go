@@ -388,4 +388,5 @@ var ByID = map[string]func(Scale) (*Table, error){
 	"e2mp": E2MPMultiProc,
 	"dr":   DRRecovery,
 	"fd":   FDDetection,
+	"lf":   LFLatency,
 }

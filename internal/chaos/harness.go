@@ -177,11 +177,16 @@ func New(tb testing.TB, opts Options) *Harness {
 		Style:           opts.Style,
 		CheckpointEvery: opts.CheckpointEvery,
 	}
+	var popts []replication.ProxyOption
+	if opts.Style.IsLeaderFollower() {
+		h.Def.ReadOnlyOps = []string{"get"}
+		popts = append(popts, replication.WithLFFastPath("get"))
+	}
 	for _, n := range h.Nodes {
 		h.startNode(n, false)
 	}
 	h.startNode(h.Client, false)
-	h.proxy = h.engines[h.Client].Proxy(replication.GroupRef{ID: h.Def.ID})
+	h.proxy = h.engines[h.Client].Proxy(replication.GroupRef{ID: h.Def.ID}, popts...)
 	h.WaitMembers(h.Nodes)
 	tb.Cleanup(h.Close)
 	return h
@@ -320,6 +325,40 @@ func (h *Harness) Invoke(amount int32) {
 	h.ackedSum += int64(amount)
 	h.ackedCount++
 	h.mu.Unlock()
+}
+
+// burst issues n acknowledged writes back to back with no pacing — used
+// to leave a leader-follower order stream in flight when a fault hits.
+func (h *Harness) burst(n int) {
+	h.tb.Helper()
+	for i := 0; i < n; i++ {
+		h.Invoke(1)
+	}
+}
+
+// Get performs one read through the client proxy and checks
+// read-your-writes: the returned balance must equal the acknowledged sum.
+// For LEADER_FOLLOWER groups the read may be served from a leased replica,
+// which must never lag the session's own acknowledged writes.
+func (h *Harness) Get() {
+	h.tb.Helper()
+	out, err := h.proxy.Invoke("get")
+	if err != nil {
+		h.tb.Fatalf("seed %d: read failed under schedule: %v", h.opts.Seed, err)
+	}
+	h.mu.Lock()
+	want := h.ackedSum
+	h.mu.Unlock()
+	if got := out[0].AsLongLong(); got != want {
+		h.tb.Fatalf("seed %d: stale read: balance %d, acked sum %d", h.opts.Seed, got, want)
+	}
+}
+
+// Leader returns the group's current leader/primary as seen from a live
+// replica.
+func (h *Harness) Leader() string {
+	h.tb.Helper()
+	return h.authoritative()
 }
 
 // Acked returns the sum and count of acknowledged operations.

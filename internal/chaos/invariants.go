@@ -138,23 +138,34 @@ func (h *Harness) CheckConvergence() {
 // instant, followed by recovery from the log, loses nothing.
 func (h *Harness) CheckWALConsistency() {
 	h.tb.Helper()
-	if !h.Def.Style.IsPassive() {
+	// Leader-follower groups log like the passive primaries (the leader
+	// appends before executing, followers at order application), so their
+	// WALs must replay to the acked state too.
+	if !h.Def.Style.IsPassive() && !h.Def.Style.IsLeaderFollower() {
 		return
 	}
 	wantSum, wantCount := h.Acked()
 	for _, n := range h.LiveReplicas() {
 		n := n
-		h.waitFor(25*time.Second, fmt.Sprintf("WAL of %s replays to acked state", n), func() bool {
+		var lastBal, lastOps int64
+		var lastErr error
+		ok := h.poll(25*time.Second, func() bool {
 			ghost := &Account{}
 			log, release := h.openLogForRead(n)
 			_, _, err := replication.ReplayLog(h.Def, log, ghost)
 			release()
 			if err != nil {
+				lastErr = err
 				return false
 			}
-			bal, ops := ghost.Snapshot()
-			return bal == wantSum && ops == wantCount
+			lastErr = nil
+			lastBal, lastOps = ghost.Snapshot()
+			return lastBal == wantSum && lastOps == wantCount
 		})
+		if !ok {
+			h.tb.Fatalf("seed %d: WAL of %s replays to balance=%d ops=%d (err=%v), acked sum=%d count=%d",
+				h.opts.Seed, n, lastBal, lastOps, lastErr, wantSum, wantCount)
+		}
 	}
 }
 

@@ -1,0 +1,36 @@
+package chaos
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/replication"
+)
+
+// TestChaosLFSweep runs seeded fault schedules against the LEADER_FOLLOWER
+// style with the leader-specific episodes in the draw, and appends one of
+// each so every run covers a leader crash mid-order-stream and a
+// lease-expiry race regardless of the random mix. The full invariant suite
+// runs after each schedule: virtual-synchrony order consistency,
+// exactly-once accounting (no acked invocation lost across leader
+// failover), state convergence, WAL replay, read-your-writes on every
+// leased read, and goroutine-leak freedom.
+func TestChaosLFSweep(t *testing.T) {
+	seeds := seedsPerStyle()
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			h := New(t, Options{Style: replication.LeaderFollower, Seed: seed})
+			s := GenerateLF(h.Rng, h.Nodes, 1, 3)
+			// Guarantee coverage: the random draw may miss the LF kinds.
+			s.Episodes = append(s.Episodes,
+				Episode{Kind: EpLeaderCrashStream, Victim: h.Nodes[0], Invokes: 3},
+				Episode{Kind: EpLeaseExpiry, Victim: h.Nodes[0], Invokes: 3},
+			)
+			s.Seed = seed
+			t.Logf("schedule %s", s.Describe())
+			h.Run(s)
+			h.CheckGoroutines()
+		})
+	}
+}

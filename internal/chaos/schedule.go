@@ -44,6 +44,20 @@ const (
 	// primary replicas from their WALs. Generated only by GenerateDR, for
 	// harnesses with Options.DR.
 	EpDomainFailover
+	// EpLeaderCrashStream (LEADER_FOLLOWER groups) fires a rapid write
+	// burst so the leader's asynchronous order stream to the followers is
+	// still in flight, then crashes the leader: the senior follower must
+	// take over with every acknowledged invocation preserved exactly once,
+	// and serve reads immediately after promotion. The Victim field is
+	// advisory — the actual victim is whoever leads at crash time.
+	// Generated only by GenerateLF.
+	EpLeaderCrashStream
+	// EpLeaseExpiry (LEADER_FOLLOWER groups) isolates the leader so read
+	// leases decay un-renewed while leased local reads race the expiry,
+	// drives writes against the successor, then heals. Reads must never
+	// return stale acknowledged state and never wedge. Generated only by
+	// GenerateLF.
+	EpLeaseExpiry
 
 	episodeKinds        = 6 // kinds every harness generates
 	shardedEpisodeKinds = 7 // adds EpShardPartition when Shards > 1
@@ -58,6 +72,9 @@ var episodeNames = map[EpisodeKind]string{
 	EpTokenDrop:      "token-drop",
 	EpShardPartition: "shard-partition",
 	EpDomainFailover: "domain-failover",
+
+	EpLeaderCrashStream: "leader-crash-stream",
+	EpLeaseExpiry:       "lease-expiry",
 }
 
 func (k EpisodeKind) String() string { return episodeNames[k] }
@@ -116,6 +133,22 @@ func GenerateDR(rng *rand.Rand, replicas []string, shards, episodes int) Schedul
 	return GenerateFrom(rng, replicas, shards, episodes, kinds)
 }
 
+// GenerateLF is GenerateSharded with the leader-follower episodes added
+// to the draw — leader crash mid-order-stream and the lease-expiry race —
+// for harnesses whose group style is LEADER_FOLLOWER. The base generators
+// never emit these kinds, so existing seeds replay byte-for-byte.
+func GenerateLF(rng *rand.Rand, replicas []string, shards, episodes int) Schedule {
+	kinds := make([]EpisodeKind, episodeKinds)
+	for k := range kinds {
+		kinds[k] = EpisodeKind(k)
+	}
+	if shards > 1 {
+		kinds = append(kinds, EpShardPartition)
+	}
+	kinds = append(kinds, EpLeaderCrashStream, EpLeaseExpiry)
+	return GenerateFrom(rng, replicas, shards, episodes, kinds)
+}
+
 // GenerateFrom derives a schedule whose episodes draw only from the given
 // kinds — the composition seam for harnesses (like internal/slo) that want
 // a specific fault mix rather than the full sweep. Victims and intensities
@@ -167,6 +200,9 @@ func (h *Harness) Run(s Schedule) {
 	h.WaitMembers(h.Nodes)
 	for i := 0; i < 3; i++ {
 		h.Invoke(1)
+	}
+	if h.Def.Style.IsLeaderFollower() {
+		h.Get()
 	}
 	h.CheckAll()
 }
@@ -238,6 +274,42 @@ func (h *Harness) runEpisode(i int, ep Episode) {
 		h.drive(ep.Invokes)
 	case EpDomainFailover:
 		h.runDomainFailover(ep)
+	case EpLeaderCrashStream:
+		leader := h.Leader()
+		// Back-to-back writes leave the asynchronous order stream to the
+		// followers in flight when the leader dies.
+		h.burst(3 + h.Rng.Intn(4))
+		h.Crash(leader)
+		h.WaitMembers(h.LiveReplicas())
+		// The successor must serve a read immediately after promotion and
+		// hold every acknowledged write from the interrupted stream.
+		h.Get()
+		h.drive(ep.Invokes)
+		h.Restart(leader)
+		h.WaitMembers(h.Nodes)
+		h.drive(ep.Invokes)
+	case EpLeaseExpiry:
+		leader := h.Leader()
+		rest := []string{h.Client}
+		for _, n := range h.Nodes {
+			if n != leader {
+				rest = append(rest, n)
+			}
+		}
+		h.Fabric.Partition(rest, []string{leader})
+		// Leased reads race the decaying lease: each must either serve
+		// from a still-valid lease or take the ordered/redirect path —
+		// never return stale acknowledged state, never wedge.
+		for i := 0; i < 4; i++ {
+			h.Get()
+			time.Sleep(time.Duration(3+h.Rng.Intn(8)) * time.Millisecond)
+		}
+		h.WaitMembers(h.LiveMajority(leader))
+		h.drive(ep.Invokes)
+		h.Get()
+		h.Fabric.Heal()
+		h.WaitMembers(h.Nodes)
+		h.drive(ep.Invokes)
 	default:
 		h.tb.Fatalf("unknown episode kind %d", ep.Kind)
 	}

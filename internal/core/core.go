@@ -297,6 +297,13 @@ func (d *Domain) Proxy(fromNode string, gid uint64, opts ...replication.ProxyOpt
 	if shard, pinned := d.RM.ShardOf(gid); pinned {
 		opts = append([]replication.ProxyOption{replication.WithShard(shard)}, opts...)
 	}
+	// LEADER_FOLLOWER groups get the direct lane automatically: writes
+	// unicast to the leader, the recorded read-only operations are served
+	// from replica-local state under read leases. Caller options follow, so
+	// an explicit WithLFAttemptTimeout (etc.) still applies.
+	if ops, lf := d.RM.LFReadOps(gid); lf {
+		opts = append([]replication.ProxyOption{replication.WithLFFastPath(ops...)}, opts...)
+	}
 	return n.Engine.Proxy(replication.GroupRef{ID: gid}, opts...), nil
 }
 

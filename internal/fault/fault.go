@@ -201,6 +201,18 @@ type Config struct {
 	// ConfirmGrace is the minimum suspect dwell before a fault is confirmed
 	// (default Retries*Interval).
 	ConfirmGrace time.Duration
+
+	// AdaptiveProbe derives each PULL target's probe cadence from its phi
+	// estimator instead of the fixed Interval: a target answering with
+	// tight regularity is probed at a relaxed spacing (up to
+	// MaxProbeInterval), while a suspect, dead, or history-poor target is
+	// probed at the base Interval — so steady-state probe traffic shrinks
+	// without widening detection latency once suspicion is raised. Implies
+	// Adaptive (the estimator supplies the statistics); PUSH targets are
+	// unaffected.
+	AdaptiveProbe bool
+	// MaxProbeInterval caps the relaxed probe spacing (default 4*Interval).
+	MaxProbeInterval time.Duration
 }
 
 func (c *Config) fill() {
@@ -212,6 +224,12 @@ func (c *Config) fill() {
 	}
 	if c.Retries <= 0 {
 		c.Retries = 2
+	}
+	if c.AdaptiveProbe {
+		c.Adaptive = true // the probe scheduler reads the phi estimator
+		if c.MaxProbeInterval <= 0 {
+			c.MaxProbeInterval = 4 * c.Interval
+		}
 	}
 }
 
@@ -371,22 +389,39 @@ func (d *Detector) Stop() {
 
 func (d *Detector) monitor(id string, st *targetState) {
 	defer d.wg.Done()
-	ticker := time.NewTicker(d.cfg.Interval)
-	defer ticker.Stop()
+	timer := time.NewTimer(d.cfg.Interval)
+	defer timer.Stop()
 	for {
 		select {
 		case <-st.stop:
 			return
 		case <-d.stopCh:
 			return
-		case <-ticker.C:
+		case <-timer.C:
 		}
 		if st.target.Probe != nil {
 			d.pullProbe(id, st)
 		} else {
 			d.pushCheck(id, st)
 		}
+		timer.Reset(d.nextDelay(st))
 	}
+}
+
+// nextDelay schedules the following monitoring tick. PUSH targets and
+// fixed-mode PULL targets keep the configured Interval; with AdaptiveProbe
+// a PULL target's spacing follows its phi estimator (see
+// Suspicion.ProbeSpacing).
+func (d *Detector) nextDelay(st *targetState) time.Duration {
+	if !d.cfg.AdaptiveProbe || st.target.Probe == nil {
+		return d.cfg.Interval
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if st.susp == nil {
+		return d.cfg.Interval
+	}
+	return st.susp.ProbeSpacing(time.Now(), d.cfg.Interval, d.cfg.MaxProbeInterval)
 }
 
 // pullProbe drives PULL monitoring for one tick. Probes are serialized per

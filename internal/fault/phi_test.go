@@ -1,8 +1,10 @@
 package fault
 
 import (
+	"errors"
 	"math"
 	"runtime"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -323,4 +325,104 @@ func TestEventString(t *testing.T) {
 		EventRecover.String() != "recover" || Event(9).String() != "unknown" {
 		t.Error("Event.String broken")
 	}
+}
+
+func TestProbeSpacingRelaxesAndClamps(t *testing.T) {
+	s := NewSuspicion(SuspicionConfig{Window: 16, MinWindow: 20 * time.Millisecond})
+	base := 5 * time.Millisecond
+	max := 40 * time.Millisecond
+
+	// Thin history: base cadence.
+	s.Observe(t0)
+	if got := s.ProbeSpacing(t0, base, max); got != base {
+		t.Fatalf("spacing with thin history = %v, want base %v", got, base)
+	}
+
+	// A regular history relaxes the spacing above base (half the suspect
+	// window) without exceeding the cap.
+	last := feedRegularSusp(s, t0, 5*time.Millisecond, 16)
+	got := s.ProbeSpacing(last, base, max)
+	if got <= base {
+		t.Fatalf("spacing with regular history = %v, want > base %v", got, base)
+	}
+	if got > max {
+		t.Fatalf("spacing %v exceeds cap %v", got, max)
+	}
+
+	// A tiny cap clamps.
+	if c := s.ProbeSpacing(last, base, 6*time.Millisecond); c != 6*time.Millisecond {
+		t.Fatalf("spacing under cap 6ms = %v", c)
+	}
+
+	// Once suspect, the base cadence returns so confirmation is not delayed.
+	late := last.Add(200 * time.Millisecond)
+	if tr := s.Eval(late); tr != TransSuspect {
+		t.Fatalf("Eval at +200ms = %v, want suspect", tr)
+	}
+	if got := s.ProbeSpacing(late, base, max); got != base {
+		t.Fatalf("spacing while suspect = %v, want base %v", got, base)
+	}
+}
+
+// TestAdaptiveProbeSchedulingReducesTraffic runs two PULL detectors against
+// an always-alive target — one fixed, one with AdaptiveProbe — and checks
+// that the adaptive one issues measurably fewer probes while still
+// detecting a subsequent crash.
+func TestAdaptiveProbeSchedulingReducesTraffic(t *testing.T) {
+	run := func(adaptive bool) (probes int64, det *Detector, n *Notifier, count *atomicCounter) {
+		n = &Notifier{}
+		count = &atomicCounter{}
+		det = NewDetector(Config{
+			Interval:      2 * time.Millisecond,
+			Retries:       2,
+			AdaptiveProbe: adaptive,
+		}, n)
+		det.Watch("t", Target{
+			Report: Report{Kind: ObjectCrash, Node: "n1", Member: "t"},
+			Probe:  count.probe,
+		})
+		time.Sleep(300 * time.Millisecond)
+		return count.n.Load(), det, n, count
+	}
+
+	fixedProbes, fixedDet, _, _ := run(false)
+	fixedDet.Stop()
+	adaptiveProbes, adaptiveDet, notifier, count := run(true)
+	defer adaptiveDet.Stop()
+
+	if adaptiveProbes >= fixedProbes*3/4 {
+		t.Fatalf("adaptive scheduling did not thin probes: fixed=%d adaptive=%d",
+			fixedProbes, adaptiveProbes)
+	}
+
+	// The relaxed cadence must not cost detection: kill the target and
+	// expect suspicion then a confirmed fault.
+	ch, cancel := notifier.Subscribe(nil)
+	defer cancel()
+	count.dead.Store(true)
+	sawFault := false
+	deadline := time.After(2 * time.Second)
+	for !sawFault {
+		select {
+		case r := <-ch:
+			if r.Event == EventFault {
+				sawFault = true
+			}
+		case <-deadline:
+			t.Fatal("no fault detected after target died under adaptive probing")
+		}
+	}
+}
+
+type atomicCounter struct {
+	n    atomic.Int64
+	dead atomic.Bool
+}
+
+func (c *atomicCounter) probe() error {
+	c.n.Add(1)
+	if c.dead.Load() {
+		return errors.New("probe: target dead")
+	}
+	return nil
 }

@@ -71,6 +71,12 @@ type Properties struct {
 	// manager records the placement and core.Domain.Proxy propagates it to
 	// clients; it is inert in single-ring domains.
 	Shard int
+	// ReadOnlyOps lists operations that never mutate servant state
+	// (IDL readonly attribute accessors and the like). For
+	// LEADER_FOLLOWER groups these are servable from any replica's local
+	// state under its read lease; core.Domain.Proxy propagates the list
+	// to clients as a WithLFFastPath option. Ignored for other styles.
+	ReadOnlyOps []string
 }
 
 func (p *Properties) fill() {
@@ -313,6 +319,7 @@ func (rm *ReplicationManager) CreateObjectGroup(name, typeID string, props *Prop
 		CheckpointEvery:      p.CheckpointInterval,
 		CheckpointEveryBytes: p.CheckpointBytes,
 		Shard:                p.Shard,
+		ReadOnlyOps:          append([]string(nil), p.ReadOnlyOps...),
 	}
 	for _, node := range chosen {
 		n := rm.nodes[node]
@@ -423,6 +430,19 @@ func (rm *ReplicationManager) ShardOf(gid uint64) (shard int, ok bool) {
 		return 0, false
 	}
 	return g.def.Shard - 1, true
+}
+
+// LFReadOps reports a LEADER_FOLLOWER group's lease-servable read-only
+// operations. ok is false when the group is unknown or uses another
+// replication style — callers then build a plain ordered-path proxy.
+func (rm *ReplicationManager) LFReadOps(gid uint64) (ops []string, ok bool) {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	g, found := rm.groups[gid]
+	if !found || !g.def.Style.IsLeaderFollower() {
+		return nil, false
+	}
+	return append([]string(nil), g.def.ReadOnlyOps...), true
 }
 
 // Members returns the group's current hosting nodes.

@@ -299,3 +299,90 @@ func containsStr(set []string, s string) bool {
 	}
 	return false
 }
+
+// TestLeaderFollowerGroupEndToEnd creates a LEADER_FOLLOWER group through
+// the Replication Manager with recorded read-only operations and verifies
+// that Domain.Proxy wires the direct lane automatically: writes go through
+// the leader, reads are served from replica-local state under leases, and
+// failover preserves every acked write.
+func TestLeaderFollowerGroupEndToEnd(t *testing.T) {
+	d, err := core.NewDomain(core.Options{
+		Nodes:     []string{"n1", "n2", "n3", "n4", "client"},
+		Heartbeat: 4 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(d.Stop)
+	if err := d.WaitReady(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// No factory on the client node, so the manager never places a replica
+	// there and the proxy's host survives the leader crash below.
+	err = d.RegisterFactory(tallyType, func() orb.Servant { return &tally{} }, "n1", "n2", "n3", "n4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, gid, err := d.Create("lf-tally", tallyType, &ftcorba.Properties{
+		ReplicationStyle:      replication.LeaderFollower,
+		InitialNumberReplicas: 3,
+		ReadOnlyOps:           []string{"get"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WaitGroupReady(gid, 3, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if ops, lf := d.RM.LFReadOps(gid); !lf || len(ops) != 1 || ops[0] != "get" {
+		t.Fatalf("LFReadOps = %v, %v", ops, lf)
+	}
+	proxy, err := d.Proxy("client", gid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 5; i++ {
+		out, berr := proxy.Invoke("bump")
+		if berr != nil || out[0].AsLongLong() != int64(i) {
+			t.Fatalf("bump %d: %v %v", i, out, berr)
+		}
+	}
+
+	// Leased local reads engage once renewals circulate: read-your-writes
+	// must hold on every attempt, and within the deadline some read must be
+	// served without entering the ordered path.
+	lfReads := func() uint64 {
+		var total uint64
+		for _, name := range d.Nodes() {
+			if n := d.Node(name); n != nil {
+				total += n.Engine.Stats().LfReads
+			}
+		}
+		return total
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for lfReads() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no leased local read served")
+		}
+		out, gerr := proxy.Invoke("get")
+		if gerr != nil || out[0].AsLongLong() != 5 {
+			t.Fatalf("get: %v %v", out, gerr)
+		}
+	}
+
+	// Crash the leader: acked writes survive, the group keeps serving.
+	members, err := d.RM.Members(gid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.CrashNode(members[0])
+	out, err := proxy.Invoke("bump")
+	if err != nil || out[0].AsLongLong() != 6 {
+		t.Fatalf("bump after leader crash: %v %v (acked write lost?)", out, err)
+	}
+	out, err = proxy.Invoke("get")
+	if err != nil || out[0].AsLongLong() != 6 {
+		t.Fatalf("get after leader crash: %v %v", out, err)
+	}
+}

@@ -64,6 +64,18 @@ type Config struct {
 	// in-memory log; deployments that need crash-restart recovery supply
 	// file-backed logs (wal.OpenFileLog) here.
 	LogFactory func(def GroupDef) wal.Log
+	// LeaseDuration is the validity window of LEADER_FOLLOWER read leases
+	// (default 150ms). The leader renews at roughly a third of it; a new
+	// leader fences writes for LeaseDuration + LeaseGuard after takeover.
+	LeaseDuration time.Duration
+	// LeaseGuard is the guard band absorbing bounded clock-rate skew and
+	// delivery lag: readers retire a lease LeaseGuard before its local
+	// expiry (default 20ms).
+	LeaseGuard time.Duration
+	// Clock supplies the local wall clock for lease accounting (default
+	// time.Now). Tests inject skewed clocks per engine here — the lease
+	// protocol never compares timestamps across nodes, only durations.
+	Clock func() time.Time
 	// DR, when set, is the disaster-recovery shipping target: the senior
 	// primary-component member of each hosted group ships its definition,
 	// periodic checkpoints (with the duplicate-suppression window), and
@@ -94,7 +106,19 @@ func (c *Config) fill() {
 	if c.LogFactory == nil {
 		c.LogFactory = func(GroupDef) wal.Log { return &wal.MemLog{} }
 	}
+	if c.LeaseDuration <= 0 {
+		c.LeaseDuration = 150 * time.Millisecond
+	}
+	if c.LeaseGuard <= 0 {
+		c.LeaseGuard = 20 * time.Millisecond
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
 }
+
+// now reads the engine's (injectable) local clock.
+func (e *Engine) now() time.Time { return e.cfg.Clock() }
 
 // Stats counts engine-level replication events (experiments E5/E7 read
 // these).
@@ -108,6 +132,11 @@ type Stats struct {
 	Checkpoints       uint64 // checkpoints multicast
 	StateTransfers    uint64 // state snapshots applied (join/remerge)
 	Retries           uint64 // client-side invocation retransmissions
+	LfReads           uint64 // leased local reads served (no totem entry)
+	LfRedirects       uint64 // direct-lane submits bounced (wrong node/no lease)
+	LfTakeovers       uint64 // leader-follower leadership takeovers
+	LfLeases          uint64 // lease grants/renewals multicast
+	HealNudges        uint64 // post-heal catch-up state requests sent
 }
 
 type engineStats struct {
@@ -120,6 +149,11 @@ type engineStats struct {
 	checkpoints       atomic.Uint64
 	stateTransfers    atomic.Uint64
 	retries           atomic.Uint64
+	lfReads           atomic.Uint64
+	lfRedirects       atomic.Uint64
+	lfTakeovers       atomic.Uint64
+	lfLeases          atomic.Uint64
+	healNudges        atomic.Uint64
 }
 
 // Engine is one node's replication runtime: it hosts replicas of object
@@ -179,14 +213,75 @@ func NewEngine(cfg Config) (*Engine, error) {
 	return e, nil
 }
 
-// Start launches one delivery loop per transport shard and the sync-retry
-// maintenance timer.
+// Start launches one delivery loop per transport shard, the sync-retry
+// maintenance timer, and the LEADER_FOLLOWER lease renewal loop; it also
+// claims each ring's direct (off-order) lane for the LF fast path.
 func (e *Engine) Start() {
-	e.wg.Add(len(e.cfg.Rings) + 1)
+	e.wg.Add(len(e.cfg.Rings) + 2)
 	for i, ring := range e.cfg.Rings {
+		ring.SetDirectHandler(e.onDirect)
 		go e.runRing(ring, i)
 	}
 	go e.syncRetryLoop()
+	go e.lfLeaseLoop()
+}
+
+// lfLeaseLoop periodically renews read leases for every hosted
+// LEADER_FOLLOWER group this node leads. Renewing at about a third of the
+// lease duration keeps readers' leases continuously live (two renewals
+// may be lost before reads start redirecting to the leader).
+func (e *Engine) lfLeaseLoop() {
+	defer e.wg.Done()
+	interval := e.cfg.LeaseDuration / 3
+	if interval < 5*time.Millisecond {
+		interval = 5 * time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-e.stopCh:
+			return
+		case <-ticker.C:
+		}
+		e.mu.RLock()
+		reps := make([]*replica, 0, len(e.hosted))
+		for _, r := range e.hosted {
+			if r.def.Style.IsLeaderFollower() {
+				reps = append(reps, r)
+			}
+		}
+		e.mu.RUnlock()
+		for _, r := range reps {
+			r.lfMaybeGrant()
+		}
+	}
+}
+
+// onDirect is the rings' direct-lane handler: submits route to the hosted
+// replica's executor, replies complete the waiting client call. The lane
+// is unordered and unreliable by design — anything confusing is dropped
+// and the ordered path picks up the slack.
+func (e *Engine) onDirect(from, group string, payload []byte) {
+	m, err := decodeWire(payload)
+	if err != nil {
+		return
+	}
+	switch v := m.(type) {
+	case *msgLfSubmit:
+		if r := e.replicaFor(v.GroupID); r != nil {
+			r.q.push(taskLfSubmit{m: v})
+		}
+	case *msgLfReply:
+		e.completeCall(&msgReply{
+			GroupID:   v.GroupID,
+			Key:       v.Key,
+			Status:    v.Status,
+			Body:      v.Body,
+			Node:      v.Node,
+			ExecMsgID: v.Seq,
+		})
+	}
 }
 
 // Shards returns the number of transport shards the engine fans in from.
@@ -246,14 +341,14 @@ func (e *Engine) syncRetryLoop() {
 			reps[gid] = r
 		}
 		e.mu.Unlock()
-		var stuck []uint64
+		stuck := make(map[uint64]uint64)
 		for gid, r := range reps {
 			if st := r.status(); st.Syncing {
-				stuck = append(stuck, gid)
+				stuck[gid] = st.LastExec
 			}
 		}
-		for _, gid := range stuck {
-			if payload := e.encodeOrReport(&msgStateReq{GroupID: gid, From: e.cfg.Node}); payload != nil {
+		for gid, lastExec := range stuck {
+			if payload := e.encodeOrReport(&msgStateReq{GroupID: gid, From: e.cfg.Node, LastExec: lastExec}); payload != nil {
 				_ = e.ringFor(gid).Multicast(invGroupName(gid), payload)
 			}
 		}
@@ -301,6 +396,11 @@ func (e *Engine) Stats() Stats {
 		Checkpoints:       e.stat.checkpoints.Load(),
 		StateTransfers:    e.stat.stateTransfers.Load(),
 		Retries:           e.stat.retries.Load(),
+		LfReads:           e.stat.lfReads.Load(),
+		LfRedirects:       e.stat.lfRedirects.Load(),
+		LfTakeovers:       e.stat.lfTakeovers.Load(),
+		LfLeases:          e.stat.lfLeases.Load(),
+		HealNudges:        e.stat.healNudges.Load(),
 	}
 }
 
@@ -334,6 +434,14 @@ func (e *Engine) HostReplicaFromLog(def GroupDef, servant orb.Servant, log wal.L
 	}
 	r := newReplica(e, def, servant, true, log)
 	r.lastExec = lastMsgID
+	// The replayed log's newest update is also the logged horizon: a stale
+	// duplicate checkpoint offered during rejoin must not compact past it.
+	r.lastLogged = lastMsgID
+	if def.Style.IsLeaderFollower() {
+		// LF record ids carry the leader sequence in the low bits; resume
+		// the session-token horizon (and promotion numbering) from it.
+		r.lfApplied = lastMsgID & lfSeqMask
+	}
 	for _, k := range replayed {
 		r.dedup[k] = &opRecord{deliveredInv: true, answered: true, executedLocal: true}
 		r.dedupFIFO = append(r.dedupFIFO, k)
@@ -567,6 +675,14 @@ func (e *Engine) onDeliver(d totem.Deliver) {
 		if r := e.replicaFor(v.GroupID); r != nil {
 			r.q.push(taskStateReq{m: v})
 		}
+	case *msgLfOrder:
+		if r := e.replicaFor(v.GroupID); r != nil {
+			r.q.push(taskLfOrder{msgID: d.MsgID, m: v})
+		}
+	case *msgLfLease:
+		if r := e.replicaFor(v.GroupID); r != nil {
+			r.q.push(taskLfLease{m: v})
+		}
 	}
 }
 
@@ -581,7 +697,7 @@ func (e *Engine) onGroupView(gv totem.GroupView) {
 	}
 	e.mu.RUnlock()
 	if target != nil {
-		target.q.push(taskView{members: gv.Members})
+		target.q.push(taskView{members: gv.Members, epoch: gv.Ring.Epoch})
 	}
 }
 

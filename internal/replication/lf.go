@@ -1,0 +1,543 @@
+package replication
+
+// Leader-follower replication (LLFT-style, "The Low Latency Fault
+// Tolerance System"): the group leader — the senior primary-component
+// member, elected by the existing EVS membership — assigns a per-group
+// sequence to each invocation, executes it immediately, and answers the
+// client, while the ordered invocation streams to the followers over the
+// ordered multicast path off the client's critical path. Followers
+// re-execute in leader order, so every replica converges on the same
+// state without paying total-order sequencing per invocation.
+//
+// Identifiers: an LF operation's message id is lfMsgID(epoch, seq) —
+// the ring epoch the leader held at assignment in the high bits, the
+// leader sequence in the low bits. Epochs only grow across leadership
+// changes and the sequence continues across them (a new leader resumes
+// from its applied high-water mark), so LF ids are monotone and live in
+// the same id space the WAL, checkpoint, and state-transfer machinery
+// already orders by.
+//
+// Acks: a direct-lane write reply is released only when the leader's own
+// order message comes back through agreed delivery — at that point every
+// current member has the order (or the datagram reached a survivor), so
+// leader failover cannot lose an acknowledged invocation (the residual
+// window is the same transitional-view caveat the base protocol
+// documents). Ordered-path replies are multicast after the order message
+// on the same FIFO lane, which gives the equivalent guarantee for free.
+//
+// Reads: time-bounded leases, granted by the leader through ordered
+// multicast, let any replica serve operations listed in
+// GroupDef.ReadOnlyOps from local state without entering totem at all.
+// Each replica computes its own expiry as local-clock-at-delivery + Dur
+// (no cross-node clock synchronization; guard bands absorb bounded rate
+// skew and delivery lag). Every membership change revokes the lease, and
+// a new leader fences writes for LeaseDuration + LeaseGuard past
+// takeover, so a reader that has not yet observed the view change can
+// only ever serve pre-failover state while no newer write commits.
+// Leader reads are linearizable; follower reads are session-consistent
+// (read-your-writes and monotonic reads via the MinSeq session token
+// clients carry).
+
+import (
+	"time"
+
+	"repro/internal/cdr"
+	"repro/internal/nondet"
+	"repro/internal/orb"
+	"repro/internal/totem"
+	"repro/internal/wal"
+)
+
+// lfSeqMask extracts the leader sequence from an LF message id.
+const lfSeqMask = 1<<40 - 1
+
+// lfMsgID composes the LF message id from the leader's ring epoch and
+// per-group sequence. Same packing as totem message ids, so LF ids
+// compare correctly against checkpoint horizons.
+func lfMsgID(epoch, seq uint64) uint64 { return totem.MsgIDFor(epoch, seq) }
+
+// Executor task kinds for the LF state machine.
+type taskLfSubmit struct {
+	m *msgLfSubmit
+}
+
+type taskLfOrder struct {
+	msgID uint64 // totem id of the delivery (buffered-replay horizon)
+	m     *msgLfOrder
+}
+
+type taskLfLease struct {
+	m *msgLfLease
+}
+
+// taskLfUnblock fires when a new leader's post-takeover write fence may
+// have expired, draining ordered-path writes held behind it.
+type taskLfUnblock struct{}
+
+// lfPendingReply is a direct-lane write reply awaiting the ack gate (the
+// leader's own agreed delivery of the order message).
+type lfPendingReply struct {
+	from string
+	rep  *msgReply
+}
+
+// lfHeldOp is an ordered-path invocation held behind the write fence.
+type lfHeldOp struct {
+	t   taskInvoke
+	rec *opRecord
+}
+
+// lfLeaseLiveLocked reports (with r.mu held) whether this replica holds a
+// usable read lease: granted by the current view's leader, not fenced off
+// by a leadership change, and not within LeaseGuard of expiry.
+func (r *replica) lfLeaseLiveLocked(now time.Time) bool {
+	return r.lfLeaseHold != "" &&
+		len(r.members) > 0 && r.lfLeaseHold == r.members[0] &&
+		r.lfLeaseEpoch >= r.lfFence &&
+		now.Add(r.eng.cfg.LeaseGuard).Before(r.lfLeaseExp)
+}
+
+// lfSendReply sends a direct-lane reply back to the submitting node.
+func (r *replica) lfSendReply(to string, m *msgLfReply) {
+	if payload := r.eng.encodeOrReport(m); payload != nil {
+		_ = r.eng.ringFor(r.def.ID).SendDirect(to, repGroupName(r.def.ID), payload)
+	}
+}
+
+// lfRedirect answers a direct-lane submit this replica cannot serve.
+// target names the node to retry at; empty tells the client to fall back
+// to the ordered path.
+func (r *replica) lfRedirect(m *msgLfSubmit, target string) {
+	r.eng.stat.lfRedirects.Add(1)
+	r.lfSendReply(m.From, &msgLfReply{
+		GroupID:  r.def.ID,
+		Key:      m.Key,
+		Status:   replyRedirect,
+		Body:     []byte(target),
+		Node:     r.eng.cfg.Node,
+		Redirect: target,
+	})
+}
+
+// onLfSubmit handles a direct-lane submit: reads go through the lease
+// check, writes through leader assignment.
+func (r *replica) onLfSubmit(t taskLfSubmit) {
+	m := t.m
+	if m.ReadOnly {
+		r.lfServeRead(m)
+		return
+	}
+
+	r.mu.lock()
+	node := r.eng.cfg.Node
+	leader := len(r.members) > 0 && r.members[0] == node
+	target := ""
+	if len(r.members) > 0 && r.members[0] != node {
+		target = r.members[0]
+	}
+	healthy := leader && !r.secondary && !r.syncing
+	blocked := r.eng.now().Before(r.lfBlockUntil)
+	rec, have := r.dedup[m.Key]
+	var logged *msgReply
+	if have && rec.answered {
+		logged = rec.reply
+	}
+	r.mu.unlock()
+
+	if logged != nil {
+		// Retransmission of an already-answered operation: re-send the
+		// logged reply (FT-CORBA request retention) on the direct lane.
+		r.eng.stat.dupInvocations.Add(1)
+		r.lfSendReply(m.From, &msgLfReply{
+			GroupID: r.def.ID,
+			Key:     m.Key,
+			Status:  logged.Status,
+			Body:    logged.Body,
+			Node:    node,
+			Seq:     logged.ExecMsgID & lfSeqMask,
+		})
+		return
+	}
+	if have && rec.executedLocal {
+		return // executed but unanswered (mid-assignment retry): first copy answers
+	}
+	if !healthy || blocked {
+		// Not the live leader (or writes are fenced): bounce the client.
+		// During the fence target is empty, sending the write to the
+		// ordered path where the hold queue preserves it.
+		if blocked {
+			target = ""
+		}
+		r.lfRedirect(m, target)
+		return
+	}
+
+	r.mu.lock()
+	if rec == nil {
+		rec = &opRecord{}
+		r.dedup[m.Key] = rec
+		r.dedupGCLocked(m.Key)
+	}
+	rec.deliveredInv = true
+	r.mu.unlock()
+
+	rep, seq := r.lfAssign(m.Key, m.Operation, m.Args, false, rec)
+	if rep == nil {
+		r.lfRedirect(m, "")
+		return
+	}
+	// The reply waits for the ack gate: our own agreed delivery of the
+	// order message releases it in onLfOrder.
+	r.lfPending[seq] = lfPendingReply{from: m.From, rep: rep}
+}
+
+// lfServeRead serves a read-only operation from local state under the
+// read lease — no totem entry, no WAL record, no dedup marking (reads are
+// side-effect-free; an identical retry re-reads harmlessly).
+func (r *replica) lfServeRead(m *msgLfSubmit) {
+	now := r.eng.now()
+	r.mu.lock()
+	okOp := contains(r.def.ReadOnlyOps, m.Operation)
+	live := okOp && !r.syncing && !r.secondary && r.lfLeaseLiveLocked(now)
+	applied := r.lfApplied
+	leaseEpoch := r.lfLeaseEpoch
+	target := ""
+	if len(r.members) > 0 && r.members[0] != r.eng.cfg.Node {
+		target = r.members[0]
+	}
+	r.mu.unlock()
+
+	if !okOp {
+		// Not marked readonly in the group definition: a mislabeled client
+		// must not bypass the total order. Force the ordered path.
+		r.lfRedirect(m, "")
+		return
+	}
+	if !live || applied < m.MinSeq {
+		// No usable lease, or this replica is behind the client's session
+		// token: the leader is never behind, try there.
+		r.lfRedirect(m, target)
+		return
+	}
+
+	args, err := orb.DecodeRequestBody(m.Args)
+	var results []cdr.Value
+	if err == nil {
+		det := nondet.NewContext(r.def.ID, lfMsgID(leaseEpoch, applied), epochAnchor)
+		results, err = r.servant.Dispatch(&orb.Invocation{
+			Operation: m.Operation,
+			Args:      args,
+			Det:       det,
+		})
+	}
+	r.eng.stat.lfReads.Add(1)
+	rep := &msgLfReply{
+		GroupID: r.def.ID,
+		Key:     m.Key,
+		Node:    r.eng.cfg.Node,
+		Seq:     applied,
+	}
+	rep.Status, rep.Body = outcomeToWire(results, err)
+	r.lfSendReply(m.From, rep)
+}
+
+// lfAssign is the leader's single write entry point: it claims the next
+// leader sequence, logs and ships the order record *before* executing
+// (and therefore before any ack — the cold-passive RPO-zero discipline),
+// streams the order to the followers, and executes immediately. Returns
+// the computed reply and the assigned sequence (nil on encode failure).
+func (r *replica) lfAssign(key opKey, op string, args []byte, oneway bool, rec *opRecord) (*msgReply, uint64) {
+	r.mu.lock()
+	epoch := r.lfEpoch
+	if r.lfSeq < r.lfApplied {
+		// Fresh leadership (takeover, self-promotion, adoption): resume
+		// numbering from the applied high-water mark.
+		r.lfSeq = r.lfApplied
+	}
+	r.mu.unlock()
+	r.lfSeq++
+	seq := r.lfSeq
+	id := lfMsgID(epoch, seq)
+
+	order := &msgLfOrder{
+		GroupID:   r.def.ID,
+		Epoch:     epoch,
+		Seq:       seq,
+		Leader:    r.eng.cfg.Node,
+		Key:       key,
+		Operation: op,
+		Args:      args,
+		Oneway:    oneway,
+	}
+	data := r.eng.encodeOrReport(order)
+	if data == nil {
+		r.lfSeq--
+		return nil, 0
+	}
+	wrec := wal.Record{Kind: wal.KindUpdate, MsgID: id, Op: opRecInvoke + op, Data: data}
+	r.logUpdate(wrec)
+	r.shipUpdate(wrec)
+	_ = r.eng.ringFor(r.def.ID).Multicast(invGroupName(r.def.ID), data)
+
+	rep := r.lfExecute(order, rec)
+	r.maybeCheckpoint()
+	return rep, seq
+}
+
+// lfExecute runs one ordered LF invocation on the local servant — at the
+// leader this happens at assignment time, at followers at delivery time.
+// The deterministic context is keyed on (epoch, seq), which both sides
+// know, so timestamps and nested-call identifiers agree everywhere.
+func (r *replica) lfExecute(m *msgLfOrder, rec *opRecord) *msgReply {
+	id := lfMsgID(m.Epoch, m.Seq)
+	det := nondet.NewContext(r.def.ID, id, epochAnchor)
+	args, err := orb.DecodeRequestBody(m.Args)
+	var results []cdr.Value
+	if err == nil {
+		inv := &orb.Invocation{
+			Operation: m.Operation,
+			Args:      args,
+			Det:       det,
+			Caller:    &CallCtx{eng: r.eng, gid: r.def.ID, msgID: id, det: det},
+		}
+		results, err = r.servant.Dispatch(inv)
+	}
+	r.eng.stat.executions.Add(1)
+
+	rep := &msgReply{
+		GroupID:   r.def.ID,
+		Key:       m.Key,
+		Node:      r.eng.cfg.Node,
+		ExecMsgID: id,
+	}
+	rep.Status, rep.Body = outcomeToWire(results, err)
+
+	r.mu.lock()
+	if id > r.lastExec {
+		r.lastExec = id
+	}
+	if m.Seq > r.lfApplied {
+		r.lfApplied = m.Seq
+	}
+	rec.executedLocal = true
+	if !rec.answered {
+		// Followers record the reply but never transmit it: only the
+		// leader answers. After promotion the stored reply answers client
+		// retries, preserving exactly-once across failover.
+		rec.answered = true
+		rec.reply = rep
+	}
+	r.mu.unlock()
+	return rep
+}
+
+// onLfOrder handles one delivery from the leader's order stream.
+func (r *replica) onLfOrder(t taskLfOrder) {
+	m := t.m
+	r.mu.lock()
+	syncing := r.syncing
+	r.mu.unlock()
+	if syncing {
+		// Hold in order; adoptState replays past the transferred horizon.
+		r.buffer = append(r.buffer, t)
+		return
+	}
+
+	r.mu.lock()
+	accept := len(r.members) > 0 && r.members[0] == m.Leader && m.Epoch >= r.lfFence
+	r.mu.unlock()
+	if !accept {
+		// A deposed leader's stragglers (queued before a reformation,
+		// multicast on the new ring): the fence keeps them from mutating
+		// state the new leadership already owns.
+		return
+	}
+
+	if m.Leader == r.eng.cfg.Node {
+		// Our own order back through agreed delivery: every current member
+		// has it — release the direct-lane ack.
+		if pr, ok := r.lfPending[m.Seq]; ok {
+			delete(r.lfPending, m.Seq)
+			r.lfSendReply(pr.from, &msgLfReply{
+				GroupID: r.def.ID,
+				Key:     m.Key,
+				Status:  pr.rep.Status,
+				Body:    pr.rep.Body,
+				Node:    r.eng.cfg.Node,
+				Seq:     m.Seq,
+			})
+		}
+		return
+	}
+
+	r.mu.lock()
+	rec, ok := r.dedup[m.Key]
+	if !ok {
+		rec = &opRecord{}
+		r.dedup[m.Key] = rec
+		r.dedupGCLocked(m.Key)
+	}
+	rec.deliveredInv = true
+	executed := rec.executedLocal
+	id := lfMsgID(m.Epoch, m.Seq)
+	stale := id <= r.lastExec && r.lastExec != 0 && executed
+	r.mu.unlock()
+	if executed || stale {
+		return // covered by a snapshot or an earlier delivery
+	}
+
+	// Follower: log before executing so a crash-restart rebuilds from the
+	// local WAL (the leader's periodic checkpoints truncate it).
+	if data := r.eng.encodeOrReport(m); data != nil {
+		r.logUpdate(wal.Record{Kind: wal.KindUpdate, MsgID: id, Op: opRecInvoke + m.Operation, Data: data})
+	}
+	r.lfExecute(m, rec)
+}
+
+// onLfLease installs an ordered lease grant. Expiry is computed from the
+// local clock at delivery — no cross-node clock synchronization.
+func (r *replica) onLfLease(t taskLfLease) {
+	m := t.m
+	now := r.eng.now()
+	r.mu.lock()
+	if len(r.members) > 0 && r.members[0] == m.Leader && m.Epoch >= r.lfFence {
+		r.lfLeaseHold = m.Leader
+		r.lfLeaseEpoch = m.Epoch
+		r.lfLeaseExp = now.Add(m.Dur)
+	}
+	r.mu.unlock()
+}
+
+// lfMaybeGrant multicasts a lease grant/renewal if this replica is the
+// live leader. Called from the engine's renewal loop (~Dur/3) and once
+// immediately at takeover.
+func (r *replica) lfMaybeGrant() {
+	r.mu.lock()
+	ok := r.def.Style.IsLeaderFollower() &&
+		len(r.members) > 0 && r.members[0] == r.eng.cfg.Node &&
+		!r.secondary && !r.syncing
+	epoch := r.lfEpoch
+	r.mu.unlock()
+	if !ok {
+		return
+	}
+	r.eng.stat.lfLeases.Add(1)
+	if payload := r.eng.encodeOrReport(&msgLfLease{
+		GroupID: r.def.ID,
+		Epoch:   epoch,
+		Leader:  r.eng.cfg.Node,
+		Dur:     r.eng.cfg.LeaseDuration,
+	}); payload != nil {
+		_ = r.eng.ringFor(r.def.ID).Multicast(invGroupName(r.def.ID), payload)
+	}
+}
+
+// lfClassic handles an ordered-path invocation on an LF group (client
+// fallback, retransmissions, fulfillment replay). The leader treats it as
+// a submit: assign, execute, stream the order, and multicast the reply —
+// the reply is FIFO-ordered after the order message, so its delivery
+// implies the order reached the group. Followers ignore it: the order
+// stream brings the operation to them.
+func (r *replica) lfClassic(t taskInvoke, rec *opRecord) {
+	r.mu.lock()
+	leader := len(r.members) > 0 && r.members[0] == r.eng.cfg.Node
+	blocked := r.eng.now().Before(r.lfBlockUntil)
+	r.mu.unlock()
+	if !leader {
+		return
+	}
+	if blocked {
+		// Post-takeover write fence: hold until every lease the old leader
+		// granted has expired at its reader (taskLfUnblock drains).
+		r.lfHeld = append(r.lfHeld, lfHeldOp{t: t, rec: rec})
+		return
+	}
+	r.lfClassicRun(t, rec)
+}
+
+func (r *replica) lfClassicRun(t taskInvoke, rec *opRecord) {
+	r.mu.lock()
+	executed := rec.executedLocal
+	r.mu.unlock()
+	if executed {
+		return // a direct-lane copy won the race while this one was held
+	}
+	rep, _ := r.lfAssign(t.m.Key, t.m.Operation, t.m.Args, t.m.Oneway, rec)
+	if rep != nil {
+		r.multicastReply(rep)
+	}
+}
+
+// onLfUnblock drains ordered-path writes held behind the takeover fence,
+// re-arming itself if the fence has not expired yet.
+func (r *replica) onLfUnblock() {
+	r.mu.lock()
+	until := r.lfBlockUntil
+	r.mu.unlock()
+	if now := r.eng.now(); now.Before(until) {
+		r.lfArmUnblock(until.Sub(now))
+		return
+	}
+	held := r.lfHeld
+	r.lfHeld = nil
+	for _, h := range held {
+		r.lfClassicRun(h.t, h.rec)
+	}
+}
+
+// lfArmUnblock schedules a fence-expiry check on the executor.
+func (r *replica) lfArmUnblock(d time.Duration) {
+	time.AfterFunc(d+time.Millisecond, func() { r.q.push(taskLfUnblock{}) })
+}
+
+// lfOnView runs the LF view-change logic after the generic membership
+// bookkeeping: epoch/fence maintenance, lease revocation, and leader
+// takeover with the write fence that keeps stale-lease reads linearizable.
+func (r *replica) lfOnView(old []string, t taskView) {
+	node := r.eng.cfg.Node
+	oldLeader := ""
+	if len(old) > 0 {
+		oldLeader = old[0]
+	}
+	newLeader := ""
+	if len(t.members) > 0 {
+		newLeader = t.members[0]
+	}
+	leaderChanged := oldLeader != newLeader
+	now := r.eng.now()
+
+	r.mu.lock()
+	r.lfEpoch = t.epoch
+	if leaderChanged {
+		// Fence: the deposed leadership's stragglers must not apply.
+		r.lfFence = t.epoch
+	}
+	// Revocation-on-view-change: every membership change invalidates the
+	// current grant; the renewal stream re-establishes it within ~Dur/3.
+	r.lfLeaseHold = ""
+	r.lfLeaseExp = time.Time{}
+	secondary := r.secondary
+	syncing := r.syncing
+	promoted := leaderChanged && newLeader == node && oldLeader != "" && !secondary && !syncing
+	if promoted {
+		r.lfBlockUntil = now.Add(r.eng.cfg.LeaseDuration + r.eng.cfg.LeaseGuard)
+	}
+	r.mu.unlock()
+
+	if leaderChanged && len(r.lfPending) > 0 {
+		// Unreleased acks from our deposed leadership: the clients' direct
+		// attempts time out and fall back to the ordered path, where the
+		// dedup table answers with the logged replies.
+		r.lfPending = make(map[uint64]lfPendingReply)
+	}
+	if promoted {
+		r.eng.stat.lfTakeovers.Add(1)
+		// Every acked invocation the old leader ordered was delivered to
+		// this survivor before the view (virtual synchrony), so state is
+		// current; numbering resumes from lfApplied on the next assign.
+		// Announce leadership immediately — the grant doubles as the
+		// clients' redirect-target refresh.
+		r.lfMaybeGrant()
+		r.lfArmUnblock(r.eng.cfg.LeaseDuration + r.eng.cfg.LeaseGuard)
+	}
+}

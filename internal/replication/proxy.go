@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cdr"
@@ -75,6 +76,32 @@ func WithShard(shard int) ProxyOption {
 	}
 }
 
+// WithLFFastPath enables the LEADER_FOLLOWER direct lane on this proxy:
+// writes go straight to the group leader (one unicast + one unicast reply,
+// no totem entry on the client's critical path), and the listed read-only
+// operations are served from any replica's local state under its read
+// lease. On timeout or redirect the proxy falls back to the ordered
+// multicast path, so liveness never depends on the fast path.
+func WithLFFastPath(readOps ...string) ProxyOption {
+	return func(p *Proxy) {
+		p.lf = true
+		p.lfReadOps = make(map[string]bool, len(readOps))
+		for _, op := range readOps {
+			p.lfReadOps[op] = true
+		}
+	}
+}
+
+// WithLFAttemptTimeout overrides how long a direct-lane attempt waits
+// before falling back to the ordered path (default 25ms).
+func WithLFAttemptTimeout(d time.Duration) ProxyOption {
+	return func(p *Proxy) {
+		if d > 0 {
+			p.lfAttempt = d
+		}
+	}
+}
+
 // WithTimeout overrides the engine's call timeout for this proxy.
 func WithTimeout(d time.Duration) ProxyOption {
 	return func(p *Proxy) {
@@ -108,17 +135,25 @@ type Proxy struct {
 	retry    time.Duration // base retransmission interval
 	maxRetry time.Duration // backoff cap
 	ctx      *CallCtx      // non-nil for nested (deterministic) proxies
+
+	// Leader-follower fast path (WithLFFastPath).
+	lf        bool
+	lfReadOps map[string]bool
+	lfAttempt time.Duration
+	lfSeq     atomic.Uint64 // session token: highest leader seq observed
+	lfRR      atomic.Uint32 // read-target rotor
 }
 
 // Proxy creates a root (client-side) proxy for the group.
 func (e *Engine) Proxy(ref GroupRef, opts ...ProxyOption) *Proxy {
 	p := &Proxy{
-		eng:      e,
-		gid:      ref.ID,
-		votes:    1,
-		timeout:  e.cfg.CallTimeout,
-		retry:    e.cfg.RetryInterval,
-		maxRetry: e.cfg.MaxRetryInterval,
+		eng:       e,
+		gid:       ref.ID,
+		votes:     1,
+		timeout:   e.cfg.CallTimeout,
+		retry:     e.cfg.RetryInterval,
+		maxRetry:  e.cfg.MaxRetryInterval,
+		lfAttempt: 25 * time.Millisecond,
 	}
 	for _, opt := range opts {
 		opt(p)
@@ -181,6 +216,87 @@ func (p *Proxy) nextKey(op string) opKey {
 	}
 }
 
+// lfBump advances the proxy's session token to seq (monotone).
+func (p *Proxy) lfBump(seq uint64) {
+	for {
+		cur := p.lfSeq.Load()
+		if seq <= cur || p.lfSeq.CompareAndSwap(cur, seq) {
+			return
+		}
+	}
+}
+
+// lfCall attempts the LEADER_FOLLOWER direct lane: a unicast submit to
+// the chosen replica and a unicast reply back, bypassing totem on the
+// client's critical path entirely. Reads rotate across all replicas
+// (served under their leases), writes go to the leader. One redirect is
+// honored; any other failure returns done=false and the caller falls
+// back to the ordered path with the same operation key.
+func (p *Proxy) lfCall(key opKey, op string, args []cdr.Value) ([]cdr.Value, error, bool) {
+	ring := p.eng.ringFor(p.gid)
+	members := ring.GroupMembers(invGroupName(p.gid))
+	if len(members) == 0 {
+		return nil, nil, false
+	}
+	read := p.lfReadOps[op]
+	target := members[0]
+	if read {
+		target = members[int(p.lfRR.Add(1))%len(members)]
+	}
+	sub := &msgLfSubmit{
+		GroupID:   p.gid,
+		Key:       key,
+		Operation: op,
+		Args:      orb.EncodeRequestBody(args),
+		ReadOnly:  read,
+		MinSeq:    p.lfSeq.Load(),
+		From:      p.eng.cfg.Node,
+	}
+	payload, err := encodeWire(sub)
+	if err != nil {
+		return nil, nil, false
+	}
+
+	for attempt := 0; attempt < 2; attempt++ {
+		pc, rerr := p.eng.registerCall(key, 1)
+		if rerr != nil {
+			return nil, rerr, true
+		}
+		if serr := ring.SendDirect(target, invGroupName(p.gid), payload); serr != nil {
+			p.eng.unregisterCall(key)
+			return nil, nil, false
+		}
+		timer := getTimer(p.lfAttempt)
+		select {
+		case rep, ok := <-pc.ch:
+			putTimer(timer)
+			if !ok {
+				return nil, ErrEngineStopped, true
+			}
+			if rep.Status == replyRedirect {
+				next := string(rep.Body)
+				if next == "" || next == target {
+					return nil, nil, false
+				}
+				target = next
+				continue
+			}
+			p.lfBump(rep.ExecMsgID)
+			out, derr := wireToOutcome(rep.Status, rep.Body)
+			return out, derr, true
+		case <-timer.C:
+			putTimer(timer)
+			p.eng.unregisterCall(key)
+			return nil, nil, false
+		case <-p.eng.stopCh:
+			putTimer(timer)
+			p.eng.unregisterCall(key)
+			return nil, ErrEngineStopped, true
+		}
+	}
+	return nil, nil, false
+}
+
 func (p *Proxy) call(op string, args []cdr.Value, oneway bool) ([]cdr.Value, error) {
 	key := p.nextKey(op)
 	inv := &msgInvocation{
@@ -197,6 +313,15 @@ func (p *Proxy) call(op string, args []cdr.Value, oneway bool) ([]cdr.Value, err
 
 	if oneway {
 		return nil, p.eng.ringFor(p.gid).Multicast(invGroupName(p.gid), payload)
+	}
+
+	if p.lf && p.votes == 1 {
+		if out, lfErr, done := p.lfCall(key, op, args); done {
+			return out, lfErr
+		}
+		// Fast path declined (timeout, redirect exhaustion, no view yet):
+		// fall through to the ordered path with the same operation key, so
+		// a submit that did reach the leader dedups instead of re-running.
 	}
 
 	// Subscribe to the group's reply stream before sending, so the reply
@@ -222,6 +347,12 @@ func (p *Proxy) call(op string, args []cdr.Value, oneway bool) ([]cdr.Value, err
 		case rep, ok := <-pc.ch:
 			if !ok {
 				return nil, ErrEngineStopped
+			}
+			if p.lf {
+				// Ordered-path replies on LF groups carry lfMsgID(epoch,
+				// seq); keep the session token moving so follower reads
+				// stay read-your-writes after a fallback write.
+				p.lfBump(rep.ExecMsgID & lfSeqMask)
 			}
 			return wireToOutcome(rep.Status, rep.Body)
 		case <-retry.C:

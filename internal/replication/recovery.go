@@ -86,11 +86,23 @@ func ApplyRecord(def GroupDef, servant orb.Servant, rec wal.Record) (ref drstore
 		if derr != nil {
 			return ref, false, false
 		}
-		inv, ok := m.(*msgInvocation)
-		if !ok {
+		// A logged invocation is either an ordered msgInvocation (cold
+		// passive) or a leader-follower order record; both re-execute with
+		// the deterministic context keyed on the record's message id (for
+		// LF records that id is lfMsgID(epoch, seq) — exactly what the
+		// original execution used).
+		var op string
+		var argBytes []byte
+		var key opKey
+		switch inv := m.(type) {
+		case *msgInvocation:
+			op, argBytes, key = inv.Operation, inv.Args, inv.Key
+		case *msgLfOrder:
+			op, argBytes, key = inv.Operation, inv.Args, inv.Key
+		default:
 			return ref, false, false
 		}
-		args, aerr := orb.DecodeRequestBody(inv.Args)
+		args, aerr := orb.DecodeRequestBody(argBytes)
 		if aerr != nil {
 			return ref, false, false
 		}
@@ -98,11 +110,11 @@ func ApplyRecord(def GroupDef, servant orb.Servant, rec wal.Record) (ref drstore
 		// Dispatch errors (user exceptions) are outcomes, not replay
 		// failures: the original execution produced them too.
 		_, _ = servant.Dispatch(&orb.Invocation{
-			Operation: inv.Operation,
+			Operation: op,
 			Args:      args,
 			Det:       det,
 		})
-		ref = drstore.OpRef{ClientID: inv.Key.ClientID, ParentSeq: inv.Key.ParentSeq, OpSeq: inv.Key.OpSeq}
+		ref = drstore.OpRef{ClientID: key.ClientID, ParentSeq: key.ParentSeq, OpSeq: key.OpSeq}
 		return ref, true, true
 	case rec.Op == opRecUpdateFull:
 		ck, ok := servant.(orb.Checkpointable)

@@ -41,6 +41,7 @@ type taskCheckpoint struct {
 
 type taskView struct {
 	members []string
+	epoch   uint64 // ring epoch of the view (LF leadership terms)
 }
 
 type taskStateReq struct {
@@ -78,6 +79,17 @@ type replica struct {
 	syncing   bool
 	lastExec  uint64
 
+	// Leader-follower shared state (guarded by mu; the engine's lease
+	// renewal loop and the direct-lane handler read it concurrently with
+	// the executor). See lf.go for the protocol.
+	lfEpoch      uint64    // ring epoch of the current view
+	lfFence      uint64    // minimum order epoch accepted (leadership fence)
+	lfApplied    uint64    // highest leader sequence applied locally
+	lfLeaseHold  string    // current lease holder ("" = no lease)
+	lfLeaseEpoch uint64    // epoch the lease was granted under
+	lfLeaseExp   time.Time // local-clock lease expiry
+	lfBlockUntil time.Time // new-leader write fence
+
 	// Executor-owned state.
 	buffer       []any        // tasks held in order while syncing
 	pendingOps   []taskInvoke // delivered, not yet covered (warm backups)
@@ -85,11 +97,18 @@ type replica struct {
 	preSplit     []string     // view before this member became secondary
 	former       map[string]bool
 	opsSinceCk   int
-	bytesSinceCk int // update-record bytes appended since the last checkpoint
+	bytesSinceCk int    // update-record bytes appended since the last checkpoint
+	lastLogged   uint64 // newest update-record MsgID appended to the WAL (task-loop owned)
 	fulfillSeq   uint64
 	everHadView  bool
-	stuck        map[string]bool // members known to be awaiting state transfer
+	stuck        map[string]uint64 // members awaiting state transfer → their advertised lastExec
 	lastSnapResp time.Time       // rate limit for state-request answers
+	healNudges   int             // post-heal catch-up nudges sent (diagnostics)
+
+	// Leader-follower executor-owned state.
+	lfSeq     uint64                    // leader's assignment counter
+	lfPending map[uint64]lfPendingReply // direct replies awaiting the ack gate
+	lfHeld    []lfHeldOp                // ordered writes held behind the takeover fence
 }
 
 // chanMutex is a tiny mutex built on a 1-buffered channel (keeps the
@@ -111,16 +130,17 @@ func newReplica(e *Engine, def GroupDef, servant orb.Servant, syncing bool, log 
 		syncing = false
 	}
 	return &replica{
-		eng:     e,
-		def:     def,
-		servant: servant,
-		q:       newTaskQueue(),
-		log:     log,
-		mu:      newChanMutex(),
-		dedup:   make(map[opKey]*opRecord),
-		syncing: syncing,
-		former:  make(map[string]bool),
-		stuck:   make(map[string]bool),
+		eng:       e,
+		def:       def,
+		servant:   servant,
+		q:         newTaskQueue(),
+		log:       log,
+		mu:        newChanMutex(),
+		dedup:     make(map[opKey]*opRecord),
+		syncing:   syncing,
+		former:    make(map[string]bool),
+		stuck:     make(map[string]uint64),
+		lfPending: make(map[uint64]lfPendingReply),
 	}
 }
 
@@ -186,6 +206,14 @@ func (r *replica) executorLoop() {
 			r.onView(t)
 		case taskStateReq:
 			r.onStateReq(t)
+		case taskLfSubmit:
+			r.onLfSubmit(t)
+		case taskLfOrder:
+			r.onLfOrder(t)
+		case taskLfLease:
+			r.onLfLease(t)
+		case taskLfUnblock:
+			r.onLfUnblock()
 		}
 	}
 }
@@ -230,6 +258,17 @@ func (r *replica) shipsDRActive() bool {
 func (r *replica) shipUpdate(rec wal.Record) {
 	if r.shipsDR() {
 		_ = r.eng.cfg.DR.AppendUpdate(r.def.ID, rec)
+	}
+}
+
+// logUpdate appends one update record to the local WAL and advances the
+// logged horizon the checkpoint-compaction staleness guard compares
+// against. Task-loop only (like bytesSinceCk).
+func (r *replica) logUpdate(rec wal.Record) {
+	_ = r.log.Append(rec)
+	r.bytesSinceCk += len(rec.Data)
+	if rec.MsgID > r.lastLogged {
+		r.lastLogged = rec.MsgID
 	}
 }
 
@@ -319,8 +358,7 @@ func (r *replica) process(t taskInvoke, replay bool) {
 				Op:    opRecInvoke + t.m.Operation,
 				Data:  data,
 			}
-			_ = r.log.Append(rec)
-			r.bytesSinceCk += len(data)
+			r.logUpdate(rec)
 			r.shipUpdate(rec)
 		}
 	}
@@ -343,6 +381,13 @@ func (r *replica) process(t taskInvoke, replay bool) {
 				Data:  data,
 			})
 		}
+	}
+
+	// Leader-follower: the leader assigns and executes; followers get the
+	// operation through the order stream and hold nothing here.
+	if r.def.Style.IsLeaderFollower() {
+		r.lfClassic(t, rec)
+		return
 	}
 
 	if r.def.Style.IsActive() || r.isPrimary() {
@@ -401,8 +446,7 @@ func (r *replica) run(t taskInvoke, rec *opRecord) {
 		}
 		if rep.Update != nil {
 			rec := wal.Record{Kind: wal.KindUpdate, MsgID: t.msgID, Op: updateOp(rep.UpdateFull), Data: rep.Update}
-			_ = r.log.Append(rec)
-			r.bytesSinceCk += len(rep.Update)
+			r.logUpdate(rec)
 			r.shipUpdate(rec)
 		}
 	}
@@ -441,7 +485,7 @@ func (r *replica) run(t taskInvoke, rec *opRecord) {
 // active groups with a DR store attached, the senior member takes a
 // store-only snapshot so the standby's segment replay stays bounded.
 func (r *replica) maybeCheckpoint() {
-	if r.def.Style.IsPassive() && r.isPrimary() {
+	if (r.def.Style.IsPassive() || r.def.Style.IsLeaderFollower()) && r.isPrimary() {
 		r.opsSinceCk++
 		if r.opsSinceCk < r.def.CheckpointEvery &&
 			(r.def.CheckpointEveryBytes <= 0 || r.bytesSinceCk < r.def.CheckpointEveryBytes) {
@@ -495,6 +539,9 @@ func (r *replica) sendCheckpoint(reason uint8) {
 		return
 	}
 	upTo, covered := r.coveredWindow()
+	r.mu.lock()
+	lfSeq := r.lfApplied
+	r.mu.unlock()
 	r.eng.stat.checkpoints.Add(1)
 	r.shipCheckpoint(upTo, state, covered)
 	if payload := r.eng.encodeOrReport(&msgCheckpoint{
@@ -503,6 +550,7 @@ func (r *replica) sendCheckpoint(reason uint8) {
 		UpToMsgID: upTo,
 		State:     state,
 		Covered:   covered,
+		LfSeq:     lfSeq,
 	}); payload != nil {
 		_ = r.eng.ringFor(r.def.ID).Multicast(invGroupName(r.def.ID), payload)
 	}
@@ -545,11 +593,10 @@ func (r *replica) onReply(t taskReply) {
 				r.mu.lock()
 				r.lastExec = m.ExecMsgID
 				r.mu.unlock()
-				_ = r.log.Append(wal.Record{Kind: wal.KindUpdate, MsgID: m.ExecMsgID, Op: updateOp(m.UpdateFull), Data: m.Update})
-				// Keep the byte-policy counter warm on backups too, so a
-				// freshly failed-over primary inherits an accurate since-
-				// checkpoint volume instead of starting from zero.
-				r.bytesSinceCk += len(m.Update)
+				// logUpdate keeps the byte-policy counter warm on backups
+				// too, so a freshly failed-over primary inherits an accurate
+				// since-checkpoint volume instead of starting from zero.
+				r.logUpdate(wal.Record{Kind: wal.KindUpdate, MsgID: m.ExecMsgID, Op: updateOp(m.UpdateFull), Data: m.Update})
 			}
 		}
 	}
@@ -564,7 +611,7 @@ func (r *replica) onReply(t taskReply) {
 
 func (r *replica) onCheckpoint(t taskCheckpoint) {
 	m := t.m
-	r.stuck = make(map[string]bool) // a snapshot unsticks its adopters
+	r.stuck = make(map[string]uint64) // a snapshot unsticks its adopters
 	r.mu.lock()
 	syncing := r.syncing
 	secondary := r.secondary
@@ -591,17 +638,27 @@ func (r *replica) onCheckpoint(t taskCheckpoint) {
 	r.mu.lock()
 	lastExec := r.lastExec
 	r.mu.unlock()
-	if m.UpToMsgID > lastExec && r.def.Style != ColdPassive {
+	if m.UpToMsgID > lastExec && r.def.Style != ColdPassive &&
+		!(r.def.Style.IsLeaderFollower() && r.isPrimary()) {
+		// (The LF leader's own state is authoritative by construction; it
+		// never adopts from a checkpoint.)
 		r.adoptState(m)
 		return
 	}
 
 	// Operational members: persist and compact the log (the cold passive
-	// truncation point), and drop covered pending operations.
-	_ = r.log.Append(wal.Record{Kind: wal.KindCheckpoint, MsgID: m.UpToMsgID, Data: m.State})
-	_ = r.log.TruncateAtCheckpoint()
-	r.opsSinceCk = 0
-	r.bytesSinceCk = 0
+	// truncation point), and drop covered pending operations. Staleness
+	// guard: a duplicate checkpoint from behind our logged horizon — a
+	// re-sent join answer arriving after this member moved on, e.g. a
+	// healed LF senior that already resumed leadership and logged newer
+	// assignments — must not compact, because the position-based
+	// truncation would wipe every newer update record from the WAL.
+	if m.UpToMsgID >= r.lastLogged {
+		_ = r.log.Append(wal.Record{Kind: wal.KindCheckpoint, MsgID: m.UpToMsgID, Data: m.State})
+		_ = r.log.TruncateAtCheckpoint()
+		r.opsSinceCk = 0
+		r.bytesSinceCk = 0
+	}
 	kept := r.pendingOps[:0]
 	for _, p := range r.pendingOps {
 		if p.msgID > m.UpToMsgID {
@@ -641,6 +698,10 @@ func (r *replica) adoptState(m *msgCheckpoint) {
 				}
 			case taskReply:
 				r.onReply(t)
+			case taskLfOrder:
+				if lfMsgID(t.m.Epoch, t.m.Seq) > upTo {
+					r.onLfOrder(t)
+				}
 			}
 		}
 		return
@@ -656,6 +717,9 @@ func (r *replica) adoptState(m *msgCheckpoint) {
 	_ = r.log.TruncateAtCheckpoint()
 	r.opsSinceCk = 0
 	r.bytesSinceCk = 0
+	// The truncation wiped every update record positioned before the
+	// adopted checkpoint; the logged horizon restarts from its coverage.
+	r.lastLogged = m.UpToMsgID
 	// Seed duplicate suppression with the operations the snapshot covers.
 	// An adopter that missed a delivery lineage (the gap-repair path) has
 	// no dedup records for them, and a recovery re-delivery would
@@ -686,8 +750,19 @@ func (r *replica) adoptState(m *msgCheckpoint) {
 
 	r.mu.lock()
 	r.lastExec = m.UpToMsgID
+	if m.LfSeq > r.lfApplied {
+		// Resume session-token-gated reads (and, on later promotion, the
+		// assignment numbering) from the snapshot's leader sequence.
+		r.lfApplied = m.LfSeq
+	}
 	r.syncing = false
 	wasSecondary := r.secondary
+	if wasSecondary {
+		// A former secondary's leadership terms come from a divergent ring
+		// lineage: fence them off so its own stale order stream cannot
+		// re-apply over the adopted state.
+		r.lfFence = r.lfEpoch
+	}
 	r.secondary = false
 	r.mu.unlock()
 
@@ -704,6 +779,10 @@ func (r *replica) adoptState(m *msgCheckpoint) {
 			}
 		case taskReply:
 			r.onReply(t) // re-checks staleness against the adopted state
+		case taskLfOrder:
+			if lfMsgID(t.m.Epoch, t.m.Seq) > m.UpToMsgID {
+				r.onLfOrder(t) // dedup-covered ops skip via executedLocal
+			}
 		}
 	}
 }
@@ -761,7 +840,7 @@ func (r *replica) onView(t taskView) {
 	secondary := r.secondary
 	syncing := r.syncing
 	r.mu.unlock()
-	r.stuck = make(map[string]bool) // membership changed: re-learn who is stuck
+	r.stuck = make(map[string]uint64) // membership changed: re-learn who is stuck
 
 	if !r.everHadView {
 		r.everHadView = true
@@ -808,6 +887,13 @@ func (r *replica) onView(t taskView) {
 		}
 	}
 
+	// Leader-follower epoch/fence/lease maintenance and takeover run on
+	// every membership change (a join by a lexically-senior node moves
+	// leadership too, not just removals).
+	if r.def.Style.IsLeaderFollower() {
+		r.lfOnView(old, t)
+	}
+
 	if len(added) > 0 {
 		remerge := false
 		for _, n := range added {
@@ -820,11 +906,13 @@ func (r *replica) onView(t taskView) {
 			// A remerge — for a secondary — means a member of the view we
 			// split from is back: its component may hold the primary state,
 			// so wait for it, then send fulfillments (adoptState does
-			// both). Membership in preSplit is the test, NOT r.former: a
-			// crashed member recruited back by the Replication Manager is a
-			// fresh incarnation with no state, and going syncing for it
-			// would strand both of us (the stateReq rescue handles that
-			// case instead).
+			// both). Membership in preSplit distinguishes a true remerge
+			// from a crashed member recruited back by the Replication
+			// Manager as a fresh incarnation with no state — but either
+			// way this member's WAL and servant lag the merged lineage, so
+			// it must go syncing; the stateReq rescue (every member stuck
+			// → senior self-promotes) guarantees liveness even when the
+			// added member has nothing to offer.
 			back := false
 			for _, n := range added {
 				for _, p := range r.preSplit {
@@ -835,9 +923,23 @@ func (r *replica) onView(t taskView) {
 			}
 			if back {
 				r.preSplit = old
-				r.mu.lock()
-				r.syncing = true
-				r.mu.unlock()
+			}
+			r.mu.lock()
+			r.syncing = true
+			r.mu.unlock()
+			// Post-heal catch-up nudge: a heal that arrives with no
+			// follow-on traffic used to leave this member stranded until
+			// the sync-retry tick (or forever, when the join was a fresh
+			// incarnation and nothing marked us syncing at all). Request
+			// state immediately; the request doubles as post-heal traffic
+			// that flushes ordered-delivery catch-up.
+			r.healNudges++
+			r.eng.stat.healNudges.Add(1)
+			r.mu.lock()
+			myExec := r.lastExec
+			r.mu.unlock()
+			if payload := r.eng.encodeOrReport(&msgStateReq{GroupID: r.def.ID, From: r.eng.cfg.Node, LastExec: myExec}); payload != nil {
+				_ = r.eng.ringFor(r.def.ID).Multicast(invGroupName(r.def.ID), payload)
 			}
 			return
 		}
@@ -860,13 +962,15 @@ func (r *replica) onView(t taskView) {
 // every member sees the same request stream). Healthy members respond with
 // a snapshot. If every member of the view is stuck — possible after heavy
 // membership churn leaves all survivors believing some other component was
-// primary — the senior member promotes its own state to authoritative,
-// guaranteeing the group always recovers.
+// primary — the stuck member with the most applied state promotes its own
+// state to authoritative, guaranteeing the group always recovers without
+// anointing an empty fresh incarnation over a state-bearing survivor.
 func (r *replica) onStateReq(t taskStateReq) {
-	r.stuck[t.m.From] = true
+	r.stuck[t.m.From] = t.m.LastExec
 	r.mu.lock()
 	syncing := r.syncing
 	secondary := r.secondary
+	myExec := r.lastExec
 	members := append([]string(nil), r.members...)
 	r.mu.unlock()
 
@@ -879,25 +983,41 @@ func (r *replica) onStateReq(t taskStateReq) {
 		}
 		return
 	}
-	if len(members) == 0 {
+	if len(members) < 2 {
+		// A stranded singleton has nobody to offer state and nothing to
+		// arbitrate: promoting here would anoint a possibly-empty fresh
+		// incarnation as authoritative just before a heal merges a member
+		// that still holds real state. Keep waiting for company.
 		return
 	}
 	// Stranded: this replica is syncing or secondary, so no healthy
 	// primary-component member answered above. Rescue falls to the senior
-	// member that has NOT itself requested state — a stuck member is a
-	// joiner with nothing to offer, while a non-stuck one (typically a
-	// secondary survivor) still holds usable state. Only when every member
-	// is stuck does plain seniority decide. The stateReq stream is totally
-	// ordered, so every member computes the same rescuer.
-	rescuer := ""
+	// member that has NOT itself requested state — a member that still
+	// considers itself operational would have answered with a checkpoint,
+	// so one that is merely quiet may yet do so. This replica is in the
+	// stranded branch, so it counts itself stuck regardless of whether its
+	// own request has circled back; without that, two mutually-stuck
+	// members can each see only the other's request first and both
+	// nominate themselves.
+	if _, ok := r.stuck[r.eng.cfg.Node]; !ok || r.stuck[r.eng.cfg.Node] < myExec {
+		r.stuck[r.eng.cfg.Node] = myExec
+	}
 	for _, m := range members {
-		if !r.stuck[m] {
-			rescuer = m
-			break
+		if _, ok := r.stuck[m]; !ok {
+			return // a possibly-healthy member may still answer
 		}
 	}
-	if rescuer == "" {
-		rescuer = members[0]
+	// Every member is stuck: elect the one whose advertised applied-state
+	// horizon is highest (ties break by seniority). The stateReq stream is
+	// totally ordered and carries each requester's horizon, so every member
+	// computes the same rescuer — and a secondary survivor with real state
+	// always beats a freshly recruited incarnation advertising zero.
+	rescuer := members[0]
+	best := r.stuck[members[0]]
+	for _, m := range members[1:] {
+		if exec := r.stuck[m]; exec > best {
+			rescuer, best = m, exec
+		}
 	}
 	if rescuer != r.eng.cfg.Node {
 		return
@@ -914,7 +1034,7 @@ func (r *replica) selfPromote() {
 	r.secondary = false
 	upTo := r.lastExec
 	r.mu.unlock()
-	r.stuck = make(map[string]bool)
+	r.stuck = make(map[string]uint64)
 	r.fulfill = nil
 
 	buffered := r.buffer
@@ -927,6 +1047,10 @@ func (r *replica) selfPromote() {
 			}
 		case taskReply:
 			r.onReply(t)
+		case taskLfOrder:
+			if lfMsgID(t.m.Epoch, t.m.Seq) > upTo {
+				r.onLfOrder(t)
+			}
 		}
 	}
 	r.sendCheckpoint(ckptRemerge)

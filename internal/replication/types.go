@@ -30,6 +30,7 @@ package replication
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/cdr"
 )
@@ -44,6 +45,14 @@ const (
 	ActiveWithVoting
 	WarmPassive
 	ColdPassive
+	// LeaderFollower is the LLFT-style low-latency mode: the senior
+	// primary-component member (the leader) assigns a per-group sequence to
+	// each invocation, executes immediately, and streams the ordered
+	// invocations to the followers over the ordered multicast path; the
+	// followers re-execute in leader order, off the client's critical path.
+	// Paired with time-bounded leader leases, any replica serves read-only
+	// operations from local state without entering totem at all.
+	LeaderFollower
 )
 
 var styleNames = map[Style]string{
@@ -52,6 +61,7 @@ var styleNames = map[Style]string{
 	ActiveWithVoting: "ACTIVE_WITH_VOTING",
 	WarmPassive:      "WARM_PASSIVE",
 	ColdPassive:      "COLD_PASSIVE",
+	LeaderFollower:   "LEADER_FOLLOWER",
 }
 
 // String names the style in FT-CORBA vocabulary.
@@ -69,6 +79,11 @@ func (s Style) IsPassive() bool { return s == WarmPassive || s == ColdPassive }
 func (s Style) IsActive() bool {
 	return s == Active || s == ActiveWithVoting || s == Stateless
 }
+
+// IsLeaderFollower reports whether the style orders at the leader and
+// streams to followers (neither classic-active nor classic-passive: every
+// replica ends up executing, but only the leader answers).
+func (s Style) IsLeaderFollower() bool { return s == LeaderFollower }
 
 // GroupDef describes an object group to be hosted.
 type GroupDef struct {
@@ -94,6 +109,13 @@ type GroupDef struct {
 	// (ShardFor), N>0 pins the group to ring N-1 of the engine's pool.
 	// Ignored (treated as shard 0) when the engine runs a single ring.
 	Shard int
+	// ReadOnlyOps lists operations that do not mutate servant state (the
+	// IDL `readonly` marking surfaced through ftcorba.Properties). Under
+	// LEADER_FOLLOWER these may be served from any replica's local state on
+	// the leased read fast path; replicas refuse the fast path for any
+	// operation not listed here, so a mislabeled client cannot mutate state
+	// outside the total order.
+	ReadOnlyOps []string
 }
 
 func (d *GroupDef) fill() {
@@ -153,6 +175,10 @@ const (
 	wireReply
 	wireCheckpoint
 	wireStateReq
+	wireLfOrder  // leader→followers ordered-invocation stream (multicast)
+	wireLfSubmit // client→replica invocation submit (direct lane)
+	wireLfReply  // replica→client reply (direct lane)
+	wireLfLease  // leader→group read-lease grant (ordered multicast)
 )
 
 // Reply statuses on the wire.
@@ -160,6 +186,11 @@ const (
 	replyOK      uint32 = 0
 	replyUserExc uint32 = 1
 	replySysExc  uint32 = 2
+	// replyRedirect is a direct-lane-only status: the addressed replica
+	// cannot serve the submit (not the leader, lease lapsed, behind the
+	// client's session) and Body names the node to retry at (empty: fall
+	// back to the ordered path).
+	replyRedirect uint32 = 3
 )
 
 // Checkpoint reasons.
@@ -207,16 +238,83 @@ type msgCheckpoint struct {
 	// state along with the application state, or exactly-once breaks for
 	// members that adopted across a delivery gap.
 	Covered []opKey
+	// LfSeq is the leader sequence State reflects (LEADER_FOLLOWER only):
+	// an adopter resumes serving session-token-gated reads — and, on
+	// promotion, numbering — from here.
+	LfSeq uint64
+}
+
+// msgLfOrder is the leader's order stream: one invocation the leader has
+// sequenced (and already executed), multicast on the invocation group so
+// followers re-execute it in leader order. Epoch is the ring epoch at which
+// the sender became leader; (Epoch, Seq) also seeds the deterministic
+// execution context, so leader (executing at submit time) and followers
+// (executing at delivery time) draw identical timestamps and nested-call
+// sequence numbers.
+type msgLfOrder struct {
+	GroupID   uint64
+	Epoch     uint64
+	Seq       uint64
+	Leader    string
+	Key       opKey
+	Operation string
+	Args      []byte
+	Oneway    bool
+}
+
+// msgLfSubmit is a client's direct-lane invocation submit. ReadOnly submits
+// may be served from local state by any replica holding a live read lease;
+// MinSeq is the client's session token (highest leader sequence it has
+// observed), giving read-your-writes and monotonic reads across replicas.
+// From is the node the direct reply goes back to.
+type msgLfSubmit struct {
+	GroupID   uint64
+	Key       opKey
+	Operation string
+	Args      []byte
+	ReadOnly  bool
+	MinSeq    uint64
+	From      string
+}
+
+// msgLfReply is the direct-lane reply. Seq carries the leader sequence the
+// reply reflects (the client's next session token); Redirect, with status
+// replyRedirect, names a better node to retry at.
+type msgLfReply struct {
+	GroupID  uint64
+	Key      opKey
+	Status   uint32
+	Body     []byte
+	Node     string
+	Seq      uint64
+	Redirect string
+}
+
+// msgLfLease is the ordered read-lease grant/renewal. Each replica computes
+// its own expiry as local-clock-at-delivery + Dur, so the lease never
+// depends on clocks being synchronized across nodes — only on bounded
+// clock *rate* skew, absorbed by the guard bands (readers retire the lease
+// LeaseGuard early; a new leader waits Dur + LeaseGuard past takeover
+// before writing).
+type msgLfLease struct {
+	GroupID uint64
+	Epoch   uint64
+	Leader  string
+	Dur     time.Duration
 }
 
 // msgStateReq is the self-healing sync retry: a replica stuck waiting for
 // state transfer (its expected sender vanished in membership churn)
 // periodically asks the group for a snapshot. Healthy members answer with
-// a checkpoint; if *every* member is stuck, the senior one promotes its
-// own state to authoritative (see replica.onStateReq).
+// a checkpoint; if *every* member is stuck, the one with the most applied
+// state promotes its own state to authoritative (see replica.onStateReq).
+// LastExec advertises the requester's applied-state horizon so that
+// election prefers a state-bearing secondary over an empty fresh
+// incarnation regardless of request ordering.
 type msgStateReq struct {
-	GroupID uint64
-	From    string
+	GroupID  uint64
+	From     string
+	LastExec uint64
 }
 
 func encodeOpKey(e *cdr.Encoder, k opKey) {
@@ -276,10 +374,46 @@ func encodeWire(m any) ([]byte, error) {
 		for _, k := range v.Covered {
 			encodeOpKey(e, k)
 		}
+		e.WriteULongLong(v.LfSeq)
 	case *msgStateReq:
 		e.WriteOctet(byte(wireStateReq))
 		e.WriteULongLong(v.GroupID)
 		e.WriteString(v.From)
+		e.WriteULongLong(v.LastExec)
+	case *msgLfOrder:
+		e.WriteOctet(byte(wireLfOrder))
+		e.WriteULongLong(v.GroupID)
+		e.WriteULongLong(v.Epoch)
+		e.WriteULongLong(v.Seq)
+		e.WriteString(v.Leader)
+		encodeOpKey(e, v.Key)
+		e.WriteString(v.Operation)
+		e.WriteOctetSeq(v.Args)
+		e.WriteBool(v.Oneway)
+	case *msgLfSubmit:
+		e.WriteOctet(byte(wireLfSubmit))
+		e.WriteULongLong(v.GroupID)
+		encodeOpKey(e, v.Key)
+		e.WriteString(v.Operation)
+		e.WriteOctetSeq(v.Args)
+		e.WriteBool(v.ReadOnly)
+		e.WriteULongLong(v.MinSeq)
+		e.WriteString(v.From)
+	case *msgLfReply:
+		e.WriteOctet(byte(wireLfReply))
+		e.WriteULongLong(v.GroupID)
+		encodeOpKey(e, v.Key)
+		e.WriteULong(v.Status)
+		e.WriteOctetSeq(v.Body)
+		e.WriteString(v.Node)
+		e.WriteULongLong(v.Seq)
+		e.WriteString(v.Redirect)
+	case *msgLfLease:
+		e.WriteOctet(byte(wireLfLease))
+		e.WriteULongLong(v.GroupID)
+		e.WriteULongLong(v.Epoch)
+		e.WriteString(v.Leader)
+		e.WriteULongLong(uint64(v.Dur))
 	default:
 		e.Release()
 		return nil, fmt.Errorf("replication: encodeWire: unknown message %T", m)
@@ -375,6 +509,9 @@ func decodeWire(b []byte) (any, error) {
 				}
 			}
 		}
+		if v.LfSeq, err = d.ReadULongLong(); err != nil {
+			return nil, err
+		}
 		return v, nil
 	case wireStateReq:
 		v := &msgStateReq{}
@@ -384,6 +521,101 @@ func decodeWire(b []byte) (any, error) {
 		if v.From, err = d.ReadStringInterned(); err != nil {
 			return nil, err
 		}
+		if v.LastExec, err = d.ReadULongLong(); err != nil {
+			return nil, err
+		}
+		return v, nil
+	case wireLfOrder:
+		v := &msgLfOrder{}
+		if v.GroupID, err = d.ReadULongLong(); err != nil {
+			return nil, err
+		}
+		if v.Epoch, err = d.ReadULongLong(); err != nil {
+			return nil, err
+		}
+		if v.Seq, err = d.ReadULongLong(); err != nil {
+			return nil, err
+		}
+		if v.Leader, err = d.ReadStringInterned(); err != nil {
+			return nil, err
+		}
+		if v.Key, err = decodeOpKey(d); err != nil {
+			return nil, err
+		}
+		if v.Operation, err = d.ReadStringInterned(); err != nil {
+			return nil, err
+		}
+		if v.Args, err = d.ReadOctetSeq(); err != nil {
+			return nil, err
+		}
+		if v.Oneway, err = d.ReadBool(); err != nil {
+			return nil, err
+		}
+		return v, nil
+	case wireLfSubmit:
+		v := &msgLfSubmit{}
+		if v.GroupID, err = d.ReadULongLong(); err != nil {
+			return nil, err
+		}
+		if v.Key, err = decodeOpKey(d); err != nil {
+			return nil, err
+		}
+		if v.Operation, err = d.ReadStringInterned(); err != nil {
+			return nil, err
+		}
+		if v.Args, err = d.ReadOctetSeq(); err != nil {
+			return nil, err
+		}
+		if v.ReadOnly, err = d.ReadBool(); err != nil {
+			return nil, err
+		}
+		if v.MinSeq, err = d.ReadULongLong(); err != nil {
+			return nil, err
+		}
+		if v.From, err = d.ReadStringInterned(); err != nil {
+			return nil, err
+		}
+		return v, nil
+	case wireLfReply:
+		v := &msgLfReply{}
+		if v.GroupID, err = d.ReadULongLong(); err != nil {
+			return nil, err
+		}
+		if v.Key, err = decodeOpKey(d); err != nil {
+			return nil, err
+		}
+		if v.Status, err = d.ReadULong(); err != nil {
+			return nil, err
+		}
+		if v.Body, err = d.ReadOctetSeq(); err != nil {
+			return nil, err
+		}
+		if v.Node, err = d.ReadStringInterned(); err != nil {
+			return nil, err
+		}
+		if v.Seq, err = d.ReadULongLong(); err != nil {
+			return nil, err
+		}
+		if v.Redirect, err = d.ReadStringInterned(); err != nil {
+			return nil, err
+		}
+		return v, nil
+	case wireLfLease:
+		v := &msgLfLease{}
+		if v.GroupID, err = d.ReadULongLong(); err != nil {
+			return nil, err
+		}
+		if v.Epoch, err = d.ReadULongLong(); err != nil {
+			return nil, err
+		}
+		if v.Leader, err = d.ReadStringInterned(); err != nil {
+			return nil, err
+		}
+		var dur uint64
+		if dur, err = d.ReadULongLong(); err != nil {
+			return nil, err
+		}
+		v.Dur = time.Duration(dur)
 		return v, nil
 	default:
 		return nil, fmt.Errorf("replication: unknown wire kind %d", t)

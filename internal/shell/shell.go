@@ -230,8 +230,10 @@ func parseStyle(name string) (replication.Style, error) {
 		return replication.WarmPassive, nil
 	case "cold":
 		return replication.ColdPassive, nil
+	case "leader":
+		return replication.LeaderFollower, nil
 	default:
-		return 0, fmt.Errorf("unknown style %q (active|voting|warm|cold)", name)
+		return 0, fmt.Errorf("unknown style %q (active|voting|warm|cold|leader)", name)
 	}
 }
 
@@ -251,10 +253,16 @@ func (s *Shell) cmdCreate(args []string) error {
 	if err != nil || replicas < 1 {
 		return fmt.Errorf("bad replica count %q", args[2])
 	}
-	_, gid, err := s.domain.Create(name, kvType, &ftcorba.Properties{
+	props := &ftcorba.Properties{
 		ReplicationStyle:      style,
 		InitialNumberReplicas: replicas,
-	})
+	}
+	if style.IsLeaderFollower() {
+		// Declared reads are served replica-locally under the leader
+		// lease instead of entering the ordered stream.
+		props.ReadOnlyOps = []string{"get", "keys"}
+	}
+	_, gid, err := s.domain.Create(name, kvType, props)
 	if err != nil {
 		return err
 	}

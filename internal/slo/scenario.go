@@ -207,11 +207,38 @@ func NewScenarioServant(typeID string, gate *StallGate) orb.Servant {
 // scenarioOp maps an arrival's uniform op selector onto the scenario's
 // operation mix. It returns the operation name, its argument, and whether
 // the operation mutates state (reads are ~10% of each mix and are excluded
-// from the exactly-once accounting).
-func scenarioOp(typeID string, sel uint8) (op string, arg int32, mutating bool) {
+// from the exactly-once accounting). A non-zero readCut overrides the
+// default mix with an explicit read share: selectors below the cut read,
+// the rest split across the scenario's two mutating operations — the
+// read-heavy workloads the leased local-read path is measured under.
+func scenarioOp(typeID string, sel uint8, readCut uint8) (op string, arg int32, mutating bool) {
 	// sel is uniform in [0,256). The argument is derived from the selector
 	// so replicas of a group fold identical values into acc.
 	amount := int32(sel%97) + 1
+	if readCut > 0 {
+		if sel < readCut {
+			return "stats", 0, false
+		}
+		first := (sel-readCut)%2 == 0
+		switch typeID {
+		case BankType:
+			if first {
+				return "deposit", amount, true
+			}
+			return "transfer", amount, true
+		case InventoryType:
+			if first {
+				return "reserve", amount, true
+			}
+			return "restock", amount, true
+		case TraderType:
+			if first {
+				return "quote", amount, true
+			}
+			return "settle", amount, true
+		}
+		return "stats", 0, false
+	}
 	switch typeID {
 	case BankType:
 		switch {

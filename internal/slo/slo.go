@@ -47,6 +47,11 @@ type Config struct {
 	Duration time.Duration
 	// Burst, when > 1, makes the arrival process bursty (see ArrivalConfig).
 	Burst float64
+	// ReadShare, when in (0, 1], overrides every scenario's default op mix
+	// with an explicit read fraction: each arrival reads ("stats") with
+	// probability ReadShare and mutates otherwise. The LEADER_FOLLOWER
+	// read-path workloads drive 0.9; zero keeps the scenarios' own mixes.
+	ReadShare float64
 	// Heartbeat is the totem gossip interval (default 3ms).
 	Heartbeat time.Duration
 	// CallTimeout bounds one invocation including retransmissions
@@ -54,6 +59,15 @@ type Config struct {
 	CallTimeout time.Duration
 	// RetryInterval is the client retransmission base (default 400ms).
 	RetryInterval time.Duration
+	// LegacyAbsorbers selects the pre-adaptive provisioning-storm
+	// absorbers: group creation paced in small batches with eager
+	// membership healing between readiness polls, sized for the old
+	// fixed-window fail detector that a creation storm could push into
+	// false evictions. The default (false) leans on the adaptive
+	// detector (phi-accrual windows + control-plane priority lane):
+	// creation runs in much larger batches and healing becomes a
+	// low-frequency last resort. Kept selectable for A/B comparison.
+	LegacyAbsorbers bool
 	// Chaos, when set, applies a fault schedule while the load runs.
 	Chaos *ChaosPlan
 	// Stall, when set, is wired into every scenario servant (the
@@ -145,6 +159,9 @@ type Result struct {
 	Groups        int
 
 	Issued, Acked, Errors int64
+	// Mutations is how many arrivals carried a mutating operation (the
+	// read-share workloads assert their mix against it).
+	Mutations int64
 	Wall                  time.Duration // run start → last completion
 	OfferedRate           float64       // arrivals / schedule horizon
 	Goodput               float64       // acked / wall
@@ -184,9 +201,25 @@ type groupInfo struct {
 // slotWidth is the completion-timeline resolution for blackout detection.
 const slotWidth = 10 * time.Millisecond
 
-// createBatch bounds how many group creations are in flight before the
-// harness waits for readiness (see setup).
-const createBatch = 128
+// Provisioning-storm absorber profiles (see Config.LegacyAbsorbers).
+// Legacy pairs small creation batches with eager healing; the thinned
+// default trusts the adaptive detector to ride out the join storm, so
+// batches are 4× larger and the heal cadence drops to a last resort.
+const (
+	legacyCreateBatch = 128
+	legacyHealEvery   = 50 // polls; ~250ms
+	thinCreateBatch   = 512
+	thinHealEvery     = 400 // polls; ~2s
+)
+
+// absorberProfile returns the creation batch size and readiness-poll heal
+// period for the configured absorber regime.
+func (c *Config) absorberProfile() (createBatch, healEvery int) {
+	if c.LegacyAbsorbers {
+		return legacyCreateBatch, legacyHealEvery
+	}
+	return thinCreateBatch, thinHealEvery
+}
 
 // sloCheckpointEvery is the checkpoint period every SLO group runs with
 // (the stack default, set explicitly because the WAL-bound invariant below
@@ -275,6 +308,7 @@ type runner struct {
 	byKind  map[string]*Hist
 	byStyle map[string]*Hist
 
+	readCut  uint8
 	windows  windowLog
 	gslots   []atomic.Uint32
 	pgslots  [][]atomic.Uint32 // nil when Groups > perGroupSlotLimit
@@ -302,6 +336,13 @@ func Run(cfg Config) (*Result, error) {
 		return nil, errors.New("slo: Groups, Clients, Rate, and Duration are required")
 	}
 	r := &runner{cfg: cfg}
+	if cfg.ReadShare > 0 {
+		cut := cfg.ReadShare * 256
+		if cut > 255 {
+			cut = 255
+		}
+		r.readCut = uint8(cut)
+	}
 
 	r.sched = GenArrivals(ArrivalConfig{
 		Seed: cfg.Seed, Rate: cfg.Rate, Duration: cfg.Duration,
@@ -390,11 +431,14 @@ func (r *runner) setup() error {
 
 	// Groups are created in bounded batches with a readiness wait between
 	// them. Each creation multicasts control joins for the invocation and
-	// reply groups, so an unpaced thousand-group storm floods the rings
-	// faster than the token drains them; on an oversubscribed host that
-	// starves heartbeat gossip past the fail-detector window and the
-	// resulting false node-crash reports evict every member.
-	r.progress("slo: creating %d groups (%d replicas, %d shards)", cfg.Groups, cfg.Replicas, cfg.Shards)
+	// reply groups; an unpaced thousand-group storm floods the rings
+	// faster than the token drains them. With the adaptive detector the
+	// control lane and phi windows absorb that storm, so the default
+	// profile uses large batches and rare healing; the legacy profile
+	// keeps the small-batch/eager-heal pacing the fixed-window detector
+	// needed (see Config.LegacyAbsorbers).
+	createBatch, _ := cfg.absorberProfile()
+	r.progress("slo: creating %d groups (%d replicas, %d shards, batch %d)", cfg.Groups, cfg.Replicas, cfg.Shards, createBatch)
 	r.groups = make([]groupInfo, cfg.Groups)
 	for lo := 0; lo < cfg.Groups; lo += createBatch {
 		hi := lo + createBatch
@@ -404,12 +448,18 @@ func (r *runner) setup() error {
 		for i := lo; i < hi; i++ {
 			typeID := ScenarioTypes[i%len(ScenarioTypes)]
 			style := cfg.Styles[i%len(cfg.Styles)]
-			_, gid, err := d.Create(fmt.Sprintf("slo-%s-%d", ScenarioName(typeID), i), typeID, &ftcorba.Properties{
+			props := &ftcorba.Properties{
 				ReplicationStyle:      style,
 				InitialNumberReplicas: cfg.Replicas,
 				CheckpointInterval:    sloCheckpointEvery,
 				MembershipStyle:       ftcorba.MembershipApplication, // the harness repairs membership itself
-			})
+			}
+			if style.IsLeaderFollower() {
+				// Every scenario's read op; marks it lease-servable so
+				// proxies take the local-read fast path.
+				props.ReadOnlyOps = []string{"stats"}
+			}
+			_, gid, err := d.Create(fmt.Sprintf("slo-%s-%d", ScenarioName(typeID), i), typeID, props)
 			if err != nil {
 				return fmt.Errorf("slo: create group %d: %w", i, err)
 			}
@@ -473,7 +523,7 @@ func (r *runner) waitGroupsReady(lo, hi int, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	ready := make([]bool, hi-lo)
 	remaining := hi - lo
-	const healEvery = 50 // polls; ~250ms
+	_, healEvery := r.cfg.absorberProfile()
 	for poll := 1; time.Now().Before(deadline) && remaining > 0; poll++ {
 		for i := lo; i < hi; i++ {
 			if ready[i-lo] {
@@ -585,7 +635,7 @@ func (r *runner) worker() {
 		}
 		g := groupOf(a.Client, len(r.groups))
 		gi := &r.groups[g]
-		op, arg, mutating := scenarioOp(gi.typeID, a.Op)
+		op, arg, mutating := scenarioOp(gi.typeID, a.Op, r.readCut)
 		if mutating {
 			r.issuedMuts[g].Add(1)
 		}
@@ -649,6 +699,7 @@ func (r *runner) collect(chaosSched chaos.Schedule) *Result {
 		Population:     r.cfg.Clients,
 		Groups:         len(r.groups),
 		Acked:          r.acked.Load(),
+		Mutations:      sumCounters(r.issuedMuts),
 		Errors:         r.errs.Load(),
 		Wall:           wall,
 		OfferedRate:    float64(len(r.sched)) / r.cfg.Duration.Seconds(),
@@ -704,6 +755,14 @@ func (r *runner) collect(chaosSched chaos.Schedule) *Result {
 		}
 	}
 	return res
+}
+
+func sumCounters(cs []atomic.Int64) int64 {
+	var n int64
+	for i := range cs {
+		n += cs[i].Load()
+	}
+	return n
 }
 
 // longestGap scans a completion timeline between two ns offsets and
@@ -789,7 +848,7 @@ func (r *runner) checkGroup(i int) error {
 			}
 			execs = append(execs, st.LastExec)
 		}
-		if settled && gi.style == replication.Active {
+		if settled && (gi.style == replication.Active || gi.style.IsLeaderFollower()) {
 			for _, e := range execs {
 				if e != execs[0] {
 					settled = false
@@ -823,7 +882,7 @@ func (r *runner) checkGroup(i int) error {
 		// must keep the live WAL bounded regardless of how many ops the run
 		// drove. (Active styles keep no operation log, so there is nothing
 		// to bound.) Retried because the scan can race a truncation.
-		if gi.style.IsPassive() {
+		if gi.style.IsPassive() || gi.style.IsLeaderFollower() {
 			over := ""
 			for _, m := range members {
 				if n := r.dom.Node(m); n != nil {

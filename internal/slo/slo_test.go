@@ -182,3 +182,61 @@ func TestSLOWALBounded(t *testing.T) {
 		t.Fatalf("only ~%.0f ops/group acked; need ≥ %d for the bound to bite", perGroup, 4*walBound)
 	}
 }
+
+// TestSLOLegacyAbsorbers keeps the pre-adaptive provisioning profile
+// selectable: the A/B flag must still provision and run invariant-clean.
+func TestSLOLegacyAbsorbers(t *testing.T) {
+	res, err := Run(Config{
+		Seed:            23,
+		Groups:          6,
+		Clients:         8000,
+		Workers:         32,
+		Rate:            200,
+		Duration:        time.Second,
+		LegacyAbsorbers: true,
+		Progress:        t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d errors in a calm legacy-absorber run", res.Errors)
+	}
+}
+
+// TestSLOLeaderFollowerReadHeavy drives the LEADER_FOLLOWER style through
+// the harness with an explicit 90% read mix: reads ride the leased local
+// path, writes the direct leader path, and the exactly-once + WAL-bound
+// invariants (checked inside Run) must still hold.
+func TestSLOLeaderFollowerReadHeavy(t *testing.T) {
+	res, err := Run(Config{
+		Seed:      31,
+		Groups:    6,
+		Replicas:  3,
+		Clients:   20000,
+		Workers:   64,
+		Rate:      400,
+		Duration:  2 * time.Second,
+		ReadShare: 0.9,
+		Styles:    []replication.Style{replication.LeaderFollower},
+		Progress:  t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d errors in a calm LF run", res.Errors)
+	}
+	if res.Acked != int64(res.Arrivals) {
+		t.Fatalf("acked %d of %d arrivals", res.Acked, res.Arrivals)
+	}
+	st, ok := res.ByStyle["LEADER_FOLLOWER"]
+	if !ok || st.Count() == 0 {
+		t.Fatalf("no LEADER_FOLLOWER samples: %v", res.ByStyle)
+	}
+	// The 0.9 cut must actually skew the mix: mutations should be a small
+	// minority of arrivals (binomially ~10%; assert < 20%).
+	if res.Mutations*5 > int64(res.Arrivals) {
+		t.Fatalf("read-heavy mix not applied: %d mutations of %d arrivals", res.Mutations, res.Arrivals)
+	}
+}

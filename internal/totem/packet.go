@@ -18,6 +18,7 @@ const (
 	pktData
 	pktDataBatch
 	pktNudge
+	pktDirect
 )
 
 // RingID identifies one ring incarnation. Epochs grow monotonically; the
@@ -112,14 +113,29 @@ type token struct {
 
 // nudge asks the coordinator to resume token circulation: under eager
 // rotation (negative IdleTokenDelay) an idle ring parks the token at the
-// coordinator instead of spinning it, and a member that queues new work
-// sends a nudge so the parked token starts rotating again immediately
-// (instead of waiting for the coordinator's heartbeat-paced keepalive
-// rotation). Stale nudges — ring already rotating, or from an old ring —
-// are ignored, so senders may nudge on suspicion.
+// coordinator instead of spinning it, and under paced rotation (positive)
+// the coordinator withholds the token for the idle delay; a member that
+// queues new work sends a nudge so the token starts rotating again
+// immediately (instead of waiting out the hold or the coordinator's
+// heartbeat-paced keepalive rotation). Stale nudges — ring already
+// rotating, or from an old ring — are ignored, so senders may nudge on
+// suspicion.
 type nudge struct {
 	Ring RingID
 	From string
+}
+
+// direct is an unordered point-to-point message between two ring endpoints.
+// It bypasses the token and the total order entirely — no sequence number,
+// no store, no retransmission — and is delivered to the registered direct
+// handler (Ring.SetDirectHandler) on its own goroutine, so its latency is
+// decoupled from token pacing. Reliability is the application's problem
+// (request/response layers retry or fall back to the ordered path), exactly
+// like UDP.
+type direct struct {
+	From    string
+	Group   string
+	Payload []byte
 }
 
 // data is an ordered multicast message (original or retransmission).
@@ -241,6 +257,7 @@ const (
 	ClassToken
 	ClassData
 	ClassDataBatch
+	ClassDirect
 )
 
 // Classify inspects the leading type octet of an encoded ring datagram.
@@ -259,6 +276,8 @@ func Classify(payload []byte) PacketClass {
 		return ClassData
 	case pktDataBatch:
 		return ClassDataBatch
+	case pktDirect:
+		return ClassDirect
 	default:
 		return ClassUnknown
 	}
@@ -338,6 +357,11 @@ func encodePacket(p any) ([]byte, error) {
 		e.WriteOctet(byte(pktNudge))
 		encodeRingID(e, v.Ring)
 		e.WriteString(v.From)
+	case *direct:
+		e.WriteOctet(byte(pktDirect))
+		e.WriteString(v.From)
+		e.WriteString(v.Group)
+		e.WriteOctetSeq(v.Payload)
 	default:
 		e.Release()
 		return nil, fmt.Errorf("totem: encodePacket: unknown packet %T", p)
@@ -374,6 +398,8 @@ func packetSizeHint(p any) int {
 		return n
 	case *token:
 		return 96 + len(v.Ring.Coord) + 8*len(v.Rtr)
+	case *direct:
+		return 32 + len(v.From) + len(v.Group) + len(v.Payload)
 	}
 	return 0
 }
@@ -587,6 +613,18 @@ func decodePacketIn(b []byte, owned bool) (any, error) {
 			return nil, err
 		}
 		if v.From, err = d.ReadStringInterned(); err != nil {
+			return nil, err
+		}
+		return v, nil
+	case pktDirect:
+		v := &direct{}
+		if v.From, err = d.ReadStringInterned(); err != nil {
+			return nil, err
+		}
+		if v.Group, err = d.ReadStringInterned(); err != nil {
+			return nil, err
+		}
+		if v.Payload, err = d.ReadOctetSeq(); err != nil {
 			return nil, err
 		}
 		return v, nil

@@ -272,13 +272,23 @@ type Ring struct {
 	paceCancel   chan struct{} // closes to release a held idle token early
 	parked       bool          // eager mode: token held at the idle coordinator
 	unparking    bool          // the re-handled visit must rotate, not re-park
+	nudged       bool          // a member announced fresh work: skip the next idle hold
+	quietRounds  int           // workless token visits observed here (any member)
+	lastSeqSeen  uint64        // token Seq at the previous visit (progress detection)
 
 	packetCh   chan any
-	ctlCh      chan any // priority lane: liveness/membership/token packets
+	ctlCh      chan any     // priority lane: liveness/membership/token packets
+	directCh   chan *direct // unordered point-to-point lane (SendDirect)
 	stopCh     chan struct{}
 	wg         sync.WaitGroup
 	lastSeq    map[RingID]uint64 // per-ring delivery contiguity tracking
 	needReform bool              // degrade-mode invariant recovery pending
+
+	// Direct-lane handler, set once via SetDirectHandler before traffic
+	// flows (rings are constructed before the engines that consume them,
+	// so this cannot be a Config field).
+	directMu sync.RWMutex
+	directFn func(from, group string, payload []byte)
 
 	// Stats counters (read via Stats).
 	statMu        sync.Mutex
@@ -322,6 +332,7 @@ func NewRing(tp transport.Transport, cfg Config) (*Ring, error) {
 		groupMembers: make(map[string]map[string]bool),
 		packetCh:     make(chan any, 1024),
 		ctlCh:        make(chan any, 256),
+		directCh:     make(chan *direct, 1024),
 		stopCh:       make(chan struct{}),
 		state:        stForming,
 		formingFrom:  time.Now(),
@@ -334,10 +345,11 @@ func NewRing(tp transport.Transport, cfg Config) (*Ring, error) {
 
 // Start launches the protocol goroutines.
 func (r *Ring) Start() {
-	r.wg.Add(3)
+	r.wg.Add(4)
 	go r.recvLoop()
 	go r.run()
 	go r.pumpEvents()
+	go r.runDirect()
 }
 
 // Stop shuts the endpoint down and waits for its goroutines.
@@ -397,6 +409,52 @@ func (r *Ring) Multicast(group string, payload []byte) error {
 		default:
 		}
 	}
+	return nil
+}
+
+// SetDirectHandler registers the callback invoked for every direct
+// (point-to-point, unordered) message addressed to this endpoint. The
+// callback runs on a dedicated delivery goroutine — never on the protocol
+// loop — so handling latency is decoupled from token pacing, but it must
+// still be quick (hand off to a queue) or it backlogs the direct lane.
+// Calling back into the Ring (SendDirect, Multicast) from the handler is
+// allowed.
+func (r *Ring) SetDirectHandler(fn func(from, group string, payload []byte)) {
+	r.directMu.Lock()
+	r.directFn = fn
+	r.directMu.Unlock()
+}
+
+// SendDirect sends an unordered point-to-point message to one ring
+// endpoint, bypassing the token and the total order entirely. Delivery is
+// best-effort with UDP semantics: no retransmission, no ordering relative
+// to anything, silently dropped if the peer is down, partitioned, has no
+// handler registered, or its direct lane is full. Callers layer their own
+// request/response retries on top, falling back to the ordered multicast
+// path for liveness. The ring retains payload without copying; the caller
+// must not mutate it after SendDirect returns.
+func (r *Ring) SendDirect(to, group string, payload []byte) error {
+	r.mu.Lock()
+	stopped := r.stopped
+	r.mu.Unlock()
+	if stopped {
+		return ErrStopped
+	}
+	d := &direct{From: r.cfg.Node, Group: group, Payload: payload}
+	if to == r.cfg.Node {
+		// Loopback: skip the wire, deliver on the direct goroutine (the
+		// caller may hold locks the handler also wants).
+		select {
+		case r.directCh <- d:
+		default: // lane full: drop, like UDP
+		}
+		return nil
+	}
+	raw, err := encodePacket(d)
+	if err != nil {
+		return err
+	}
+	r.sendRaw(to, raw)
 	return nil
 }
 
@@ -492,15 +550,27 @@ func (r *Ring) recvLoop() {
 		// buffer as before.
 		var pkt any
 		ch := r.ctlCh
-		if t := pktType(firstOctet(dg.Payload)); t == pktData || t == pktDataBatch {
+		switch t := pktType(firstOctet(dg.Payload)); t {
+		case pktData, pktDataBatch, pktDirect:
 			owned := append(make([]byte, 0, len(dg.Payload)), dg.Payload...)
 			pkt, err = decodePacketOwned(owned)
 			ch = r.packetCh
-		} else {
+		default:
 			pkt, err = decodePacket(dg.Payload)
 		}
 		if err != nil {
 			continue // corrupt datagram: drop, like UDP
+		}
+		// Direct packets skip the protocol loop entirely: they carry no
+		// ordering state, so routing them through packetCh would only
+		// couple their latency to token processing. They get their own
+		// lane and goroutine; a full lane drops (UDP semantics).
+		if d, ok := pkt.(*direct); ok {
+			select {
+			case r.directCh <- d:
+			default:
+			}
+			continue
 		}
 		// Control packets (hello, membership, token, nudge) ride their own
 		// channel so the protocol loop can serve them ahead of a multicast
@@ -512,6 +582,25 @@ func (r *Ring) recvLoop() {
 		case ch <- pkt:
 		case <-r.stopCh:
 			return
+		}
+	}
+}
+
+// runDirect delivers direct-lane messages to the registered handler on a
+// goroutine of their own, decoupled from the protocol loop.
+func (r *Ring) runDirect() {
+	defer r.wg.Done()
+	for {
+		select {
+		case <-r.stopCh:
+			return
+		case d := <-r.directCh:
+			r.directMu.RLock()
+			fn := r.directFn
+			r.directMu.RUnlock()
+			if fn != nil {
+				fn(d.From, d.Group, d.Payload)
+			}
 		}
 	}
 }
@@ -829,8 +918,25 @@ func (r *Ring) handlePacket(pkt any) {
 			r.send(v.next, v.tok)
 		}
 	case *nudge:
-		if v.Ring == r.ring && r.parked {
-			r.unpark()
+		if v.Ring == r.ring {
+			if r.parked {
+				r.unpark()
+				break
+			}
+			if r.paceCancel != nil {
+				// Paced mode: release the in-progress idle hold so the
+				// nudger's freshly queued work rides the next rotation.
+				close(r.paceCancel)
+				r.paceCancel = nil
+			}
+			// The nudge usually races the hold it means to prevent: the
+			// nudger's multicast is queued while the token is in flight, so
+			// the nudge lands here BEFORE this coordinator's visit arms the
+			// hold (the token's backlog fields are a round stale and still
+			// read idle). Remember the announcement so the next pacing
+			// decision rotates instead of holding; a round that does real
+			// work clears it.
+			r.nudged = true
 		}
 	case *wake:
 		r.handleWake()
@@ -862,14 +968,24 @@ func (r *Ring) handleWake() {
 		close(r.paceCancel)
 		r.paceCancel = nil
 	}
-	// Eager mode at a non-coordinator: the token may be parked at the
-	// coordinator, and this node cannot tell (a recent token visit proves
-	// nothing — parking follows two workless rounds, so the ring parks
-	// moments after passing here). Nudge unconditionally: a stale nudge
-	// costs one ignored ~50-byte datagram, while a suppressed one would
-	// stall this queue until the coordinator's next keepalive tick.
-	if r.cfg.IdleTokenDelay < 0 && r.ring.Coord != r.cfg.Node {
+	// Non-coordinator with fresh work: the token may be sitting at the
+	// coordinator — parked (eager mode) or mid idle-hold (paced mode) —
+	// and this node cannot tell directly. It can tell whether the ring
+	// has looked idle from here: only after a workless visit can the
+	// coordinator be holding or parking (both require consecutive idle
+	// rounds, which this member witnessed as the token passed through).
+	// Nudge exactly then — a stale nudge costs one ignored ~50-byte
+	// datagram, while a suppressed one would stall this queue for the
+	// full idle hold (paced) or until the next keepalive tick (eager) —
+	// and stay silent on a visibly busy ring, where the rotating token
+	// collects the work anyway and a nudge per multicast would tax the
+	// hot path. Without the paced-mode nudge, any op whose first ring
+	// traffic originates off the coordinator — notably an LF leader's
+	// order multicast after a direct-lane submit — pays the whole
+	// IdleTokenDelay on an idle ring.
+	if r.ring.Coord != r.cfg.Node && r.quietRounds >= 1 {
 		r.send(r.ring.Coord, &nudge{Ring: r.ring, From: r.cfg.Node})
+	} else {
 	}
 }
 
@@ -1110,8 +1226,11 @@ func (r *Ring) handleInstall(ins *install) {
 	r.lastToken = time.Now()
 	r.retained = nil
 	r.idleRounds = 0
+	r.quietRounds = 0
+	r.lastSeqSeen = 0
 	r.paceCancel = nil
 	r.parked = false
+	r.nudged = false
 
 	// Rebuild group membership from the collected subscriptions.
 	r.groupMembers = make(map[string]map[string]bool)
@@ -1252,6 +1371,27 @@ func (r *Ring) handleToken(t *token) {
 	// token rotating eagerly instead of pacing.
 	t.Backlog += uint32(leftover)
 
+	// Every member tracks how quiet the ring looks from its own visits:
+	// nothing sent here, nothing requested, nothing outstanding, no
+	// backlog reported so far this round, and — the signal the others
+	// miss — no sequence progress since the last visit. The progress
+	// check matters because delivery outruns the token on a fast fabric:
+	// by the time the token returns, another member's multicast is
+	// already delivered everywhere and Seq == delivered again, so a
+	// delivered-only predicate reads a working ring as idle. handleWake
+	// consults the counter to decide whether fresh local work needs a
+	// nudge — on a visibly busy ring the token is rotating and will
+	// collect the work anyway, so nudging every multicast would just tax
+	// the hot path.
+	quiet := len(batch) == 0 && len(t.Rtr) == 0 && t.Seq == r.delivered &&
+		t.Backlog == 0 && t.Seq == r.lastSeqSeen
+	r.lastSeqSeen = t.Seq
+	if quiet {
+		r.quietRounds++
+	} else {
+		r.quietRounds = 0
+	}
+
 	// Aru bookkeeping and log pruning.
 	if r.delivered < t.Aru {
 		t.Aru = r.delivered
@@ -1277,17 +1417,31 @@ func (r *Ring) handleToken(t *token) {
 	// previous one was being delivered pays one token rotation, not an
 	// idle hold plus a rotation.
 	if r.ring.Coord == r.cfg.Node {
-		idle := len(batch) == 0 && len(cp.Rtr) == 0 && cp.Seq == r.delivered &&
-			prevBacklog == 0 && cp.Backlog == 0
+		// quiet (computed above) includes the sequence-progress check:
+		// without it, traffic multicast by *other* members is invisible
+		// here — delivery completes before the token returns, so
+		// Seq == delivered again — and a coordinator that never sends
+		// would re-arm the hold every round, throttling the ring to one
+		// rotation per hold.
+		idle := quiet && prevBacklog == 0
 		if idle {
 			r.idleRounds++
 		} else {
 			r.idleRounds = 0
+			r.nudged = false // the announced work is flowing; holds may resume
 		}
 		if idle && next != r.cfg.Node && !r.unparking {
 			if r.cfg.IdleTokenDelay > 0 && r.idleRounds >= 2 {
-				r.paceForward(&cp, next)
-				return
+				if r.nudged {
+					// A member announced fresh work that this visit's (stale)
+					// backlog fields don't show yet: rotate once eagerly so the
+					// next visit at the nudger drains it, instead of arming a
+					// hold the nudge already tried to prevent.
+					r.nudged = false
+				} else {
+					r.paceForward(&cp, next)
+					return
+				}
 			}
 			if r.cfg.IdleTokenDelay < 0 && r.idleRounds >= eagerParkRounds {
 				// Eager mode: a genuinely quiet ring parks the token here
